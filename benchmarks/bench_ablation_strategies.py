@@ -1,0 +1,70 @@
+"""Ablation benchmarks: contribution of each search strategy.
+
+DESIGN.md credits SGSelect/STGSelect's advantage to five strategies (access
+ordering, distance pruning, acquaintance pruning, availability pruning and
+pivot time slots).  These benchmarks re-run a fixed query with one strategy
+disabled at a time; the timing differences attribute the speed-up, and every
+variant is asserted to return the same optimal distance (the strategies are
+sound, they only save work).
+"""
+
+import pytest
+
+from repro.core import STGQuery, SGQuery, STGSelect, SGSelect, SearchParameters
+
+from .conftest import ROUNDS
+
+SG_VARIANTS = {
+    "full": {},
+    "no-access-ordering": {"use_access_ordering": False},
+    "no-distance-pruning": {"use_distance_pruning": False},
+    "no-acquaintance-pruning": {"use_acquaintance_pruning": False},
+}
+
+STG_VARIANTS = {
+    "full": {},
+    "no-availability-pruning": {"use_availability_pruning": False},
+    "no-pivot-slots": {"use_pivot_slots": False},
+    "no-distance-pruning": {"use_distance_pruning": False},
+}
+
+
+@pytest.fixture(scope="module")
+def sg_reference(real_dataset, real_initiator):
+    query = SGQuery(initiator=real_initiator, group_size=6, radius=1, acquaintance=2)
+    return query, SGSelect(real_dataset.graph).solve(query)
+
+
+@pytest.fixture(scope="module")
+def stg_reference(real_dataset, real_initiator):
+    query = STGQuery(
+        initiator=real_initiator, group_size=4, radius=1, acquaintance=2, activity_length=4
+    )
+    return query, STGSelect(real_dataset.graph, real_dataset.calendars).solve(query)
+
+
+@pytest.mark.parametrize("variant", sorted(SG_VARIANTS))
+@pytest.mark.benchmark(group="ablation-sgselect")
+def test_sgselect_strategy_ablation(benchmark, real_dataset, sg_reference, variant):
+    query, reference = sg_reference
+    parameters = SearchParameters(**SG_VARIANTS[variant])
+    result = benchmark.pedantic(
+        lambda: SGSelect(real_dataset.graph, parameters).solve(query), **ROUNDS
+    )
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["nodes_expanded"] = result.stats.nodes_expanded
+    assert result.matches(reference)
+
+
+@pytest.mark.parametrize("variant", sorted(STG_VARIANTS))
+@pytest.mark.benchmark(group="ablation-stgselect")
+def test_stgselect_strategy_ablation(benchmark, real_dataset, stg_reference, variant):
+    query, reference = stg_reference
+    parameters = SearchParameters(**STG_VARIANTS[variant])
+    result = benchmark.pedantic(
+        lambda: STGSelect(real_dataset.graph, real_dataset.calendars, parameters).solve(query),
+        **ROUNDS,
+    )
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["nodes_expanded"] = result.stats.nodes_expanded
+    assert result.matches(reference)

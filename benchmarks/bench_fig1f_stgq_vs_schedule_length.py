@@ -1,0 +1,58 @@
+"""Figure 1(f): STGQ running time vs. schedule length (days).
+
+Paper setting: the shared calendars cover 1 to 7 days of half-hour slots
+(48 to 336 slots), m = 4, STGSelect against the per-period baseline.  The
+reproduced claim: both algorithms scale with the horizon, but the baseline
+grows faster because it solves an SGQ for every period in the longer
+horizon while STGSelect only anchors the pivot slots.
+"""
+
+import pytest
+
+from repro.core import BaselineSTGQ, STGQuery, STGSelect
+
+from .conftest import ROUNDS, dataset_for_size, initiator_for
+
+GROUP_SIZE = 4
+RADIUS = 1
+ACQUAINTANCE = 2
+ACTIVITY_LENGTH = 4
+SCHEDULE_DAYS = (1, 2, 3, 5, 7)
+
+
+def _setup(days):
+    dataset = dataset_for_size(194, schedule_days=days)
+    initiator = initiator_for(dataset, radius=RADIUS)
+    query = STGQuery(
+        initiator=initiator,
+        group_size=GROUP_SIZE,
+        radius=RADIUS,
+        acquaintance=ACQUAINTANCE,
+        activity_length=ACTIVITY_LENGTH,
+    )
+    return dataset, query
+
+
+@pytest.mark.parametrize("days", SCHEDULE_DAYS)
+@pytest.mark.benchmark(group="fig1f-stgq-vs-schedule-length")
+def test_stgselect(benchmark, days):
+    dataset, query = _setup(days)
+    result = benchmark.pedantic(
+        lambda: STGSelect(dataset.graph, dataset.calendars).solve(query), **ROUNDS
+    )
+    benchmark.extra_info["algorithm"] = "STGSelect"
+    benchmark.extra_info["schedule_days"] = days
+    benchmark.extra_info["horizon_slots"] = dataset.calendars.horizon
+    benchmark.extra_info["feasible"] = result.feasible
+
+
+@pytest.mark.parametrize("days", SCHEDULE_DAYS)
+@pytest.mark.benchmark(group="fig1f-stgq-vs-schedule-length")
+def test_baseline(benchmark, days):
+    dataset, query = _setup(days)
+    result = benchmark.pedantic(
+        lambda: BaselineSTGQ(dataset.graph, dataset.calendars).solve(query), **ROUNDS
+    )
+    benchmark.extra_info["algorithm"] = "Baseline"
+    benchmark.extra_info["schedule_days"] = days
+    benchmark.extra_info["periods_examined"] = result.stats.pivots_processed

@@ -1,0 +1,43 @@
+"""Figure 1(g): solution quality — observed ``k`` vs. ``p``.
+
+Paper setting: STGArrange (STGSelect run with the smallest sufficient k)
+against PCArrange (a model of manual coordination by phone) for p from 3 to
+11.  The reproduced claim: the group STGArrange returns satisfies a smaller
+(never larger) acquaintance parameter than the group the manual coordinator
+ends up with, i.e. the attendees know each other better.
+
+The benchmark times the full STGArrange comparison and records both k values
+in ``extra_info`` so the quality numbers appear alongside the timings in the
+pytest-benchmark report (EXPERIMENTS.md tabulates them).
+"""
+
+import pytest
+
+from repro.core import STGArrange
+
+from .conftest import ROUNDS
+
+RADIUS = 1
+ACTIVITY_LENGTH = 4
+GROUP_SIZES = (3, 4, 5, 6, 7)
+
+
+@pytest.mark.parametrize("p", GROUP_SIZES)
+@pytest.mark.benchmark(group="fig1g-quality-k")
+def test_stgarrange_vs_pcarrange(benchmark, real_dataset, real_initiator, p):
+    arranger = STGArrange(real_dataset.graph, real_dataset.calendars)
+    outcome = benchmark.pedantic(
+        lambda: arranger.compare(
+            initiator=real_initiator,
+            group_size=p,
+            radius=RADIUS,
+            activity_length=ACTIVITY_LENGTH,
+        ),
+        **ROUNDS,
+    )
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["pcarrange_feasible"] = outcome.pcarrange.feasible
+    benchmark.extra_info["pcarrange_k"] = outcome.pcarrange_k
+    benchmark.extra_info["stgarrange_k"] = outcome.stgarrange_k
+    if outcome.pcarrange.feasible and outcome.stgarrange_k is not None:
+        assert outcome.stgarrange_k <= outcome.pcarrange_k

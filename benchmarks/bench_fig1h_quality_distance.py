@@ -1,0 +1,42 @@
+"""Figure 1(h): solution quality — total social distance vs. ``p``.
+
+Paper setting: the same STGArrange / PCArrange comparison as Figure 1(g),
+reporting the total social distance of both groups.  The reproduced claim:
+STGArrange's group is never farther from the initiator than the manually
+coordinated group (and is usually closer), while also being more mutually
+acquainted (Figure 1(g)).
+"""
+
+import math
+
+import pytest
+
+from repro.core import STGArrange
+
+from .conftest import ROUNDS
+
+RADIUS = 1
+ACTIVITY_LENGTH = 4
+GROUP_SIZES = (3, 4, 5, 6, 7)
+
+
+@pytest.mark.parametrize("p", GROUP_SIZES)
+@pytest.mark.benchmark(group="fig1h-quality-distance")
+def test_total_distance_comparison(benchmark, real_dataset, real_initiator, p):
+    arranger = STGArrange(real_dataset.graph, real_dataset.calendars)
+    outcome = benchmark.pedantic(
+        lambda: arranger.compare(
+            initiator=real_initiator,
+            group_size=p,
+            radius=RADIUS,
+            activity_length=ACTIVITY_LENGTH,
+        ),
+        **ROUNDS,
+    )
+    pc_distance = outcome.pcarrange.total_distance if outcome.pcarrange.feasible else math.nan
+    st_distance = outcome.stgarrange.total_distance if outcome.stgarrange.feasible else math.nan
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["pcarrange_distance"] = pc_distance
+    benchmark.extra_info["stgarrange_distance"] = st_distance
+    if outcome.pcarrange.feasible and outcome.stgarrange.feasible:
+        assert st_distance <= pc_distance + 1e-9

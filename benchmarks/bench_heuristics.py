@@ -1,0 +1,57 @@
+"""Extension benchmark: greedy heuristics vs. the exact algorithms.
+
+Not a paper figure — it quantifies the latency/quality trade-off offered by
+the approximate solvers added on top of the reproduction (see
+``repro.core.heuristics``).  The exact optimum is computed alongside so the
+quality gap is recorded in ``extra_info``.
+"""
+
+import pytest
+
+from repro.core import GreedySGQ, GreedySTGQ, SGQuery, SGSelect, STGQuery, STGSelect
+
+from .conftest import ROUNDS
+
+
+@pytest.mark.benchmark(group="extension-heuristics")
+def test_greedy_sgq(benchmark, real_dataset, real_initiator):
+    query = SGQuery(initiator=real_initiator, group_size=6, radius=1, acquaintance=2)
+    exact = SGSelect(real_dataset.graph).solve(query)
+    result = benchmark.pedantic(lambda: GreedySGQ(real_dataset.graph).solve(query), **ROUNDS)
+    benchmark.extra_info["algorithm"] = "GreedySGQ"
+    benchmark.extra_info["optimal_distance"] = exact.total_distance
+    benchmark.extra_info["greedy_distance"] = result.total_distance
+
+
+@pytest.mark.benchmark(group="extension-heuristics")
+def test_exact_sgq_reference(benchmark, real_dataset, real_initiator):
+    query = SGQuery(initiator=real_initiator, group_size=6, radius=1, acquaintance=2)
+    result = benchmark.pedantic(lambda: SGSelect(real_dataset.graph).solve(query), **ROUNDS)
+    benchmark.extra_info["algorithm"] = "SGSelect"
+    benchmark.extra_info["optimal_distance"] = result.total_distance
+
+
+@pytest.mark.benchmark(group="extension-heuristics")
+def test_greedy_stgq(benchmark, real_dataset, real_initiator):
+    query = STGQuery(
+        initiator=real_initiator, group_size=5, radius=1, acquaintance=2, activity_length=4
+    )
+    exact = STGSelect(real_dataset.graph, real_dataset.calendars).solve(query)
+    result = benchmark.pedantic(
+        lambda: GreedySTGQ(real_dataset.graph, real_dataset.calendars).solve(query), **ROUNDS
+    )
+    benchmark.extra_info["algorithm"] = "GreedySTGQ"
+    benchmark.extra_info["optimal_distance"] = exact.total_distance
+    benchmark.extra_info["greedy_distance"] = result.total_distance
+
+
+@pytest.mark.benchmark(group="extension-heuristics")
+def test_exact_stgq_reference(benchmark, real_dataset, real_initiator):
+    query = STGQuery(
+        initiator=real_initiator, group_size=5, radius=1, acquaintance=2, activity_length=4
+    )
+    result = benchmark.pedantic(
+        lambda: STGSelect(real_dataset.graph, real_dataset.calendars).solve(query), **ROUNDS
+    )
+    benchmark.extra_info["algorithm"] = "STGSelect"
+    benchmark.extra_info["optimal_distance"] = result.total_distance

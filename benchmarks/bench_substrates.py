@@ -1,0 +1,67 @@
+"""Micro-benchmarks for the substrates the algorithms are built on.
+
+These are not paper figures; they exist so regressions in the hot helper
+paths (bounded distances, radius extraction, schedule intersection, pivot
+filtering) are visible independently of the end-to-end query benchmarks.
+"""
+
+import pytest
+
+from repro.graph import bounded_distances, extract_feasible_graph
+from repro.temporal import SlotRange
+from repro.temporal.pivot import feasible_members_for_pivot, pivot_windows
+
+from .conftest import ROUNDS, dataset_for_size, initiator_for
+
+
+@pytest.mark.benchmark(group="substrate-graph")
+@pytest.mark.parametrize("network_size", (194, 3200))
+def test_bounded_distances(benchmark, network_size):
+    dataset = dataset_for_size(network_size)
+    initiator = initiator_for(dataset)
+    distances = benchmark.pedantic(
+        lambda: bounded_distances(dataset.graph, initiator, 3), **ROUNDS
+    )
+    benchmark.extra_info["network_size"] = network_size
+    benchmark.extra_info["reachable"] = sum(1 for d in distances.values() if d < float("inf"))
+
+
+@pytest.mark.benchmark(group="substrate-graph")
+@pytest.mark.parametrize("radius", (1, 2, 3))
+def test_feasible_graph_extraction(benchmark, real_dataset, real_initiator, radius):
+    feasible = benchmark.pedantic(
+        lambda: extract_feasible_graph(real_dataset.graph, real_initiator, radius), **ROUNDS
+    )
+    benchmark.extra_info["radius"] = radius
+    benchmark.extra_info["candidates"] = len(feasible) - 1
+
+
+@pytest.mark.benchmark(group="substrate-temporal")
+def test_joint_schedule_of_ego_network(benchmark, real_dataset, real_initiator):
+    feasible = extract_feasible_graph(real_dataset.graph, real_initiator, 1)
+    people = feasible.graph.vertices()
+    joint = benchmark.pedantic(
+        lambda: real_dataset.calendars.joint_schedule(people), **ROUNDS
+    )
+    benchmark.extra_info["people"] = len(people)
+    benchmark.extra_info["common_slots"] = joint.available_count()
+
+
+@pytest.mark.benchmark(group="substrate-temporal")
+@pytest.mark.parametrize("m", (2, 8))
+def test_pivot_candidate_filtering(benchmark, real_dataset, real_initiator, m):
+    feasible = extract_feasible_graph(real_dataset.graph, real_initiator, 1)
+    candidates = feasible.candidates
+    windows = pivot_windows(real_dataset.calendars.horizon, m)
+
+    def run():
+        total = 0
+        for window in windows:
+            total += len(
+                feasible_members_for_pivot(real_dataset.calendars, window, candidates)
+            )
+        return total
+
+    total = benchmark.pedantic(run, **ROUNDS)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["feasible_member_slots"] = total

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark file regenerates one panel of the paper's Figure 1 (see
+DESIGN.md §3 for the experiment index).  The parameters follow the
+``paper-shape`` scale defined in :mod:`repro.experiments.config`: small
+enough that the full harness finishes in minutes of pure Python, large
+enough that the qualitative shapes of the paper's plots (who wins and how
+the gap grows along each sweep) are visible in the emitted tables.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+pytest-benchmark groups rows by figure panel, so its output reads like the
+paper's plots, one row per (sweep value, algorithm) pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import ego_size, pick_initiator, workload
+
+#: Candidate-pool bounds for benchmark initiators; keeps the brute-force
+#: baselines affordable while preserving the combinatorial growth the paper
+#: demonstrates.
+EGO_BOUNDS = (10, 26)
+
+#: pytest-benchmark settings shared by all panels: two measured rounds of a
+#: single iteration each (the solvers are deterministic, so more rounds only
+#: add wall-clock time).
+ROUNDS = {"rounds": 2, "iterations": 1, "warmup_rounds": 0}
+
+
+@pytest.fixture(scope="session")
+def real_dataset():
+    """The 194-person community dataset used by Figures 1(a)-(c), (e), (g), (h)."""
+    return workload(network_size=194, schedule_days=1, seed=42)
+
+
+@pytest.fixture(scope="session")
+def real_initiator(real_dataset):
+    """An initiator with a benchmark-sized ego network on the real dataset."""
+    return pick_initiator(real_dataset, radius=1, min_candidates=EGO_BOUNDS[0], max_candidates=EGO_BOUNDS[1])
+
+
+def dataset_for_size(network_size: int, schedule_days: int = 1):
+    """Dataset of the requested size (memoised across the benchmark session)."""
+    return workload(network_size=network_size, schedule_days=schedule_days, seed=42)
+
+
+def initiator_for(dataset, radius: int = 1):
+    """Benchmark initiator for an arbitrary dataset."""
+    return pick_initiator(dataset, radius=radius, min_candidates=EGO_BOUNDS[0], max_candidates=EGO_BOUNDS[1])

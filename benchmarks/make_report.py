@@ -1,0 +1,104 @@
+"""Turn a pytest-benchmark JSON export into the markdown tables of EXPERIMENTS.md.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json
+    python benchmarks/make_report.py bench_results.json
+
+The script prints one markdown table per benchmark group (one group per
+Figure-1 panel), with the sweep value, the per-algorithm mean running time,
+and the quality columns for the Figure 1(g)/(h) panels.  EXPERIMENTS.md embeds
+the output of this script next to the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import sys
+from typing import Dict, List
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+def _sweep_key(extra: Dict) -> object:
+    for key in ("p", "s", "k", "network_size", "m", "schedule_days", "variant", "radius"):
+        if key in extra:
+            return extra[key]
+    return ""
+
+
+def performance_table(rows: List[Dict]) -> str:
+    """Sweep value x algorithm table for a running-time panel."""
+    algorithms: List[str] = []
+    by_sweep: Dict[object, Dict[str, str]] = collections.defaultdict(dict)
+    sweep_name = None
+    for row in rows:
+        extra = row["extra_info"]
+        algorithm = extra.get("algorithm", extra.get("variant", row["name"]))
+        if algorithm not in algorithms:
+            algorithms.append(algorithm)
+        for key in ("p", "s", "k", "network_size", "m", "schedule_days", "variant"):
+            if key in extra:
+                sweep_name = key
+                break
+        by_sweep[_sweep_key(extra)][algorithm] = _fmt_seconds(row["stats"]["mean"])
+    header = f"| {sweep_name or 'case'} | " + " | ".join(algorithms) + " |"
+    divider = "|" + "---|" * (len(algorithms) + 1)
+    lines = [header, divider]
+    for sweep in sorted(by_sweep, key=lambda v: (isinstance(v, str), v)):
+        cells = [by_sweep[sweep].get(a, "–") for a in algorithms]
+        lines.append(f"| {sweep} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def quality_table(rows: List[Dict], kind: str) -> str:
+    """Figure 1(g)/(h) table: k or distance comparison per group size."""
+    lines = []
+    if kind == "k":
+        lines.append("| p | PCArrange k_h | STGArrange k | STGArrange time |")
+    else:
+        lines.append("| p | PCArrange distance | STGArrange distance | STGArrange time |")
+    lines.append("|---|---|---|---|")
+    for row in sorted(rows, key=lambda r: r["extra_info"].get("p", 0)):
+        extra = row["extra_info"]
+        elapsed = _fmt_seconds(row["stats"]["mean"])
+        if kind == "k":
+            pc = extra.get("pcarrange_k", "–") if extra.get("pcarrange_feasible", True) else "infeasible"
+            st = extra.get("stgarrange_k", "–")
+            lines.append(f"| {extra.get('p')} | {pc} | {st} | {elapsed} |")
+        else:
+            pc = extra.get("pcarrange_distance")
+            st = extra.get("stgarrange_distance")
+            pc_text = f"{pc:.1f}" if isinstance(pc, (int, float)) and pc == pc else "infeasible"
+            st_text = f"{st:.1f}" if isinstance(st, (int, float)) and st == st else "infeasible"
+            lines.append(f"| {extra.get('p')} | {pc_text} | {st_text} | {elapsed} |")
+    return "\n".join(lines)
+
+
+def main(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    groups: Dict[str, List[Dict]] = collections.defaultdict(list)
+    for bench in data["benchmarks"]:
+        groups[bench["group"]].append(bench)
+    for group in sorted(groups):
+        rows = groups[group]
+        print(f"### {group}\n")
+        if group == "fig1g-quality-k":
+            print(quality_table(rows, "k"))
+        elif group == "fig1h-quality-distance":
+            print(quality_table(rows, "distance"))
+        else:
+            print(performance_table(rows))
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_results.json")

@@ -1,0 +1,90 @@
+"""Planning a recurring team offsite over a full work week.
+
+This example exercises the temporal side of the library harder than the
+quickstart: a 7-day horizon of half-hour slots (336 slots), long activities
+(half-day workshops), and a comparison of the exact planner against the
+manual-coordination model (PCArrange) that the paper evaluates in its
+quality study.
+
+Run with::
+
+    python examples/team_offsite.py
+"""
+
+from repro import ActivityPlanner
+from repro.core import STGArrange, observed_acquaintance
+from repro.datasets import generate_real_dataset
+from repro.experiments import pick_initiator
+from repro.temporal import slot_label
+
+
+def describe_period(period) -> str:
+    start, end = period.as_tuple()
+    return f"slots {start}-{end} ({slot_label(start)} .. {slot_label(end)})"
+
+
+def main() -> None:
+    # A week of shared calendars for a 120-person organisation.
+    dataset = generate_real_dataset(n_people=120, schedule_days=7, seed=7)
+    organiser = pick_initiator(dataset, radius=1, min_candidates=10)
+    planner = ActivityPlanner(dataset.graph, dataset.calendars)
+
+    print(f"organisation: {dataset.graph.vertex_count} people, "
+          f"{dataset.calendars.horizon} slots over 7 days")
+    print(f"organiser: person {organiser} "
+          f"({dataset.graph.degree(organiser)} direct collaborators)\n")
+
+    # --- a sequence of workshops of increasing length --------------------
+    for hours, label in [(2, "kick-off meeting"), (4, "half-day workshop"), (6, "strategy session")]:
+        slots = hours * 2  # half-hour slots
+        result = planner.find_group_and_time(
+            initiator=organiser,
+            group_size=6,
+            activity_length=slots,
+            radius=1,
+            acquaintance=2,
+        )
+        print(f"{label} ({hours}h, p=6, k=2):")
+        if result.feasible:
+            print(f"  attendees: {result.sorted_members()}")
+            print(f"  when: {describe_period(result.period)}")
+            print(f"  total social distance: {result.total_distance:.1f}")
+        else:
+            print("  no common slot for six people — relaxing to five attendees")
+            fallback = planner.find_group_and_time(
+                initiator=organiser,
+                group_size=5,
+                activity_length=slots,
+                radius=1,
+                acquaintance=2,
+            )
+            if fallback.feasible:
+                print(f"  attendees: {fallback.sorted_members()}")
+                print(f"  when: {describe_period(fallback.period)}")
+            else:
+                print("  still infeasible — the week is too busy for this format")
+        print()
+
+    # --- automatic planning vs. coordinating by phone --------------------
+    print("exact planner vs. manual coordination (PCArrange), 2h offsite, p=5:")
+    outcome = STGArrange(dataset.graph, dataset.calendars).compare(
+        initiator=organiser, group_size=5, radius=1, activity_length=4
+    )
+    if outcome.pcarrange.feasible:
+        print(f"  manual coordination: distance {outcome.pcarrange.total_distance:.1f}, "
+              f"observed k = {outcome.pcarrange_k}")
+    else:
+        print("  manual coordination failed to assemble five people")
+    if outcome.stgarrange.feasible:
+        print(f"  STGSelect (k = {outcome.stgarrange_k}): "
+              f"distance {outcome.stgarrange.total_distance:.1f}")
+        print(f"  when: {describe_period(outcome.stgarrange.period)}")
+        members = outcome.stgarrange.members
+        print(f"  mutual acquaintance of the chosen group: "
+              f"k_h = {observed_acquaintance(dataset.graph, members)}")
+    else:
+        print("  no group satisfies the constraints at any k")
+
+
+if __name__ == "__main__":
+    main()

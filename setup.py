@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments whose setuptools predates
+PEP 660 editable installs (``pip install -e . --no-build-isolation`` falls
+back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+Three sub-commands mirror how the library is typically used:
+
+``stgq query``
+    Answer one SGQ or STGQ on a generated dataset and print the group.
+
+``stgq figure``
+    Re-run a panel of the paper's Figure 1 and print the measured table.
+
+``stgq ablation``
+    Run the strategy-ablation study on a generated dataset.
+
+Run ``python -m repro --help`` (or ``stgq --help`` once installed) for the
+full argument reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.planner import ActivityPlanner
+from .datasets.realistic import generate_real_dataset
+from .experiments.ablation import format_ablation, run_sg_ablation, run_stg_ablation
+from .experiments.config import FIGURE_IDS, ExperimentScale
+from .experiments.figures import run_figure
+from .experiments.reporting import format_quality_table, format_table
+from .experiments.workloads import pick_initiator, workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="stgq",
+        description="Social-Temporal Group Query reproduction (VLDB 2011).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="answer one SGQ/STGQ on a generated dataset")
+    query.add_argument("--people", type=int, default=194, help="population size (default 194)")
+    query.add_argument("--days", type=int, default=1, help="schedule length in days (default 1)")
+    query.add_argument("--seed", type=int, default=42, help="dataset seed (default 42)")
+    query.add_argument("-p", "--group-size", type=int, required=True, help="activity size p")
+    query.add_argument("-s", "--radius", type=int, default=1, help="social radius s (default 1)")
+    query.add_argument("-k", "--acquaintance", type=int, default=1, help="acquaintance constraint k")
+    query.add_argument(
+        "-m",
+        "--activity-length",
+        type=int,
+        default=None,
+        help="activity length in slots; omit for a purely social query (SGQ)",
+    )
+    query.add_argument(
+        "--algorithm",
+        default=None,
+        help="solver to use (sgselect/stgselect/baseline/ip/pcarrange)",
+    )
+    query.add_argument("--initiator", type=int, default=None, help="initiator id (default: auto)")
+
+    figure = subparsers.add_parser("figure", help="re-run a panel of the paper's Figure 1")
+    figure.add_argument("panel", choices=list(FIGURE_IDS), help="which panel to run (1a..1h)")
+    figure.add_argument(
+        "--scale",
+        choices=[s.value for s in ExperimentScale],
+        default=ExperimentScale.SMOKE.value,
+        help="experiment scale (default smoke)",
+    )
+    figure.add_argument("--repetitions", type=int, default=1, help="timing repetitions per point")
+    figure.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    ablation = subparsers.add_parser("ablation", help="strategy ablation study")
+    ablation.add_argument("--people", type=int, default=120)
+    ablation.add_argument("--days", type=int, default=1)
+    ablation.add_argument("--seed", type=int, default=42)
+    ablation.add_argument("-p", "--group-size", type=int, default=5)
+    ablation.add_argument("-s", "--radius", type=int, default=1)
+    ablation.add_argument("-k", "--acquaintance", type=int, default=2)
+    ablation.add_argument("-m", "--activity-length", type=int, default=None)
+
+    return parser
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    dataset = generate_real_dataset(
+        n_people=args.people, schedule_days=args.days, seed=args.seed
+    )
+    initiator = args.initiator
+    if initiator is None:
+        initiator = pick_initiator(dataset, args.radius, min_candidates=args.group_size + 2)
+    planner = ActivityPlanner(dataset.graph, dataset.calendars)
+
+    if args.activity_length is None:
+        algorithm = args.algorithm or "sgselect"
+        result = planner.find_group(
+            initiator=initiator,
+            group_size=args.group_size,
+            radius=args.radius,
+            acquaintance=args.acquaintance,
+            algorithm=algorithm,
+        )
+        print(f"initiator: {initiator}")
+        if not result.feasible:
+            print("no feasible group")
+            return 1
+        print(f"group ({algorithm}): {result.sorted_members()}")
+        print(f"total social distance: {result.total_distance:.2f}")
+        return 0
+
+    algorithm = args.algorithm or "stgselect"
+    result = planner.find_group_and_time(
+        initiator=initiator,
+        group_size=args.group_size,
+        activity_length=args.activity_length,
+        radius=args.radius,
+        acquaintance=args.acquaintance,
+        algorithm=algorithm,
+    )
+    print(f"initiator: {initiator}")
+    if not result.feasible:
+        print("no feasible group and activity period")
+        return 1
+    print(f"group ({algorithm}): {result.sorted_members()}")
+    print(f"total social distance: {result.total_distance:.2f}")
+    print(f"activity period (slots): {result.period.as_tuple()}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    from .experiments.reporting import to_csv
+
+    series = run_figure(
+        args.panel, scale=ExperimentScale(args.scale), repetitions=args.repetitions
+    )
+    if args.csv:
+        print(to_csv(series), end="")
+    elif args.panel in ("1g", "1h"):
+        print(format_quality_table(series))
+    else:
+        print(format_table(series))
+    return 0
+
+
+def _command_ablation(args: argparse.Namespace) -> int:
+    dataset = generate_real_dataset(
+        n_people=args.people, schedule_days=args.days, seed=args.seed
+    )
+    initiator = pick_initiator(dataset, args.radius, min_candidates=args.group_size + 2)
+    if args.activity_length is None:
+        report = run_sg_ablation(
+            dataset, initiator, args.group_size, args.radius, args.acquaintance
+        )
+    else:
+        report = run_stg_ablation(
+            dataset,
+            initiator,
+            args.group_size,
+            args.radius,
+            args.acquaintance,
+            args.activity_length,
+        )
+    print(format_ablation(report))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``stgq`` console script and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    if args.command == "ablation":
+        return _command_ablation(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

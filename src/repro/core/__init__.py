@@ -1,0 +1,73 @@
+"""Core algorithms of the reproduction: query model, SGSelect, STGSelect,
+baselines, the Integer Programming formulation, and the quality-comparison
+heuristics (PCArrange / STGArrange)."""
+
+from .baseline import BaselineSGQ, BaselineSTGQ, baseline_sg, baseline_stg
+from .constraints import (
+    ConstraintReport,
+    check_sg_solution,
+    check_stg_solution,
+    group_total_distance,
+    observed_acquaintance,
+)
+from .heuristics import GreedySGQ, GreedySTGQ, greedy_sg, greedy_stg
+from .ip import IPSolver, solve_sgq_ip, solve_stgq_ip
+from .ordering import (
+    exterior_expansibility,
+    exterior_expansibility_condition,
+    interior_unfamiliarity,
+    interior_unfamiliarity_condition,
+    temporal_extensibility,
+    temporal_extensibility_condition,
+)
+from .pcarrange import PCArrange, pc_arrange
+from .planner import ActivityPlanner
+from .pruning import acquaintance_pruning, availability_pruning, distance_pruning
+from .query import SGQuery, STGQuery, SearchParameters
+from .result import GroupResult, STGroupResult, SearchStats
+from .sgselect import SGSelect, sg_select
+from .stgarrange import STGArrange, STGArrangeOutcome
+from .stgselect import STGSelect, stg_select
+
+__all__ = [
+    "SGQuery",
+    "STGQuery",
+    "SearchParameters",
+    "GroupResult",
+    "STGroupResult",
+    "SearchStats",
+    "SGSelect",
+    "sg_select",
+    "STGSelect",
+    "stg_select",
+    "BaselineSGQ",
+    "BaselineSTGQ",
+    "baseline_sg",
+    "baseline_stg",
+    "IPSolver",
+    "solve_sgq_ip",
+    "solve_stgq_ip",
+    "GreedySGQ",
+    "GreedySTGQ",
+    "greedy_sg",
+    "greedy_stg",
+    "PCArrange",
+    "pc_arrange",
+    "STGArrange",
+    "STGArrangeOutcome",
+    "ActivityPlanner",
+    "ConstraintReport",
+    "check_sg_solution",
+    "check_stg_solution",
+    "group_total_distance",
+    "observed_acquaintance",
+    "interior_unfamiliarity",
+    "exterior_expansibility",
+    "temporal_extensibility",
+    "interior_unfamiliarity_condition",
+    "exterior_expansibility_condition",
+    "temporal_extensibility_condition",
+    "distance_pruning",
+    "acquaintance_pruning",
+    "availability_pruning",
+]

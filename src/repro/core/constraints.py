@@ -1,0 +1,170 @@
+"""Constraint verification for SGQ/STGQ solutions.
+
+The solvers guarantee these constraints by construction, but independent
+verification is essential for the test-suite (every solver's output is
+re-checked against the raw graph and calendars) and useful for callers who
+combine results from multiple tools.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from ..graph.distance import bounded_distances
+from ..graph.kplex import non_neighbor_counts
+from ..graph.social_graph import SocialGraph
+from ..temporal.calendars import CalendarStore
+from ..temporal.slots import SlotRange
+from ..types import Vertex
+from .query import SGQuery, STGQuery
+
+__all__ = [
+    "ConstraintReport",
+    "check_sg_solution",
+    "check_stg_solution",
+    "group_total_distance",
+    "observed_acquaintance",
+]
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of verifying a candidate solution against a query.
+
+    ``ok`` is ``True`` when every constraint holds; the individual flags and
+    the ``violations`` list describe what failed otherwise.
+    """
+
+    ok: bool
+    size_ok: bool
+    initiator_included: bool
+    radius_ok: bool
+    acquaintance_ok: bool
+    availability_ok: bool
+    total_distance: float
+    violations: List[str]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def group_total_distance(
+    graph: SocialGraph, initiator: Vertex, members: Iterable[Vertex], radius: int
+) -> float:
+    """Total social distance of ``members`` from ``initiator`` under radius ``radius``.
+
+    Uses the s-edge-bounded minimum distances; members unreachable within the
+    radius contribute ``math.inf``.
+    """
+    dist = bounded_distances(graph, initiator, radius)
+    return sum(dist.get(v, math.inf) for v in members if v != initiator)
+
+
+def observed_acquaintance(graph: SocialGraph, members: Iterable[Vertex]) -> int:
+    """The smallest ``k`` for which ``members`` satisfies the acquaintance constraint.
+
+    This is the ``k_h`` quantity the paper extracts from PCArrange results:
+    the maximum, over members, of the number of other members they share no
+    edge with.
+    """
+    counts = non_neighbor_counts(graph, members)
+    return max(counts.values(), default=0)
+
+
+def check_sg_solution(
+    graph: SocialGraph,
+    query: SGQuery,
+    members: Iterable[Vertex],
+) -> ConstraintReport:
+    """Verify a candidate SGQ solution against the raw social graph."""
+    member_set = frozenset(members)
+    violations: List[str] = []
+
+    size_ok = len(member_set) == query.group_size
+    if not size_ok:
+        violations.append(
+            f"group has {len(member_set)} members, expected p={query.group_size}"
+        )
+
+    initiator_included = query.initiator in member_set
+    if not initiator_included:
+        violations.append("initiator is not part of the group")
+
+    dist = bounded_distances(graph, query.initiator, query.radius)
+    unreachable = [v for v in member_set if dist.get(v, math.inf) == math.inf]
+    radius_ok = not unreachable
+    if unreachable:
+        violations.append(
+            f"members not reachable within s={query.radius} edges: {sorted(map(repr, unreachable))}"
+        )
+
+    counts = non_neighbor_counts(graph, member_set)
+    offenders = {v: c for v, c in counts.items() if c > query.acquaintance}
+    acquaintance_ok = not offenders
+    if offenders:
+        violations.append(
+            "acquaintance constraint violated: "
+            + ", ".join(f"{v!r} has {c} non-neighbours (k={query.acquaintance})" for v, c in offenders.items())
+        )
+
+    total = sum(dist.get(v, math.inf) for v in member_set if v != query.initiator)
+    ok = size_ok and initiator_included and radius_ok and acquaintance_ok
+    return ConstraintReport(
+        ok=ok,
+        size_ok=size_ok,
+        initiator_included=initiator_included,
+        radius_ok=radius_ok,
+        acquaintance_ok=acquaintance_ok,
+        availability_ok=True,
+        total_distance=total,
+        violations=violations,
+    )
+
+
+def check_stg_solution(
+    graph: SocialGraph,
+    calendars: CalendarStore,
+    query: STGQuery,
+    members: Iterable[Vertex],
+    period: Optional[SlotRange],
+) -> ConstraintReport:
+    """Verify a candidate STGQ solution (group + activity period)."""
+    member_set = frozenset(members)
+    base = check_sg_solution(graph, query.social_part(), member_set)
+    violations = list(base.violations)
+
+    availability_ok = True
+    if period is None:
+        availability_ok = False
+        violations.append("no activity period returned")
+    else:
+        if len(period) != query.activity_length:
+            availability_ok = False
+            violations.append(
+                f"period {period.as_tuple()} has {len(period)} slots, expected m={query.activity_length}"
+            )
+        if period.end > calendars.horizon:
+            availability_ok = False
+            violations.append(
+                f"period {period.as_tuple()} extends past the planning horizon {calendars.horizon}"
+            )
+        busy = [v for v in member_set if not calendars.is_available_range(v, period)]
+        if busy:
+            availability_ok = False
+            violations.append(
+                f"members not available for the whole period: {sorted(map(repr, busy))}"
+            )
+
+    ok = base.ok and availability_ok
+    return ConstraintReport(
+        ok=ok,
+        size_ok=base.size_ok,
+        initiator_included=base.initiator_included,
+        radius_ok=base.radius_ok,
+        acquaintance_ok=base.acquaintance_ok,
+        availability_ok=availability_ok,
+        total_distance=base.total_distance,
+        violations=violations,
+    )

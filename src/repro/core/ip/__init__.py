@@ -1,0 +1,20 @@
+"""Integer Programming formulation of SGQ/STGQ (paper Appendix D) and the
+MILP backends that solve it."""
+
+from .branch_bound import solve_with_branch_bound
+from .model import LinearConstraintSpec, MILPModel, build_sgq_model, build_stgq_model
+from .scipy_backend import MILPSolution, solve_with_scipy
+from .solver import IPSolver, solve_sgq_ip, solve_stgq_ip
+
+__all__ = [
+    "MILPModel",
+    "LinearConstraintSpec",
+    "MILPSolution",
+    "build_sgq_model",
+    "build_stgq_model",
+    "solve_with_scipy",
+    "solve_with_branch_bound",
+    "IPSolver",
+    "solve_sgq_ip",
+    "solve_stgq_ip",
+]

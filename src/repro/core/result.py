@@ -1,0 +1,200 @@
+"""Result objects returned by the SGQ/STGQ solvers.
+
+Every solver (SGSelect, STGSelect, the brute-force baselines, the IP model,
+PCArrange) returns a :class:`GroupResult` / :class:`STGroupResult` so results
+can be compared uniformly in tests and experiments.  Search statistics are
+attached so the benchmark harness can report pruning effectiveness next to
+wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..temporal.slots import SlotRange
+from ..types import Vertex
+
+__all__ = ["SearchStats", "GroupResult", "STGroupResult"]
+
+
+@dataclass
+class SearchStats:
+    """Counters describing how much work a solver performed.
+
+    Attributes
+    ----------
+    nodes_expanded:
+        Branch-and-bound nodes visited (or candidate groups enumerated for
+        brute-force solvers).
+    candidates_considered:
+        Vertices examined across all nodes.
+    distance_prunes / acquaintance_prunes / availability_prunes:
+        Number of times each pruning rule cut a subtree.
+    expansibility_removals / unfamiliarity_removals / temporal_removals:
+        Vertices permanently removed from a node's candidate set by the
+        corresponding access-ordering condition.
+    solutions_found:
+        Number of times the incumbent solution was improved.
+    pivots_processed:
+        Pivot time slots processed (STGQ only).
+    elapsed_seconds:
+        Wall-clock time spent inside the solver.
+    """
+
+    nodes_expanded: int = 0
+    candidates_considered: int = 0
+    distance_prunes: int = 0
+    acquaintance_prunes: int = 0
+    availability_prunes: int = 0
+    expansibility_removals: int = 0
+    unfamiliarity_removals: int = 0
+    temporal_removals: int = 0
+    solutions_found: int = 0
+    pivots_processed: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another stats object into this one (used per pivot)."""
+        self.nodes_expanded += other.nodes_expanded
+        self.candidates_considered += other.candidates_considered
+        self.distance_prunes += other.distance_prunes
+        self.acquaintance_prunes += other.acquaintance_prunes
+        self.availability_prunes += other.availability_prunes
+        self.expansibility_removals += other.expansibility_removals
+        self.unfamiliarity_removals += other.unfamiliarity_removals
+        self.temporal_removals += other.temporal_removals
+        self.solutions_found += other.solutions_found
+        self.pivots_processed += other.pivots_processed
+        self.elapsed_seconds += other.elapsed_seconds
+
+    def as_dict(self) -> dict:
+        """Return the counters as a plain dict (for CSV reporting)."""
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "candidates_considered": self.candidates_considered,
+            "distance_prunes": self.distance_prunes,
+            "acquaintance_prunes": self.acquaintance_prunes,
+            "availability_prunes": self.availability_prunes,
+            "expansibility_removals": self.expansibility_removals,
+            "unfamiliarity_removals": self.unfamiliarity_removals,
+            "temporal_removals": self.temporal_removals,
+            "solutions_found": self.solutions_found,
+            "pivots_processed": self.pivots_processed,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """Result of a Social Group Query.
+
+    Attributes
+    ----------
+    feasible:
+        ``True`` when a group satisfying all constraints was found.
+    members:
+        The selected attendees (including the initiator) as a frozenset;
+        empty when infeasible.
+    total_distance:
+        Sum of social distances from the initiator to every attendee
+        (``math.inf`` when infeasible).
+    solver:
+        Name of the algorithm that produced the result.
+    stats:
+        Search statistics (optional; heuristics may leave defaults).
+    """
+
+    feasible: bool
+    members: FrozenSet[Vertex]
+    total_distance: float
+    solver: str = ""
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @classmethod
+    def infeasible(cls, solver: str = "", stats: Optional[SearchStats] = None) -> "GroupResult":
+        """Construct the canonical infeasible result."""
+        return cls(
+            feasible=False,
+            members=frozenset(),
+            total_distance=math.inf,
+            solver=solver,
+            stats=stats or SearchStats(),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of attendees in the group (0 when infeasible)."""
+        return len(self.members)
+
+    def sorted_members(self) -> List[Vertex]:
+        """Members sorted by their repr (stable, type-agnostic ordering)."""
+        return sorted(self.members, key=repr)
+
+    def matches(self, other: "GroupResult", tol: float = 1e-9) -> bool:
+        """Two results are equivalent when both are infeasible, or both are
+        feasible with the same total distance (the optimal group need not be
+        unique, so membership is not compared)."""
+        if self.feasible != other.feasible:
+            return False
+        if not self.feasible:
+            return True
+        return math.isclose(self.total_distance, other.total_distance, rel_tol=0, abs_tol=tol)
+
+
+@dataclass(frozen=True)
+class STGroupResult:
+    """Result of a Social-Temporal Group Query.
+
+    In addition to the SGQ result fields, carries the selected activity
+    period (``m`` consecutive slots), the pivot slot it was anchored at, and
+    the full run of slots shared by all attendees around that period.
+    """
+
+    feasible: bool
+    members: FrozenSet[Vertex]
+    total_distance: float
+    period: Optional[SlotRange] = None
+    pivot: Optional[int] = None
+    shared_slots: Optional[SlotRange] = None
+    solver: str = ""
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @classmethod
+    def infeasible(cls, solver: str = "", stats: Optional[SearchStats] = None) -> "STGroupResult":
+        """Construct the canonical infeasible result."""
+        return cls(
+            feasible=False,
+            members=frozenset(),
+            total_distance=math.inf,
+            solver=solver,
+            stats=stats or SearchStats(),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of attendees in the group (0 when infeasible)."""
+        return len(self.members)
+
+    def sorted_members(self) -> List[Vertex]:
+        """Members sorted by their repr (stable, type-agnostic ordering)."""
+        return sorted(self.members, key=repr)
+
+    def social_result(self) -> GroupResult:
+        """Project onto a plain :class:`GroupResult` (drops temporal fields)."""
+        return GroupResult(
+            feasible=self.feasible,
+            members=self.members,
+            total_distance=self.total_distance,
+            solver=self.solver,
+            stats=self.stats,
+        )
+
+    def matches(self, other: "STGroupResult", tol: float = 1e-9) -> bool:
+        """Equivalence on feasibility and total distance (see GroupResult.matches)."""
+        if self.feasible != other.feasible:
+            return False
+        if not self.feasible:
+            return True
+        return math.isclose(self.total_distance, other.total_distance, rel_tol=0, abs_tol=tol)

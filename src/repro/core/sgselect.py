@@ -1,0 +1,322 @@
+"""SGSelect — exact branch-and-bound algorithm for Social Group Queries
+(paper §3.2).
+
+The search explores the set-enumeration tree of candidate groups rooted at
+``VS = {q}``.  At each node it holds an intermediate solution set ``VS`` and
+a remaining candidate set ``VA`` and branches on one candidate ``u`` at a
+time: first the subtree where ``u`` joins the group, then the subtree where
+``u`` is excluded (by dropping ``u`` from ``VA`` and continuing at the same
+node).  Optimality relies on three ingredients:
+
+* **Access ordering** — candidates are tried in ascending social distance,
+  but a candidate is only *branched on* when the interior unfamiliarity and
+  exterior expansibility conditions hold; failing candidates are deferred
+  (the condition threshold ``θ`` is relaxed when nobody qualifies) or
+  removed outright when the failure is provably permanent.
+* **Distance pruning** (Lemma 2) and **acquaintance pruning** (Lemma 3) —
+  sound node-level prunes based on the incumbent distance and on the inner
+  degrees of the remaining candidates.
+* The interior unfamiliarity condition at ``θ = 0`` *is* the acquaintance
+  constraint, so every recorded solution is feasible by construction.
+
+The solver reports rich :class:`~repro.core.result.SearchStats` so the
+experiment harness can attribute speed-ups to individual strategies.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InfeasibleQueryError
+from ..graph.extraction import FeasibleGraph, extract_feasible_graph
+from ..graph.social_graph import SocialGraph
+from ..types import Vertex
+from .ordering import (
+    exterior_expansibility,
+    exterior_expansibility_condition,
+    interior_unfamiliarity,
+    interior_unfamiliarity_condition,
+)
+from .pruning import acquaintance_pruning, distance_pruning
+from .query import SearchParameters, SGQuery
+from .result import GroupResult, SearchStats
+
+__all__ = ["SGSelect", "sg_select"]
+
+
+class SGSelect:
+    """Reusable SGSelect solver bound to one social graph.
+
+    Parameters
+    ----------
+    graph:
+        The full social graph ``G``.
+    parameters:
+        Search tunables (``θ`` start value and strategy toggles); defaults
+        reproduce the paper's configuration.
+
+    Examples
+    --------
+    >>> from repro.graph import SocialGraph
+    >>> g = SocialGraph()
+    >>> for u, v, d in [("q", "a", 1.0), ("q", "b", 2.0), ("a", "b", 1.0)]:
+    ...     g.add_edge(u, v, d)
+    >>> solver = SGSelect(g)
+    >>> result = solver.solve(SGQuery(initiator="q", group_size=3, radius=1, acquaintance=0))
+    >>> result.feasible, result.total_distance
+    (True, 3.0)
+    """
+
+    def __init__(self, graph: SocialGraph, parameters: Optional[SearchParameters] = None) -> None:
+        self.graph = graph
+        self.parameters = parameters or SearchParameters()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        query: SGQuery,
+        on_infeasible: str = "return",
+        allowed_candidates: Optional[Set[Vertex]] = None,
+    ) -> GroupResult:
+        """Answer ``query`` and return the optimal group.
+
+        Parameters
+        ----------
+        query:
+            The SGQ to answer.
+        on_infeasible:
+            ``"return"`` (default) yields an infeasible :class:`GroupResult`;
+            ``"raise"`` raises :class:`InfeasibleQueryError` instead.
+        allowed_candidates:
+            Optional restriction of the candidate pool (the initiator is
+            always allowed).  Social distances are still measured on the full
+            graph; only group membership is restricted.  This is how the
+            per-period STGQ baseline reuses SGSelect without perturbing the
+            distance semantics.
+        """
+        start = time.perf_counter()
+        stats = SearchStats()
+
+        feasible_graph = extract_feasible_graph(self.graph, query.initiator, query.radius)
+        result = self._search(
+            feasible_graph, query, stats, incumbent=math.inf, allowed_candidates=allowed_candidates
+        )
+        stats.elapsed_seconds = time.perf_counter() - start
+
+        if result is None:
+            final = GroupResult.infeasible(solver="SGSelect", stats=stats)
+            if on_infeasible == "raise":
+                raise InfeasibleQueryError(f"no feasible group for {query.describe()}")
+            return final
+        members, total = result
+        return GroupResult(
+            feasible=True,
+            members=frozenset(members),
+            total_distance=total,
+            solver="SGSelect",
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        feasible_graph: FeasibleGraph,
+        query: SGQuery,
+        stats: SearchStats,
+        incumbent: float,
+        allowed_candidates: Optional[Set[Vertex]] = None,
+    ) -> Optional[Tuple[Set[Vertex], float]]:
+        """Run the branch-and-bound over the feasible graph.
+
+        Returns the optimal ``(members, total_distance)`` or ``None`` when no
+        feasible group exists.  ``incumbent`` seeds the distance-pruning bound
+        (used by STGSelect to share the bound across pivot slots).
+        """
+        q = query.initiator
+        p = query.group_size
+        if p == 1:
+            return {q}, 0.0
+        candidates = feasible_graph.candidates
+        if allowed_candidates is not None:
+            candidates = [v for v in candidates if v in allowed_candidates]
+        if len(candidates) < p - 1:
+            return None
+
+        graph = feasible_graph.graph
+        distances = feasible_graph.distances
+
+        best: Dict[str, object] = {"distance": incumbent, "members": None}
+
+        def record(members: Set[Vertex], total: float) -> None:
+            if total < best["distance"]:
+                best["distance"] = total
+                best["members"] = set(members)
+                stats.solutions_found += 1
+
+        self._expand(
+            graph=graph,
+            distances=distances,
+            query=query,
+            members=[q],
+            members_set={q},
+            remaining=list(candidates),
+            current_distance=0.0,
+            best=best,
+            stats=stats,
+        )
+
+        if best["members"] is None:
+            return None
+        return best["members"], float(best["distance"])  # type: ignore[arg-type]
+
+    def _expand(
+        self,
+        graph: SocialGraph,
+        distances,
+        query: SGQuery,
+        members: List[Vertex],
+        members_set: Set[Vertex],
+        remaining: List[Vertex],
+        current_distance: float,
+        best: Dict[str, object],
+        stats: SearchStats,
+    ) -> None:
+        """Explore one node of the set-enumeration tree."""
+        params = self.parameters
+        p = query.group_size
+        k = query.acquaintance
+        stats.nodes_expanded += 1
+
+        # ``remaining`` is owned by this node (each recursion copies it), so
+        # in-place removal is safe and keeps the exclude branch cheap.
+        theta = params.theta if params.use_access_ordering else 0
+        deferred: Set[Vertex] = set()
+
+        while True:
+            if len(members_set) == p:
+                record_distance = current_distance
+                if record_distance < best["distance"]:  # type: ignore[operator]
+                    best["distance"] = record_distance
+                    best["members"] = set(members_set)
+                    stats.solutions_found += 1
+                return
+            if len(members_set) + len(remaining) < p:
+                return
+
+            # --- node-level pruning -----------------------------------
+            if params.use_distance_pruning and distance_pruning(
+                incumbent_distance=best["distance"],  # type: ignore[arg-type]
+                current_distance=current_distance,
+                members_count=len(members_set),
+                group_size=p,
+                remaining_distances=(distances[v] for v in remaining),
+            ):
+                stats.distance_prunes += 1
+                return
+            if params.use_acquaintance_pruning and acquaintance_pruning(
+                graph=graph,
+                remaining=remaining,
+                members_count=len(members_set),
+                group_size=p,
+                acquaintance=k,
+            ):
+                stats.acquaintance_prunes += 1
+                return
+
+            # --- candidate selection (access ordering) ----------------
+            selected = None
+            while selected is None:
+                candidate = self._next_unvisited(remaining, deferred, distances)
+                if candidate is None:
+                    if theta > 0:
+                        theta -= 1
+                        deferred.clear()
+                        continue
+                    # θ exhausted and every remaining candidate deferred or
+                    # removed: nothing left to branch on at this node.
+                    return
+                stats.candidates_considered += 1
+
+                new_size = len(members_set) + 1
+                trial_remaining = [v for v in remaining if v != candidate]
+                expans = exterior_expansibility(
+                    graph, list(members_set) + [candidate], trial_remaining, k
+                )
+                if not exterior_expansibility_condition(expans, new_size, p):
+                    # Lemma 1: this candidate can never complete the group.
+                    remaining.remove(candidate)
+                    deferred.discard(candidate)
+                    stats.expansibility_removals += 1
+                    continue
+
+                unfam = interior_unfamiliarity(graph, list(members_set) + [candidate])
+                if not interior_unfamiliarity_condition(unfam, new_size, p, k, theta):
+                    if theta == 0:
+                        # The expanded set already violates the acquaintance
+                        # constraint; adding more members can only make it worse.
+                        remaining.remove(candidate)
+                        deferred.discard(candidate)
+                        stats.unfamiliarity_removals += 1
+                    else:
+                        deferred.add(candidate)
+                    continue
+                selected = candidate
+
+            # --- branch 1: include ``selected`` -----------------------
+            child_remaining = [v for v in remaining if v != selected]
+            members.append(selected)
+            members_set.add(selected)
+            self._expand(
+                graph=graph,
+                distances=distances,
+                query=query,
+                members=members,
+                members_set=members_set,
+                remaining=child_remaining,
+                current_distance=current_distance + distances[selected],
+                best=best,
+                stats=stats,
+            )
+            members.pop()
+            members_set.discard(selected)
+
+            # --- branch 2: exclude ``selected`` and continue ----------
+            remaining.remove(selected)
+            deferred.discard(selected)
+
+    @staticmethod
+    def _next_unvisited(
+        remaining: Sequence[Vertex], deferred: Set[Vertex], distances
+    ) -> Optional[Vertex]:
+        """Return the unvisited candidate with the smallest social distance."""
+        best_v = None
+        best_d = math.inf
+        for v in remaining:
+            if v in deferred:
+                continue
+            d = distances[v]
+            if d < best_d:
+                best_d = d
+                best_v = v
+        return best_v
+
+
+def sg_select(
+    graph: SocialGraph,
+    initiator: Vertex,
+    group_size: int,
+    radius: int,
+    acquaintance: int,
+    parameters: Optional[SearchParameters] = None,
+) -> GroupResult:
+    """Convenience wrapper: build the query and run :class:`SGSelect` once."""
+    query = SGQuery(
+        initiator=initiator, group_size=group_size, radius=radius, acquaintance=acquaintance
+    )
+    return SGSelect(graph, parameters).solve(query)

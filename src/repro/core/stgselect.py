@@ -1,0 +1,409 @@
+"""STGSelect — exact branch-and-bound algorithm for Social-Temporal Group
+Queries (paper §4.2).
+
+STGSelect extends SGSelect along the temporal dimension:
+
+* **Pivot time slots** (Lemma 4) — only slots with IDs ``m, 2m, 3m, ...``
+  need to be anchored; for each pivot the candidate activity periods live in
+  a window of ``2m - 1`` slots, and the search for different pivots shares a
+  single incumbent, so the distance bound tightens monotonically.
+* **Temporal feasibility per candidate** (Definition 4) — a candidate is
+  admitted to a pivot's search only when it has a free run of at least ``m``
+  slots containing the pivot inside the window.
+* **Temporal extensibility** ``X(VS)`` joins interior unfamiliarity and
+  exterior expansibility in the access ordering; its relaxation exponent
+  ``φ`` is raised (up to a threshold) when no candidate qualifies.
+* **Availability pruning** (Lemma 5) discards nodes whose remaining
+  candidates are collectively too busy around the pivot.
+
+The returned :class:`~repro.core.result.STGroupResult` carries the selected
+activity period, the pivot it was anchored at, and the full shared run.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InfeasibleQueryError, ScheduleError
+from ..graph.extraction import FeasibleGraph, extract_feasible_graph
+from ..graph.social_graph import SocialGraph
+from ..temporal.calendars import CalendarStore
+from ..temporal.pivot import PivotWindow, feasible_members_for_pivot, pivot_windows
+from ..temporal.schedule import Schedule
+from ..temporal.slots import SlotRange
+from ..types import Vertex
+from .ordering import (
+    exterior_expansibility,
+    exterior_expansibility_condition,
+    interior_unfamiliarity,
+    interior_unfamiliarity_condition,
+    temporal_extensibility,
+    temporal_extensibility_condition,
+)
+from .pruning import acquaintance_pruning, availability_pruning, distance_pruning
+from .query import STGQuery, SearchParameters
+from .result import STGroupResult, SearchStats
+
+__all__ = ["STGSelect", "stg_select"]
+
+
+class STGSelect:
+    """Reusable STGSelect solver bound to one social graph and calendar store.
+
+    Parameters
+    ----------
+    graph:
+        The full social graph ``G``.
+    calendars:
+        Availability schedules for (at least) every candidate attendee and
+        the initiator.
+    parameters:
+        Search tunables (``θ``, ``φ``, strategy toggles).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        calendars: CalendarStore,
+        parameters: Optional[SearchParameters] = None,
+    ) -> None:
+        self.graph = graph
+        self.calendars = calendars
+        self.parameters = parameters or SearchParameters()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve(self, query: STGQuery, on_infeasible: str = "return") -> STGroupResult:
+        """Answer ``query`` and return the optimal group and activity period."""
+        start = time.perf_counter()
+        stats = SearchStats()
+        horizon = self.calendars.horizon
+        if query.activity_length > horizon:
+            raise ScheduleError(
+                f"activity length m={query.activity_length} exceeds the planning horizon {horizon}"
+            )
+
+        feasible_graph = extract_feasible_graph(self.graph, query.initiator, query.radius)
+        best: Dict[str, object] = {
+            "distance": math.inf,
+            "members": None,
+            "shared": None,
+            "pivot": None,
+        }
+
+        if self.parameters.use_pivot_slots:
+            windows = pivot_windows(horizon, query.activity_length)
+        else:
+            # Degenerate decomposition used by the ablation study: one window
+            # per candidate period, anchored at the period's final slot.
+            windows = self._all_period_windows(horizon, query.activity_length)
+
+        q_schedule = self.calendars.get(query.initiator)
+        for window in windows:
+            # The initiator must be available for some period through this pivot.
+            if not self._member_feasible(q_schedule, window):
+                continue
+            stats.pivots_processed += 1
+            self._search_pivot(feasible_graph, query, window, best, stats)
+
+        stats.elapsed_seconds = time.perf_counter() - start
+        if best["members"] is None:
+            result = STGroupResult.infeasible(solver="STGSelect", stats=stats)
+            if on_infeasible == "raise":
+                raise InfeasibleQueryError(f"no feasible group for {query.describe()}")
+            return result
+
+        shared: SlotRange = best["shared"]  # type: ignore[assignment]
+        period = self._canonical_period(shared, best["pivot"], query.activity_length)  # type: ignore[arg-type]
+        return STGroupResult(
+            feasible=True,
+            members=frozenset(best["members"]),  # type: ignore[arg-type]
+            total_distance=float(best["distance"]),  # type: ignore[arg-type]
+            period=period,
+            pivot=best["pivot"],  # type: ignore[arg-type]
+            shared_slots=shared,
+            solver="STGSelect",
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _all_period_windows(horizon: int, m: int) -> List[PivotWindow]:
+        """Fallback decomposition when pivot slots are disabled: one window per
+        candidate period, anchored at the period's final slot."""
+        windows = []
+        for start in range(1, horizon - m + 2):
+            windows.append(
+                PivotWindow(pivot=start + m - 1, window=SlotRange(start, start + m - 1), activity_length=m)
+            )
+        return windows
+
+    @staticmethod
+    def _member_feasible(schedule: Schedule, window: PivotWindow) -> bool:
+        """Definition 4: available at the pivot with a free run of >= m slots
+        inside the window."""
+        if window.pivot > schedule.horizon or not schedule.is_available(window.pivot):
+            return False
+        run = schedule.restricted(window.window).run_containing(window.pivot)
+        return run is not None and len(run) >= window.activity_length
+
+    @staticmethod
+    def _canonical_period(shared: SlotRange, pivot: int, m: int) -> SlotRange:
+        """Pick one activity period of exactly ``m`` slots inside the shared run
+        that contains the pivot (the earliest such period)."""
+        start = max(shared.start, pivot - m + 1)
+        start = min(start, shared.end - m + 1)
+        return SlotRange(start, start + m - 1)
+
+    # ------------------------------------------------------------------
+    # per-pivot search
+    # ------------------------------------------------------------------
+    def _search_pivot(
+        self,
+        feasible_graph: FeasibleGraph,
+        query: STGQuery,
+        window: PivotWindow,
+        best: Dict[str, object],
+        stats: SearchStats,
+    ) -> None:
+        q = query.initiator
+        p = query.group_size
+        graph = feasible_graph.graph
+        distances = feasible_graph.distances
+
+        q_shared = self.calendars.get(q).restricted(window.window).run_containing(window.pivot)
+        if q_shared is None or len(q_shared) < query.activity_length:
+            return
+        if p == 1:
+            if 0.0 < best["distance"]:  # type: ignore[operator]
+                best.update(distance=0.0, members={q}, shared=q_shared, pivot=window.pivot)
+                stats.solutions_found += 1
+            return
+
+        candidates = [
+            v
+            for v in feasible_graph.candidates
+            if self._member_feasible(self.calendars.get(v), window)
+        ]
+        if len(candidates) < p - 1:
+            return
+
+        self._expand(
+            graph=graph,
+            distances=distances,
+            query=query,
+            window=window,
+            members=[q],
+            members_set={q},
+            shared=q_shared,
+            remaining=list(candidates),
+            current_distance=0.0,
+            best=best,
+            stats=stats,
+        )
+
+    def _expand(
+        self,
+        graph: SocialGraph,
+        distances,
+        query: STGQuery,
+        window: PivotWindow,
+        members: List[Vertex],
+        members_set: Set[Vertex],
+        shared: SlotRange,
+        remaining: List[Vertex],
+        current_distance: float,
+        best: Dict[str, object],
+        stats: SearchStats,
+    ) -> None:
+        """Explore one node of the per-pivot set-enumeration tree."""
+        params = self.parameters
+        p = query.group_size
+        k = query.acquaintance
+        m = query.activity_length
+        stats.nodes_expanded += 1
+
+        theta = params.theta if params.use_access_ordering else 0
+        phi = params.phi if params.use_access_ordering else params.phi_threshold
+        deferred: Set[Vertex] = set()
+
+        while True:
+            if len(members_set) == p:
+                if current_distance < best["distance"]:  # type: ignore[operator]
+                    best["distance"] = current_distance
+                    best["members"] = set(members_set)
+                    best["shared"] = shared
+                    best["pivot"] = window.pivot
+                    stats.solutions_found += 1
+                return
+            if len(members_set) + len(remaining) < p:
+                return
+
+            # --- node-level pruning -----------------------------------
+            if params.use_distance_pruning and distance_pruning(
+                incumbent_distance=best["distance"],  # type: ignore[arg-type]
+                current_distance=current_distance,
+                members_count=len(members_set),
+                group_size=p,
+                remaining_distances=(distances[v] for v in remaining),
+            ):
+                stats.distance_prunes += 1
+                return
+            if params.use_acquaintance_pruning and acquaintance_pruning(
+                graph=graph,
+                remaining=remaining,
+                members_count=len(members_set),
+                group_size=p,
+                acquaintance=k,
+            ):
+                stats.acquaintance_prunes += 1
+                return
+            if params.use_availability_pruning and availability_pruning(
+                calendars=self.calendars,
+                remaining=remaining,
+                members_count=len(members_set),
+                group_size=p,
+                window=window,
+            ):
+                stats.availability_prunes += 1
+                return
+
+            # --- candidate selection (access ordering) ----------------
+            selected: Optional[Vertex] = None
+            selected_shared: Optional[SlotRange] = None
+            while selected is None:
+                candidate = self._next_unvisited(remaining, deferred, distances)
+                if candidate is None:
+                    if theta > 0:
+                        theta -= 1
+                        deferred.clear()
+                        continue
+                    if phi < params.phi_threshold:
+                        phi += 1
+                        deferred.clear()
+                        continue
+                    return
+                stats.candidates_considered += 1
+
+                new_size = len(members_set) + 1
+                trial_remaining = [v for v in remaining if v != candidate]
+                expans = exterior_expansibility(
+                    graph, list(members_set) + [candidate], trial_remaining, k
+                )
+                if not exterior_expansibility_condition(expans, new_size, p):
+                    remaining.remove(candidate)
+                    deferred.discard(candidate)
+                    stats.expansibility_removals += 1
+                    continue
+
+                unfam = interior_unfamiliarity(graph, list(members_set) + [candidate])
+                if not interior_unfamiliarity_condition(unfam, new_size, p, k, theta):
+                    if theta == 0:
+                        remaining.remove(candidate)
+                        deferred.discard(candidate)
+                        stats.unfamiliarity_removals += 1
+                    else:
+                        deferred.add(candidate)
+                    continue
+
+                cand_shared = self._joint_run(shared, candidate, window)
+                ext = temporal_extensibility(cand_shared, m)
+                if not temporal_extensibility_condition(
+                    ext, new_size, p, m, phi, params.phi_threshold
+                ):
+                    if ext < 0:
+                        # Adding this candidate destroys temporal feasibility
+                        # for every extension of the current VS.
+                        remaining.remove(candidate)
+                        deferred.discard(candidate)
+                        stats.temporal_removals += 1
+                    else:
+                        deferred.add(candidate)
+                    continue
+
+                selected = candidate
+                selected_shared = cand_shared
+
+            # --- branch 1: include ``selected`` -----------------------
+            assert selected_shared is not None
+            child_remaining = [v for v in remaining if v != selected]
+            members.append(selected)
+            members_set.add(selected)
+            self._expand(
+                graph=graph,
+                distances=distances,
+                query=query,
+                window=window,
+                members=members,
+                members_set=members_set,
+                shared=selected_shared,
+                remaining=child_remaining,
+                current_distance=current_distance + distances[selected],
+                best=best,
+                stats=stats,
+            )
+            members.pop()
+            members_set.discard(selected)
+
+            # --- branch 2: exclude ``selected`` and continue ----------
+            remaining.remove(selected)
+            deferred.discard(selected)
+
+    def _joint_run(
+        self, shared: SlotRange, candidate: Vertex, window: PivotWindow
+    ) -> Optional[SlotRange]:
+        """Shared run of consecutive free slots containing the pivot after
+        intersecting the current run with ``candidate``'s availability."""
+        schedule = self.calendars.get(candidate)
+        pivot = window.pivot
+        if not schedule.is_available(pivot):
+            return None
+        lo = pivot
+        while lo > shared.start and schedule.is_available(lo - 1):
+            lo -= 1
+        hi = pivot
+        while hi < shared.end and schedule.is_available(hi + 1):
+            hi += 1
+        return SlotRange(lo, hi)
+
+    @staticmethod
+    def _next_unvisited(
+        remaining: Sequence[Vertex], deferred: Set[Vertex], distances
+    ) -> Optional[Vertex]:
+        """Return the unvisited candidate with the smallest social distance."""
+        best_v = None
+        best_d = math.inf
+        for v in remaining:
+            if v in deferred:
+                continue
+            d = distances[v]
+            if d < best_d:
+                best_d = d
+                best_v = v
+        return best_v
+
+
+def stg_select(
+    graph: SocialGraph,
+    calendars: CalendarStore,
+    initiator: Vertex,
+    group_size: int,
+    radius: int,
+    acquaintance: int,
+    activity_length: int,
+    parameters: Optional[SearchParameters] = None,
+) -> STGroupResult:
+    """Convenience wrapper: build the query and run :class:`STGSelect` once."""
+    query = STGQuery(
+        initiator=initiator,
+        group_size=group_size,
+        radius=radius,
+        acquaintance=acquaintance,
+        activity_length=activity_length,
+    )
+    return STGSelect(graph, calendars, parameters).solve(query)

@@ -1,0 +1,19 @@
+"""Datasets: the paper's worked examples plus synthetic stand-ins for its
+real and coauthorship datasets (see DESIGN.md §4 for the substitutions)."""
+
+from .base import Dataset
+from .coauthorship import NETWORK_SIZE_SWEEP, generate_coauthorship_dataset
+from .realistic import REAL_DATASET_SIZE, generate_real_dataset
+from .toy import MOVIE_INITIATOR, TOY_INITIATOR, load_movie_network, load_toy_example
+
+__all__ = [
+    "Dataset",
+    "load_toy_example",
+    "load_movie_network",
+    "TOY_INITIATOR",
+    "MOVIE_INITIATOR",
+    "generate_real_dataset",
+    "REAL_DATASET_SIZE",
+    "generate_coauthorship_dataset",
+    "NETWORK_SIZE_SWEEP",
+]

@@ -1,0 +1,48 @@
+"""Common dataset container.
+
+A *dataset* in this reproduction is a social graph plus a calendar store
+plus descriptive metadata — everything a query needs.  The three concrete
+datasets (toy, realistic-194, coauthorship) all return :class:`Dataset`
+instances so the experiment harness can treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..graph.social_graph import SocialGraph
+from ..temporal.calendars import CalendarStore
+from ..types import Vertex
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A social graph, its calendars, and metadata about how it was built."""
+
+    name: str
+    graph: SocialGraph
+    calendars: CalendarStore
+    description: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def people(self) -> List[Vertex]:
+        """Everyone in the social graph."""
+        return self.graph.vertices()
+
+    def initiator_candidates(self, min_degree: int) -> List[Vertex]:
+        """People with at least ``min_degree`` friends — sensible query initiators."""
+        return [v for v in self.graph.vertices() if self.graph.degree(v) >= min_degree]
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description used by the experiment reports."""
+        return {
+            "name": self.name,
+            "people": self.graph.vertex_count,
+            "friendships": self.graph.edge_count,
+            "horizon_slots": self.calendars.horizon,
+            **self.metadata,
+        }

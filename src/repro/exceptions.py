@@ -1,0 +1,59 @@
+"""Exception hierarchy for the STGQ reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  The hierarchy mirrors the main failure modes of
+the paper's query model: malformed graphs or schedules, invalid query
+parameters, and queries that admit no feasible group.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised when a social graph is malformed or used inconsistently."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule or calendar is malformed."""
+
+
+class QueryError(ReproError):
+    """Raised when query parameters are invalid (e.g. non-positive group size)."""
+
+
+class InfeasibleQueryError(QueryError):
+    """Raised (optionally) when a query has no feasible group.
+
+    The solvers return a result object whose ``feasible`` flag is ``False``
+    by default; callers who prefer exceptions can request raising behaviour
+    via ``on_infeasible="raise"``.
+    """
+
+
+class SolverError(ReproError):
+    """Raised when an optimisation backend fails (e.g. MILP solver errors)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated or loaded."""

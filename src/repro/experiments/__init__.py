@@ -1,0 +1,57 @@
+"""Experiment harness: per-figure runners, workload construction, ablation
+studies, and reporting."""
+
+from .ablation import (
+    AblationReport,
+    AblationRow,
+    format_ablation,
+    run_sg_ablation,
+    run_stg_ablation,
+)
+from .config import FIGURE_IDS, ExperimentScale, FigureConfig, figure_config
+from .figures import (
+    run_figure,
+    run_figure_1a,
+    run_figure_1b,
+    run_figure_1c,
+    run_figure_1d,
+    run_figure_1e,
+    run_figure_1f,
+    run_figure_1g,
+    run_figure_1h,
+)
+from .reporting import format_quality_table, format_table, speedup_summary, to_csv
+from .runner import FigureSeries, Measurement, SeriesPoint, measure
+from .workloads import ego_size, pick_initiator, workload
+
+__all__ = [
+    "ExperimentScale",
+    "FigureConfig",
+    "figure_config",
+    "FIGURE_IDS",
+    "run_figure",
+    "run_figure_1a",
+    "run_figure_1b",
+    "run_figure_1c",
+    "run_figure_1d",
+    "run_figure_1e",
+    "run_figure_1f",
+    "run_figure_1g",
+    "run_figure_1h",
+    "FigureSeries",
+    "SeriesPoint",
+    "Measurement",
+    "measure",
+    "format_table",
+    "format_quality_table",
+    "to_csv",
+    "speedup_summary",
+    "workload",
+    "pick_initiator",
+    "ego_size",
+    "AblationReport",
+    "AblationRow",
+    "run_sg_ablation",
+    "run_stg_ablation",
+    "format_ablation",
+]

@@ -1,0 +1,93 @@
+"""Measurement helpers shared by the figure runners.
+
+The paper reports average running time per query; these helpers time a
+callable with ``time.perf_counter`` over a configurable number of
+repetitions and collect the result object alongside, so the figure runners
+can report both performance and solution quality from one run.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["Measurement", "SeriesPoint", "FigureSeries", "measure"]
+
+
+@dataclass
+class Measurement:
+    """Wall-clock measurement of one solver invocation."""
+
+    seconds_mean: float
+    seconds_min: float
+    seconds_max: float
+    repetitions: int
+    result: object = None
+
+    @property
+    def milliseconds(self) -> float:
+        """Mean running time in milliseconds."""
+        return self.seconds_mean * 1e3
+
+    @property
+    def nanoseconds(self) -> float:
+        """Mean running time in nanoseconds (the unit of the paper's SGQ plots)."""
+        return self.seconds_mean * 1e9
+
+
+@dataclass
+class SeriesPoint:
+    """One sweep value with the measurements of every algorithm run on it."""
+
+    sweep_value: object
+    measurements: Dict[str, Measurement] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class FigureSeries:
+    """All measurements of one figure panel."""
+
+    figure: str
+    description: str
+    sweep_name: str
+    points: List[SeriesPoint] = field(default_factory=list)
+    workload_info: Dict[str, object] = field(default_factory=dict)
+
+    def algorithms(self) -> List[str]:
+        """Names of all algorithms that appear in at least one point."""
+        names: List[str] = []
+        for point in self.points:
+            for name in point.measurements:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(self, algorithm: str) -> List[Optional[float]]:
+        """Mean seconds of ``algorithm`` across the sweep (None where missing)."""
+        result = []
+        for point in self.points:
+            m = point.measurements.get(algorithm)
+            result.append(m.seconds_mean if m else None)
+        return result
+
+
+def measure(fn: Callable[[], object], repetitions: int = 1) -> Measurement:
+    """Time ``fn`` over ``repetitions`` runs and keep the last result."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    durations: List[float] = []
+    result: object = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = fn()
+        durations.append(time.perf_counter() - start)
+    return Measurement(
+        seconds_mean=statistics.fmean(durations),
+        seconds_min=min(durations),
+        seconds_max=max(durations),
+        repetitions=repetitions,
+        result=result,
+    )

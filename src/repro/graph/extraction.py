@@ -1,0 +1,113 @@
+"""Radius graph extraction (paper §3.2.1).
+
+SGSelect's first step derives the *feasible graph* ``GF = (VF, EF)`` from the
+initiator's social graph: every vertex reachable from ``q`` via a path of at
+most ``s`` edges is kept, its adopted social distance is its ``s``-edge
+minimum distance ``d^s_{v,q}``, and the edge set is the subgraph induced by
+``VF``.  Everything else can never satisfy the social radius constraint and
+is discarded before the branch-and-bound search begins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping
+
+from ..exceptions import VertexNotFoundError
+from ..types import Vertex
+from .distance import bounded_distances
+from .social_graph import SocialGraph
+
+__all__ = ["FeasibleGraph", "extract_feasible_graph"]
+
+
+@dataclass(frozen=True)
+class FeasibleGraph:
+    """The feasible graph ``GF`` plus the adopted social distances.
+
+    Attributes
+    ----------
+    graph:
+        The induced subgraph over the feasible vertices (including ``q``).
+    source:
+        The initiator ``q``.
+    distances:
+        Mapping from every feasible vertex to its adopted social distance
+        ``d_{v,q} = d^s_{v,q}``; the source maps to ``0.0``.
+    radius:
+        The social radius constraint ``s`` used for extraction.
+    """
+
+    graph: SocialGraph
+    source: Vertex
+    distances: Mapping[Vertex, float]
+    radius: int
+
+    @property
+    def candidates(self) -> List[Vertex]:
+        """Candidate attendees: feasible vertices excluding the initiator,
+        ordered by ascending social distance (ties broken by insertion order).
+
+        This is exactly the access order SGSelect starts from.
+        """
+        others = [v for v in self.graph if v != self.source]
+        others.sort(key=lambda v: self.distances[v])
+        return others
+
+    def distance(self, v: Vertex) -> float:
+        """Adopted social distance ``d_{v,q}`` of a feasible vertex."""
+        try:
+            return self.distances[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def neighbors(self, v: Vertex) -> FrozenSet[Vertex]:
+        """Neighbour set of ``v`` inside the feasible graph."""
+        return self.graph.neighbors(v)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self.graph
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+
+def extract_feasible_graph(
+    graph: SocialGraph, source: Vertex, radius: int
+) -> FeasibleGraph:
+    """Extract the feasible graph ``GF`` for initiator ``source`` and radius ``radius``.
+
+    Parameters
+    ----------
+    graph:
+        The full social graph ``G``.
+    source:
+        The activity initiator ``q``; must be a vertex of ``graph``.
+    radius:
+        The social radius constraint ``s`` (maximum number of edges on the
+        path from ``q``).  Must be at least 1.
+
+    Returns
+    -------
+    FeasibleGraph
+        The induced subgraph over ``{v : d^s_{v,q} < inf}`` together with the
+        adopted distances.
+
+    Notes
+    -----
+    The paper stresses that the *minimum-edge* path and the *minimum-distance
+    path with at most s edges* can differ; the extraction therefore uses the
+    bounded Bellman–Ford recurrence from :mod:`repro.graph.distance` rather
+    than plain BFS distances.
+    """
+    if source not in graph:
+        raise VertexNotFoundError(source)
+    if radius < 1:
+        raise ValueError(f"radius must be >= 1, got {radius}")
+
+    dist = bounded_distances(graph, source, radius)
+    feasible = [v for v, d in dist.items() if d < math.inf]
+    sub = graph.subgraph(feasible)
+    adopted: Dict[Vertex, float] = {v: dist[v] for v in feasible}
+    return FeasibleGraph(graph=sub, source=source, distances=adopted, radius=radius)

@@ -1,0 +1,108 @@
+"""Persistence helpers for social graphs.
+
+Two plain-text formats are supported:
+
+* **Edge list** — one ``u v distance`` triple per line, ``#`` comments
+  allowed.  This matches the format of common public network datasets (the
+  paper's coauthorship source distributes edge lists), so real data can be
+  dropped in without code changes.
+* **JSON** — a self-describing document with explicit vertex and edge
+  arrays, used by the dataset registry to cache generated datasets together
+  with their schedules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import GraphError
+from .social_graph import SocialGraph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "graph_to_dict",
+    "graph_from_dict",
+    "write_json",
+    "read_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: SocialGraph, path: PathLike, header: Optional[str] = None) -> None:
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    Vertex identifiers are written with ``str()``; identifiers containing
+    whitespace are rejected because they cannot be round-tripped.
+    """
+    lines: List[str] = []
+    if header:
+        for line in header.splitlines():
+            lines.append(f"# {line}")
+    for u, v, d in graph.edges():
+        su, sv = str(u), str(v)
+        if " " in su or " " in sv or "\t" in su or "\t" in sv:
+            raise GraphError(f"vertex ids with whitespace cannot be written to edge lists: {u!r}, {v!r}")
+        lines.append(f"{su} {sv} {d!r}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: PathLike, vertex_type: type = str) -> SocialGraph:
+    """Read an edge list written by :func:`write_edge_list`.
+
+    Parameters
+    ----------
+    vertex_type:
+        Callable applied to each vertex token (e.g. ``int`` for numeric ids).
+    """
+    graph = SocialGraph()
+    for lineno, raw in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            u_tok, v_tok = parts
+            dist = 1.0
+        elif len(parts) == 3:
+            u_tok, v_tok, dist_tok = parts
+            try:
+                dist = float(dist_tok)
+            except ValueError as exc:
+                raise GraphError(f"line {lineno}: invalid distance {dist_tok!r}") from exc
+        else:
+            raise GraphError(f"line {lineno}: expected 'u v [distance]', got {raw!r}")
+        graph.add_edge(vertex_type(u_tok), vertex_type(v_tok), dist)
+    return graph
+
+
+def graph_to_dict(graph: SocialGraph) -> Dict:
+    """Serialise a graph to a JSON-compatible dict."""
+    return {
+        "vertices": [repr(v) if not isinstance(v, (str, int)) else v for v in graph.vertices()],
+        "edges": [[u, v, d] for u, v, d in graph.edges()],
+    }
+
+
+def graph_from_dict(data: Dict) -> SocialGraph:
+    """Reconstruct a graph from :func:`graph_to_dict` output."""
+    graph = SocialGraph(vertices=data.get("vertices", []))
+    for entry in data.get("edges", []):
+        if len(entry) != 3:
+            raise GraphError(f"malformed edge entry: {entry!r}")
+        u, v, d = entry
+        graph.add_edge(u, v, float(d))
+    return graph
+
+
+def write_json(graph: SocialGraph, path: PathLike, indent: int = 2) -> None:
+    """Write a graph as JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=indent), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> SocialGraph:
+    """Read a graph written by :func:`write_json`."""
+    return graph_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,128 @@
+"""k-plex utilities.
+
+The acquaintance constraint of SGQ/STGQ says every attendee may be
+unacquainted with at most ``k`` other attendees; a group satisfying it is a
+``(k+1)``-plex in the classical terminology of Seidman & Foster (a subgraph
+of ``c`` vertices in which every vertex is adjacent to at least ``c - k``
+members, counting itself).  The paper's NP-hardness proof reduces from the
+k-plex decision problem, and its related-work section contrasts SGQ with
+maximum / maximal k-plex enumeration.
+
+This module provides:
+
+* :func:`is_kplex` / :func:`violates` — constraint verification used by the
+  solvers and by the test-suite,
+* :func:`greedy_max_kplex` — a greedy heuristic for large k-plexes (a
+  related-work style baseline that ignores distances),
+* :func:`maximal_kplexes` — exhaustive enumeration for tiny graphs, used in
+  property tests to cross-check the verifier.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..types import Vertex
+from .social_graph import SocialGraph
+
+__all__ = [
+    "non_neighbor_counts",
+    "is_kplex",
+    "violates",
+    "greedy_max_kplex",
+    "maximal_kplexes",
+]
+
+
+def non_neighbor_counts(graph: SocialGraph, members: Iterable[Vertex]) -> dict:
+    """For each member, count the *other* members it shares no edge with.
+
+    This is the quantity bounded by ``k`` in the acquaintance constraint.
+    """
+    member_list = list(members)
+    member_set = set(member_list)
+    counts = {}
+    for v in member_list:
+        nbrs = graph.neighbors(v)
+        counts[v] = sum(1 for u in member_set if u != v and u not in nbrs)
+    return counts
+
+
+def is_kplex(graph: SocialGraph, members: Iterable[Vertex], k: int) -> bool:
+    """Return ``True`` when ``members`` satisfies the acquaintance constraint
+    with parameter ``k`` (each member non-adjacent to at most ``k`` others).
+
+    In k-plex terms this checks that ``members`` induces a ``(k+1)``-plex.
+    """
+    counts = non_neighbor_counts(graph, members)
+    return all(c <= k for c in counts.values())
+
+
+def violates(graph: SocialGraph, members: Iterable[Vertex], k: int) -> List[Vertex]:
+    """Return the members whose non-neighbour count exceeds ``k`` (empty when feasible)."""
+    counts = non_neighbor_counts(graph, members)
+    return [v for v, c in counts.items() if c > k]
+
+
+def greedy_max_kplex(
+    graph: SocialGraph,
+    k: int,
+    seed_vertex: Optional[Vertex] = None,
+    max_size: Optional[int] = None,
+) -> Set[Vertex]:
+    """Greedily grow a large vertex set satisfying the acquaintance constraint.
+
+    Starting from ``seed_vertex`` (or the highest-degree vertex), repeatedly
+    add the vertex with the most neighbours inside the current set, as long
+    as the acquaintance constraint remains satisfied.  This ignores social
+    distance entirely — it is the "cohesion-only" strategy the paper argues
+    is insufficient for SGQ — and is exposed for comparison experiments.
+    """
+    if graph.vertex_count == 0:
+        return set()
+    if seed_vertex is None:
+        seed_vertex = max(graph.vertices(), key=graph.degree)
+    current: Set[Vertex] = {seed_vertex}
+    candidates = set(graph.vertices()) - current
+    while candidates:
+        if max_size is not None and len(current) >= max_size:
+            break
+        # Pick the candidate with the most neighbours already in the set.
+        best = None
+        best_links = -1
+        for v in candidates:
+            links = sum(1 for u in current if graph.has_edge(u, v))
+            if links > best_links:
+                best, best_links = v, links
+        assert best is not None
+        trial = current | {best}
+        candidates.discard(best)
+        if is_kplex(graph, trial, k):
+            current = trial
+    return current
+
+
+def maximal_kplexes(
+    graph: SocialGraph, k: int, min_size: int = 1, vertices: Optional[Sequence[Vertex]] = None
+) -> List[FrozenSet[Vertex]]:
+    """Enumerate all maximal vertex sets satisfying the acquaintance constraint.
+
+    Exhaustive (exponential) — intended only for small graphs inside tests.
+    A set is reported when it satisfies the constraint, has at least
+    ``min_size`` members, and no strict superset also satisfies it.
+    """
+    verts = list(vertices) if vertices is not None else graph.vertices()
+    n = len(verts)
+    if n > 16:
+        raise ValueError("maximal_kplexes is exhaustive; refusing graphs with > 16 vertices")
+    feasible: List[FrozenSet[Vertex]] = []
+    for size in range(min_size, n + 1):
+        for combo in combinations(verts, size):
+            if is_kplex(graph, combo, k):
+                feasible.append(frozenset(combo))
+    maximal = []
+    for s in feasible:
+        if not any(s < t for t in feasible):
+            maximal.append(s)
+    return maximal

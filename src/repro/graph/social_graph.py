@@ -1,0 +1,272 @@
+"""Weighted, undirected social graph used by every query algorithm.
+
+The paper models a social network as an undirected graph ``G = (V, E)`` whose
+edge weights are *social distances*: smaller weight means the two people are
+closer.  This module provides :class:`SocialGraph`, a small adjacency-dict
+graph purpose-built for the access patterns the SGQ/STGQ algorithms need:
+
+* O(1) neighbour-set lookup (``graph.neighbors(v)`` returns a ``frozenset``),
+* O(1) edge-distance lookup,
+* cheap induced-subgraph construction (radius graph extraction),
+* deterministic iteration order (insertion order), which keeps the
+  branch-and-bound search and all experiments reproducible.
+
+``networkx`` is intentionally *not* used on the hot path; conversion helpers
+to and from :class:`networkx.Graph` are provided for interoperability and for
+cross-checking distances in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+from ..types import Vertex, WeightedEdge
+
+__all__ = ["SocialGraph"]
+
+
+class SocialGraph:
+    """An undirected graph with positive social distances on edges.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v, distance)`` triples used to initialise
+        the graph.  Vertices are created implicitly.
+    vertices:
+        Optional iterable of vertices to add up-front (useful for isolated
+        vertices that have no incident edges).
+
+    Examples
+    --------
+    >>> g = SocialGraph()
+    >>> g.add_edge("alice", "bob", 3.0)
+    >>> g.add_edge("bob", "carol", 1.5)
+    >>> sorted(g.neighbors("bob"))
+    ['alice', 'carol']
+    >>> g.distance("alice", "bob")
+    3.0
+    """
+
+    __slots__ = ("_adj", "_dist")
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[WeightedEdge]] = None,
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> None:
+        # _adj maps vertex -> dict of neighbour -> distance.  The inner dict
+        # doubles as the neighbour set and keeps insertion order.
+        self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
+        # _dist caches frozenset neighbour views; invalidated on mutation.
+        self._dist: Dict[Vertex, FrozenSet[Vertex]] = {}
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for u, v, d in edges:
+                self.add_edge(u, v, d)
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add ``v`` to the graph (no-op if already present)."""
+        if v not in self._adj:
+            self._adj[v] = {}
+            self._dist.pop(v, None)
+
+    def add_edge(self, u: Vertex, v: Vertex, distance: float) -> None:
+        """Add (or update) the undirected edge ``{u, v}`` with ``distance``.
+
+        Raises
+        ------
+        GraphError
+            If ``u == v`` (self-loops carry no meaning for social distance)
+            or if ``distance`` is not a positive, finite number.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} is not allowed")
+        dist = float(distance)
+        if not dist > 0 or dist != dist or dist == float("inf"):
+            raise GraphError(f"edge distance must be positive and finite, got {distance!r}")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u][v] = dist
+        self._adj[v][u] = dist
+        self._dist.pop(u, None)
+        self._dist.pop(v, None)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; raise :class:`EdgeNotFoundError` if absent."""
+        if u not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._dist.pop(u, None)
+        self._dist.pop(v, None)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all incident edges."""
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        for u in list(self._adj[v]):
+            del self._adj[u][v]
+            self._dist.pop(u, None)
+        del self._adj[v]
+        self._dist.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> List[Vertex]:
+        """Return all vertices in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> List[WeightedEdge]:
+        """Return all edges as ``(u, v, distance)`` triples (each edge once)."""
+        seen = set()
+        result: List[WeightedEdge] = []
+        for u, nbrs in self._adj.items():
+            for v, d in nbrs.items():
+                key = (u, v) if id(u) <= id(v) else (v, u)
+                # Use a frozenset key to deduplicate regardless of id ordering.
+                fkey = frozenset((u, v))
+                if fkey in seen:
+                    continue
+                seen.add(fkey)
+                result.append((u, v, d))
+        return result
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` when the undirected edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> FrozenSet[Vertex]:
+        """Return the neighbour set of ``v`` as a cached ``frozenset``."""
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        cached = self._dist.get(v)
+        if cached is None:
+            cached = frozenset(self._adj[v])
+            self._dist[v] = cached
+        return cached
+
+    def adjacency(self, v: Vertex) -> Mapping[Vertex, float]:
+        """Return the neighbour -> distance mapping for ``v`` (read-only view)."""
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        return dict(self._adj[v])
+
+    def degree(self, v: Vertex) -> int:
+        """Return the number of neighbours of ``v``."""
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        return len(self._adj[v])
+
+    def distance(self, u: Vertex, v: Vertex) -> float:
+        """Return the social distance of the edge ``{u, v}``.
+
+        Raises :class:`EdgeNotFoundError` when the edge does not exist.
+        """
+        if u not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        return self._adj[u][v]
+
+    def total_distance(self) -> float:
+        """Return the sum of distances over all edges."""
+        return sum(d for _, _, d in self.edges())
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[Vertex]) -> "SocialGraph":
+        """Return the subgraph induced by ``vertices``.
+
+        Vertices not present in the graph are ignored, which makes the
+        operation convenient when filtering candidate sets.
+        """
+        keep = [v for v in vertices if v in self._adj]
+        keep_set = set(keep)
+        sub = SocialGraph(vertices=keep)
+        for u in keep:
+            for v, d in self._adj[u].items():
+                if v in keep_set and not sub.has_edge(u, v):
+                    sub.add_edge(u, v, d)
+        return sub
+
+    def copy(self) -> "SocialGraph":
+        """Return a deep copy of the graph."""
+        clone = SocialGraph(vertices=self._adj)
+        for u, v, d in self.edges():
+            clone.add_edge(u, v, d)
+        return clone
+
+    # ------------------------------------------------------------------
+    # interoperability
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` with ``weight`` edge attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        for u, v, d in self.edges():
+            g.add_edge(u, v, weight=d)
+        return g
+
+    @classmethod
+    def from_networkx(cls, graph, weight: str = "weight", default: float = 1.0) -> "SocialGraph":
+        """Build a :class:`SocialGraph` from a networkx graph.
+
+        Parameters
+        ----------
+        graph:
+            Any networkx graph; edge direction and multi-edges are collapsed.
+        weight:
+            Edge attribute carrying the social distance.
+        default:
+            Distance used for edges missing the ``weight`` attribute.
+        """
+        sg = cls(vertices=graph.nodes())
+        for u, v, data in graph.edges(data=True):
+            if u == v:
+                continue
+            sg.add_edge(u, v, float(data.get(weight, default)))
+        return sg
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SocialGraph):
+            return NotImplemented
+        if set(self._adj) != set(other._adj):
+            return False
+        for u, nbrs in self._adj.items():
+            if nbrs != other._adj[u]:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SocialGraph(vertices={self.vertex_count}, edges={self.edge_count})"

@@ -1,0 +1,141 @@
+"""Calendar store: schedules for a whole population.
+
+The query processing system of the paper assumes it "can look up the
+available time of the user" (via web collaboration tools such as Google
+Calendar).  :class:`CalendarStore` plays that role: it maps each person to a
+:class:`~repro.temporal.schedule.Schedule` over a common horizon, and offers
+the joint-availability queries STGSelect and the baselines need.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Union
+
+from ..exceptions import ScheduleError
+from ..types import Vertex
+from .schedule import Schedule
+from .slots import SlotRange
+
+__all__ = ["CalendarStore"]
+
+PathLike = Union[str, Path]
+
+
+class CalendarStore:
+    """Mapping from person to availability schedule over a shared horizon."""
+
+    __slots__ = ("_horizon", "_schedules")
+
+    def __init__(self, horizon: int, schedules: Optional[Mapping[Vertex, Schedule]] = None) -> None:
+        if horizon < 1:
+            raise ScheduleError(f"horizon must be >= 1, got {horizon}")
+        self._horizon = int(horizon)
+        self._schedules: Dict[Vertex, Schedule] = {}
+        if schedules:
+            for person, sched in schedules.items():
+                self.set(person, sched)
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Planning horizon shared by every schedule in the store."""
+        return self._horizon
+
+    def set(self, person: Vertex, schedule: Schedule) -> None:
+        """Register or replace ``person``'s schedule."""
+        if schedule.horizon != self._horizon:
+            raise ScheduleError(
+                f"schedule horizon {schedule.horizon} does not match store horizon {self._horizon}"
+            )
+        self._schedules[person] = schedule
+
+    def get(self, person: Vertex) -> Schedule:
+        """Return ``person``'s schedule.
+
+        People without a registered schedule are treated as never available —
+        the conservative interpretation of a friend who does not share their
+        calendar (see the paper's footnote 1 on privacy settings).
+        """
+        sched = self._schedules.get(person)
+        if sched is None:
+            return Schedule.never_available(self._horizon)
+        return sched
+
+    def __contains__(self, person: Vertex) -> bool:
+        return person in self._schedules
+
+    def __len__(self) -> int:
+        return len(self._schedules)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._schedules)
+
+    def people(self) -> List[Vertex]:
+        """Return everyone with a registered schedule."""
+        return list(self._schedules)
+
+    # ------------------------------------------------------------------
+    # availability queries
+    # ------------------------------------------------------------------
+    def is_available(self, person: Vertex, slot: int) -> bool:
+        """Is ``person`` free in ``slot``?"""
+        return self.get(person).is_available(slot)
+
+    def is_available_range(self, person: Vertex, period: SlotRange) -> bool:
+        """Is ``person`` free for every slot of ``period``?"""
+        return self.get(person).is_available_range(period)
+
+    def joint_schedule(self, people: Iterable[Vertex]) -> Schedule:
+        """Intersection of the schedules of ``people`` (everyone free)."""
+        joint = Schedule.always_available(self._horizon)
+        for person in people:
+            joint = joint.intersect(self.get(person))
+        return joint
+
+    def common_windows(self, people: Iterable[Vertex], length: int) -> List[SlotRange]:
+        """All periods of ``length`` consecutive slots where everyone is free."""
+        return self.joint_schedule(people).free_windows(length)
+
+    def available_people(self, period: SlotRange, candidates: Optional[Iterable[Vertex]] = None) -> Set[Vertex]:
+        """People (optionally restricted to ``candidates``) free for all of ``period``."""
+        pool = candidates if candidates is not None else self._schedules
+        return {p for p in pool if self.is_available_range(p, period)}
+
+    def availability_matrix(self, people: Iterable[Vertex]) -> Dict[Vertex, List[int]]:
+        """Return ``{person: [available slot ids]}`` — handy for reporting."""
+        return {p: self.get(p).available_slots() for p in people}
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Serialise to a JSON-compatible dict."""
+        return {
+            "horizon": self._horizon,
+            "schedules": {str(p): self._schedules[p].available_slots() for p in self._schedules},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, vertex_type: type = str) -> "CalendarStore":
+        """Reconstruct a store from :meth:`to_dict` output."""
+        horizon = int(data["horizon"])
+        store = cls(horizon)
+        for person, slots in data.get("schedules", {}).items():
+            store.set(vertex_type(person), Schedule(horizon, slots))
+        return store
+
+    def write_json(self, path: PathLike, indent: int = 2) -> None:
+        """Write the store to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=indent), encoding="utf-8")
+
+    @classmethod
+    def read_json(cls, path: PathLike, vertex_type: type = str) -> "CalendarStore":
+        """Read a store written by :meth:`write_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")), vertex_type)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CalendarStore(people={len(self._schedules)}, horizon={self._horizon})"

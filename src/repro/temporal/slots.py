@@ -1,0 +1,103 @@
+"""Time-slot arithmetic.
+
+The paper discretises time into fixed-length slots (its experiments use
+half-hour slots over schedules of one to seven days).  Slots are identified
+by 1-based integer IDs in the paper's prose — the pivot-slot lemma ("a time
+slot is a pivot time slot if the ID of the slot is ``i*m``") relies on that —
+so the library keeps the same 1-based convention throughout its public API.
+
+:class:`SlotRange` represents a contiguous, inclusive interval of slots and
+is used for activity periods (``m`` consecutive slots) and for the candidate
+windows around pivot slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..exceptions import ScheduleError
+
+__all__ = ["SlotRange", "slots_per_day", "day_of_slot", "slot_label"]
+
+#: Number of half-hour slots in one day; used by the day-structured
+#: schedule generators and the schedule-length experiment (Fig 1(f)).
+SLOTS_PER_DAY_DEFAULT = 48
+
+
+@dataclass(frozen=True, order=True)
+class SlotRange:
+    """An inclusive range ``[start, end]`` of 1-based slot IDs."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise ScheduleError(f"slot IDs are 1-based; got start={self.start}")
+        if self.end < self.start:
+            raise ScheduleError(f"empty slot range [{self.start}, {self.end}]")
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.end + 1))
+
+    def __contains__(self, slot: object) -> bool:
+        return isinstance(slot, int) and self.start <= slot <= self.end
+
+    def contains_range(self, other: "SlotRange") -> bool:
+        """Return ``True`` when ``other`` lies entirely inside this range."""
+        return self.start <= other.start and other.end <= self.end
+
+    def intersect(self, other: "SlotRange") -> Optional["SlotRange"]:
+        """Return the overlap with ``other``, or ``None`` when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return SlotRange(lo, hi)
+
+    def shift(self, offset: int) -> "SlotRange":
+        """Return the range translated by ``offset`` slots."""
+        return SlotRange(self.start + offset, self.end + offset)
+
+    def windows(self, length: int) -> List["SlotRange"]:
+        """Enumerate all sub-ranges of exactly ``length`` slots."""
+        if length < 1:
+            raise ScheduleError(f"window length must be >= 1, got {length}")
+        if length > len(self):
+            return []
+        return [SlotRange(t, t + length - 1) for t in range(self.start, self.end - length + 2)]
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """Return ``(start, end)``."""
+        return (self.start, self.end)
+
+
+def slots_per_day(slot_minutes: int = 30) -> int:
+    """Number of slots per day for a given slot granularity in minutes."""
+    if slot_minutes <= 0 or 24 * 60 % slot_minutes != 0:
+        raise ScheduleError(f"slot_minutes must divide a day evenly, got {slot_minutes}")
+    return 24 * 60 // slot_minutes
+
+
+def day_of_slot(slot: int, per_day: int = SLOTS_PER_DAY_DEFAULT) -> int:
+    """Return the 1-based day index containing 1-based slot ``slot``."""
+    if slot < 1:
+        raise ScheduleError(f"slot IDs are 1-based; got {slot}")
+    return (slot - 1) // per_day + 1
+
+
+def slot_label(slot: int, per_day: int = SLOTS_PER_DAY_DEFAULT, slot_minutes: int = 30) -> str:
+    """Human-readable label for a slot, e.g. ``'day 2 09:30-10:00'``."""
+    day = day_of_slot(slot, per_day)
+    index_in_day = (slot - 1) % per_day
+    start_min = index_in_day * slot_minutes
+    end_min = start_min + slot_minutes
+    return (
+        f"day {day} "
+        f"{start_min // 60:02d}:{start_min % 60:02d}-"
+        f"{end_min // 60:02d}:{end_min % 60:02d}"
+    )

@@ -1,0 +1,30 @@
+"""Shared type aliases used across the ``repro`` package.
+
+The library is deliberately permissive about what a "vertex" is: any hashable
+object works (ints for synthetic datasets, strings for the paper's toy
+Yahoo! Movies example).  The aliases below document intent rather than
+enforce structure.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Tuple
+
+#: A vertex identifier in a social graph.  Any hashable object.
+Vertex = Hashable
+
+#: An undirected edge expressed as an ordered pair of vertices.
+Edge = Tuple[Vertex, Vertex]
+
+#: A weighted edge: ``(u, v, distance)``.
+WeightedEdge = Tuple[Vertex, Vertex, float]
+
+#: Mapping from a vertex to its social distance from the initiator.
+DistanceMap = Mapping[Vertex, float]
+
+#: An iterable of vertices, used for group candidates.
+VertexSet = Iterable[Vertex]
+
+#: Index of a time slot (0-based inside the library, 1-based in the paper's
+#: prose; conversion helpers live in :mod:`repro.temporal.slots`).
+SlotIndex = int

@@ -1,0 +1,97 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures intentionally build *small* instances: the correctness of the
+algorithms is established by cross-checking solvers against each other and
+against brute force, which is only affordable on small graphs.  Larger,
+generator-produced datasets are exercised by the integration tests and the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import load_movie_network, load_toy_example
+from repro.graph import SocialGraph
+from repro.temporal import CalendarStore, Schedule
+
+
+@pytest.fixture
+def toy_dataset():
+    """The paper's Figure-3 worked example (Examples 2 and 3)."""
+    return load_toy_example()
+
+
+@pytest.fixture
+def movie_dataset():
+    """The paper's Figure-2 celebrity network (Example 1, approximate weights)."""
+    return load_movie_network()
+
+
+@pytest.fixture
+def triangle_graph():
+    """Initiator ``q`` with two mutually acquainted friends."""
+    graph = SocialGraph()
+    graph.add_edge("q", "a", 1.0)
+    graph.add_edge("q", "b", 2.0)
+    graph.add_edge("a", "b", 1.5)
+    return graph
+
+
+@pytest.fixture
+def star_graph():
+    """Initiator ``q`` with four friends who do not know each other."""
+    graph = SocialGraph()
+    for name, dist in [("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 4.0)]:
+        graph.add_edge("q", name, dist)
+    return graph
+
+
+@pytest.fixture
+def two_hop_graph():
+    """A path ``q - a - b`` plus a direct expensive edge ``q - b``.
+
+    The minimum-distance path from ``q`` to ``b`` uses two edges (1 + 1 = 2),
+    while the one-edge path costs 10 — the case the paper uses to motivate
+    the i-edge minimum distance.
+    """
+    graph = SocialGraph()
+    graph.add_edge("q", "a", 1.0)
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("q", "b", 10.0)
+    return graph
+
+
+def make_random_graph(seed: int, n: int = 10, edge_prob: float = 0.4) -> SocialGraph:
+    """Seeded random graph with integer distances (shared by several tests)."""
+    rng = random.Random(seed)
+    graph = SocialGraph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_prob:
+                graph.add_edge(u, v, rng.randint(1, 20))
+    return graph
+
+
+def make_random_calendars(seed: int, people, horizon: int = 10, availability: float = 0.6) -> CalendarStore:
+    """Seeded random calendar store (shared by several tests)."""
+    rng = random.Random(seed)
+    store = CalendarStore(horizon)
+    for person in people:
+        free = [t for t in range(1, horizon + 1) if rng.random() < availability]
+        store.set(person, Schedule(horizon, free))
+    return store
+
+
+@pytest.fixture
+def random_graph_factory():
+    """Factory fixture returning :func:`make_random_graph`."""
+    return make_random_graph
+
+
+@pytest.fixture
+def random_calendar_factory():
+    """Factory fixture returning :func:`make_random_calendars`."""
+    return make_random_calendars

@@ -1,0 +1,144 @@
+"""Unit tests for solution verification."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    SGQuery,
+    STGQuery,
+    check_sg_solution,
+    check_stg_solution,
+    group_total_distance,
+    observed_acquaintance,
+)
+from repro.temporal import SlotRange
+
+
+class TestGroupTotalDistance:
+    def test_excludes_initiator(self, toy_dataset):
+        total = group_total_distance(toy_dataset.graph, "v7", ["v7", "v2", "v3"], radius=1)
+        assert total == pytest.approx(35.0)
+
+    def test_unreachable_member_is_infinite(self, toy_dataset):
+        total = group_total_distance(toy_dataset.graph, "v2", ["v2", "v8"], radius=1)
+        assert total == math.inf
+
+    def test_multi_hop_distance(self, two_hop_graph):
+        assert group_total_distance(two_hop_graph, "q", ["q", "b"], radius=2) == 2.0
+        assert group_total_distance(two_hop_graph, "q", ["q", "b"], radius=1) == 10.0
+
+
+class TestObservedAcquaintance:
+    def test_clique_is_zero(self, toy_dataset):
+        assert observed_acquaintance(toy_dataset.graph, ["v2", "v4", "v7"]) == 0
+
+    def test_star_group(self, star_graph):
+        assert observed_acquaintance(star_graph, ["q", "a", "b", "c"]) == 2
+
+    def test_empty_group(self, star_graph):
+        assert observed_acquaintance(star_graph, []) == 0
+
+
+class TestCheckSGSolution:
+    def query(self):
+        return SGQuery(initiator="v7", group_size=4, radius=1, acquaintance=1)
+
+    def test_valid_solution(self, toy_dataset):
+        report = check_sg_solution(toy_dataset.graph, self.query(), ["v7", "v2", "v3", "v4"])
+        assert report.ok
+        assert bool(report) is True
+        assert report.total_distance == pytest.approx(62.0)
+        assert report.violations == []
+
+    def test_wrong_size(self, toy_dataset):
+        report = check_sg_solution(toy_dataset.graph, self.query(), ["v7", "v2"])
+        assert not report.ok
+        assert not report.size_ok
+        assert any("members" in v for v in report.violations)
+
+    def test_missing_initiator(self, toy_dataset):
+        report = check_sg_solution(toy_dataset.graph, self.query(), ["v2", "v3", "v4", "v6"])
+        assert not report.initiator_included
+
+    def test_radius_violation(self, toy_dataset):
+        query = SGQuery(initiator="v2", group_size=4, radius=1, acquaintance=3)
+        # v8 is two hops from v2, so it violates the radius constraint.
+        report = check_sg_solution(toy_dataset.graph, query, ["v2", "v7", "v4", "v8"])
+        assert not report.radius_ok
+
+    def test_acquaintance_violation(self, toy_dataset):
+        query = SGQuery(initiator="v7", group_size=4, radius=1, acquaintance=0)
+        report = check_sg_solution(toy_dataset.graph, query, ["v7", "v2", "v3", "v4"])
+        assert not report.acquaintance_ok
+        assert report.size_ok
+
+
+class TestCheckSTGSolution:
+    def query(self, m=3):
+        return STGQuery(initiator="v7", group_size=4, radius=1, acquaintance=1, activity_length=m)
+
+    def test_valid_solution(self, toy_dataset):
+        report = check_stg_solution(
+            toy_dataset.graph,
+            toy_dataset.calendars,
+            self.query(),
+            ["v7", "v2", "v4", "v6"],
+            SlotRange(2, 4),
+        )
+        assert report.ok
+        assert report.availability_ok
+
+    def test_missing_period(self, toy_dataset):
+        report = check_stg_solution(
+            toy_dataset.graph, toy_dataset.calendars, self.query(), ["v7", "v2", "v4", "v6"], None
+        )
+        assert not report.ok
+        assert not report.availability_ok
+
+    def test_wrong_period_length(self, toy_dataset):
+        report = check_stg_solution(
+            toy_dataset.graph,
+            toy_dataset.calendars,
+            self.query(),
+            ["v7", "v2", "v4", "v6"],
+            SlotRange(2, 3),
+        )
+        assert not report.availability_ok
+
+    def test_member_busy_in_period(self, toy_dataset):
+        # v3 is busy in slot 4, so the period [2, 4] does not work for it.
+        report = check_stg_solution(
+            toy_dataset.graph,
+            toy_dataset.calendars,
+            self.query(),
+            ["v7", "v2", "v3", "v4"],
+            SlotRange(2, 4),
+        )
+        assert not report.availability_ok
+        assert any("available" in v for v in report.violations)
+
+    def test_period_past_horizon(self, toy_dataset):
+        report = check_stg_solution(
+            toy_dataset.graph,
+            toy_dataset.calendars,
+            self.query(),
+            ["v7", "v2", "v4", "v6"],
+            SlotRange(6, 8),
+        )
+        assert not report.availability_ok
+
+    def test_social_violations_propagate(self, toy_dataset):
+        # {v7, v2, v3, v4} violates k = 0 (v2 and v3 are strangers) while all
+        # four are free in slot 2, so only the acquaintance check must fail.
+        query = STGQuery(initiator="v7", group_size=4, radius=1, acquaintance=0, activity_length=1)
+        report = check_stg_solution(
+            toy_dataset.graph,
+            toy_dataset.calendars,
+            query,
+            ["v7", "v2", "v3", "v4"],
+            SlotRange(2, 2),
+        )
+        assert not report.ok
+        assert not report.acquaintance_ok
+        assert report.availability_ok

@@ -1,0 +1,113 @@
+"""Unit tests for the access-ordering measures U(VS), A(VS), X(VS) and the
+selection conditions (paper §3.2.2 and §4.2, Definitions 2, 3 and 5)."""
+
+import pytest
+
+from repro.core import (
+    exterior_expansibility,
+    exterior_expansibility_condition,
+    interior_unfamiliarity,
+    interior_unfamiliarity_condition,
+    temporal_extensibility,
+    temporal_extensibility_condition,
+)
+from repro.temporal import SlotRange
+
+
+class TestInteriorUnfamiliarity:
+    def test_clique_is_zero(self, toy_dataset):
+        assert interior_unfamiliarity(toy_dataset.graph, ["v2", "v4", "v6", "v7"]) == 0
+
+    def test_single_vertex(self, toy_dataset):
+        assert interior_unfamiliarity(toy_dataset.graph, ["v7"]) == 0
+
+    def test_paper_example_values(self, toy_dataset):
+        """Example 2: U({v7, v2}) = 0, U({v2, v6, v7, v3}) = 2."""
+        graph = toy_dataset.graph
+        assert interior_unfamiliarity(graph, ["v7", "v2"]) == 0
+        assert interior_unfamiliarity(graph, ["v2", "v7", "v3"]) == 1
+        assert interior_unfamiliarity(graph, ["v2", "v6", "v7", "v3"]) == 2
+
+    def test_star_group(self, star_graph):
+        assert interior_unfamiliarity(star_graph, ["q", "a", "b", "c"]) == 2
+
+
+class TestExteriorExpansibility:
+    def test_paper_example_value(self, toy_dataset):
+        """Example 2, footnote 4: A({v7, v2}) = 3 with VA = {v3, v4, v6, v8}."""
+        graph = toy_dataset.graph
+        value = exterior_expansibility(graph, ["v7", "v2"], ["v3", "v4", "v6", "v8"], acquaintance=1)
+        assert value == 3
+
+    def test_second_paper_value(self, toy_dataset):
+        """Example 2: A({v2, v3, v7}) = 1 with VA = {v4, v6, v8}."""
+        graph = toy_dataset.graph
+        value = exterior_expansibility(graph, ["v2", "v3", "v7"], ["v4", "v6", "v8"], acquaintance=1)
+        assert value == 1
+
+    def test_no_candidates_left(self, toy_dataset):
+        value = exterior_expansibility(toy_dataset.graph, ["v7", "v2"], [], acquaintance=1)
+        assert value == 1  # only the residual quota remains
+
+    def test_empty_members(self, toy_dataset):
+        assert exterior_expansibility(toy_dataset.graph, [], ["v2"], acquaintance=1) == 0
+
+
+class TestTemporalExtensibility:
+    def test_none_means_maximally_infeasible(self):
+        assert temporal_extensibility(None, 3) == -3
+
+    def test_slack(self):
+        assert temporal_extensibility(SlotRange(1, 5), 3) == 2
+        assert temporal_extensibility(SlotRange(2, 4), 3) == 0
+        assert temporal_extensibility(SlotRange(2, 3), 3) == -1
+
+
+class TestConditions:
+    def test_interior_condition_theta_zero_is_acquaintance_constraint(self):
+        assert interior_unfamiliarity_condition(1, new_size=4, group_size=4, acquaintance=1, theta=0)
+        assert not interior_unfamiliarity_condition(2, new_size=4, group_size=4, acquaintance=1, theta=0)
+
+    def test_interior_condition_stricter_for_larger_theta(self):
+        # Example 2: U = 1 > 1 * (3/4)^2, so the condition fails at theta = 2.
+        assert not interior_unfamiliarity_condition(1, new_size=3, group_size=4, acquaintance=1, theta=2)
+        assert interior_unfamiliarity_condition(0, new_size=3, group_size=4, acquaintance=1, theta=2)
+
+    def test_interior_condition_full_group(self):
+        assert interior_unfamiliarity_condition(1, new_size=4, group_size=4, acquaintance=1, theta=2)
+
+    def test_exterior_condition(self):
+        assert exterior_expansibility_condition(3, new_size=2, group_size=4)
+        assert exterior_expansibility_condition(2, new_size=2, group_size=4)
+        assert not exterior_expansibility_condition(1, new_size=2, group_size=4)
+        # A completed group always satisfies the condition.
+        assert exterior_expansibility_condition(0, new_size=4, group_size=4)
+
+    def test_temporal_condition_paper_example(self):
+        """Example 3: X({v7, v2}) = 2 >= (3-1) * (2/4)^2 = 0.5 holds."""
+        assert temporal_extensibility_condition(
+            2, new_size=2, group_size=4, activity_length=3, phi=2, phi_threshold=6
+        )
+
+    def test_temporal_condition_negative_extensibility(self):
+        assert not temporal_extensibility_condition(
+            -1, new_size=4, group_size=4, activity_length=3, phi=2, phi_threshold=6
+        )
+
+    def test_temporal_condition_threshold_degenerates_to_feasibility(self):
+        assert temporal_extensibility_condition(
+            0, new_size=2, group_size=4, activity_length=5, phi=6, phi_threshold=6
+        )
+        assert not temporal_extensibility_condition(
+            -1, new_size=2, group_size=4, activity_length=5, phi=6, phi_threshold=6
+        )
+
+    def test_temporal_condition_relaxes_with_phi(self):
+        # ext = 1: fails at phi = 1 (RHS = 2 * (2/4) = 1? -> holds with equality),
+        # use a stricter example: ext = 0 with m = 5.
+        assert not temporal_extensibility_condition(
+            0, new_size=2, group_size=4, activity_length=5, phi=1, phi_threshold=6
+        )
+        assert temporal_extensibility_condition(
+            0, new_size=2, group_size=4, activity_length=5, phi=5, phi_threshold=6
+        ) == (0 >= 4 * (2 / 4) ** 5)

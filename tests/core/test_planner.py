@@ -1,0 +1,115 @@
+"""Unit tests for the high-level ActivityPlanner API."""
+
+import pytest
+
+from repro import ActivityPlanner, SGQuery, STGQuery
+from repro.exceptions import QueryError
+
+
+class TestFindGroup:
+    def test_default_algorithm(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph)
+        result = planner.find_group(initiator="v7", group_size=4, radius=1, acquaintance=1)
+        assert result.feasible
+        assert result.total_distance == pytest.approx(62.0)
+
+    @pytest.mark.parametrize("algorithm", ["sgselect", "baseline", "ip"])
+    def test_all_algorithms_agree(self, toy_dataset, algorithm):
+        planner = ActivityPlanner(toy_dataset.graph)
+        result = planner.find_group(
+            initiator="v7", group_size=4, radius=1, acquaintance=1, algorithm=algorithm
+        )
+        assert result.feasible
+        assert result.total_distance == pytest.approx(62.0)
+
+    def test_unknown_algorithm_rejected(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph)
+        with pytest.raises(QueryError):
+            planner.find_group(initiator="v7", group_size=4, algorithm="magic")
+
+    def test_calendars_not_needed_for_social_queries(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph, calendars=None)
+        result = planner.find_group(initiator="v7", group_size=3, radius=1, acquaintance=1)
+        assert result.feasible
+
+
+class TestFindGroupAndTime:
+    def test_default_algorithm(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph, toy_dataset.calendars)
+        result = planner.find_group_and_time(
+            initiator="v7", group_size=4, activity_length=3, radius=1, acquaintance=1
+        )
+        assert result.feasible
+        assert result.members == frozenset({"v2", "v4", "v6", "v7"})
+
+    @pytest.mark.parametrize("algorithm", ["stgselect", "baseline", "ip"])
+    def test_exact_algorithms_agree(self, toy_dataset, algorithm):
+        planner = ActivityPlanner(toy_dataset.graph, toy_dataset.calendars)
+        result = planner.find_group_and_time(
+            initiator="v7",
+            group_size=4,
+            activity_length=3,
+            radius=1,
+            acquaintance=1,
+            algorithm=algorithm,
+        )
+        assert result.feasible
+        assert result.total_distance == pytest.approx(67.0)
+
+    def test_pcarrange_algorithm(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph, toy_dataset.calendars)
+        result = planner.find_group_and_time(
+            initiator="v7",
+            group_size=4,
+            activity_length=3,
+            radius=1,
+            acquaintance=4,
+            algorithm="pcarrange",
+        )
+        assert result.feasible
+        assert result.solver == "PCArrange"
+
+    def test_requires_calendars(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph)
+        with pytest.raises(QueryError):
+            planner.find_group_and_time(initiator="v7", group_size=4, activity_length=3)
+
+    def test_unknown_algorithm_rejected(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph, toy_dataset.calendars)
+        with pytest.raises(QueryError):
+            planner.find_group_and_time(
+                initiator="v7", group_size=4, activity_length=3, algorithm="magic"
+            )
+
+
+class TestVerify:
+    def test_verify_sg_result(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph, toy_dataset.calendars)
+        query = SGQuery("v7", 4, 1, 1)
+        result = planner.find_group(initiator="v7", group_size=4, radius=1, acquaintance=1)
+        assert planner.verify(query, result).ok
+
+    def test_verify_stg_result(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph, toy_dataset.calendars)
+        query = STGQuery("v7", 4, 1, 1, 3)
+        result = planner.find_group_and_time(
+            initiator="v7", group_size=4, activity_length=3, radius=1, acquaintance=1
+        )
+        assert planner.verify(query, result).ok
+
+    def test_verify_stg_requires_calendars(self, toy_dataset):
+        planner = ActivityPlanner(toy_dataset.graph)
+        query = STGQuery("v7", 4, 1, 1, 3)
+        result = ActivityPlanner(toy_dataset.graph, toy_dataset.calendars).find_group_and_time(
+            initiator="v7", group_size=4, activity_length=3, radius=1, acquaintance=1
+        )
+        with pytest.raises(QueryError):
+            planner.verify(query, result)
+
+    def test_verify_detects_bad_result(self, toy_dataset):
+        from repro.core import GroupResult
+
+        planner = ActivityPlanner(toy_dataset.graph)
+        query = SGQuery("v7", 4, 1, 0)
+        fake = GroupResult(True, frozenset({"v7", "v2", "v3", "v8"}), 60.0)
+        assert not planner.verify(query, fake).ok

@@ -1,0 +1,86 @@
+"""Unit tests for STGArrange (quality comparison against PCArrange)."""
+
+import math
+
+import pytest
+
+from repro.core import PCArrange, STGArrange, STGQuery
+from repro.graph import SocialGraph
+from repro.temporal import CalendarStore, Schedule
+
+
+class TestSTGArrange:
+    def test_outcome_on_toy_dataset(self, toy_dataset):
+        outcome = STGArrange(toy_dataset.graph, toy_dataset.calendars).compare(
+            initiator="v7", group_size=4, radius=1, activity_length=3
+        )
+        assert outcome.pcarrange.feasible
+        assert outcome.stgarrange.feasible
+        assert outcome.stgarrange_k is not None
+        # STGSelect at the chosen k is never worse than manual coordination.
+        assert outcome.stgarrange.total_distance <= outcome.pcarrange.total_distance
+        # And the chosen k is never larger than the observed k of PCArrange.
+        assert outcome.stgarrange_k <= outcome.pcarrange_k
+        assert outcome.distance_improvement >= 0.0
+        assert outcome.k_improvement is not None and outcome.k_improvement >= 0
+
+    def test_finds_smaller_k_when_manual_coordination_is_careless(self):
+        """A case engineered so closest-first coordination produces a loose
+        group (k_h = 2) while the optimal mutually-acquainted group costs no
+        more: STGArrange must report a strictly smaller k."""
+        graph = SocialGraph()
+        # Two close friends who know nobody else, and a slightly farther
+        # clique of three.
+        graph.add_edge("q", "loner1", 1.0)
+        graph.add_edge("q", "loner2", 2.0)
+        graph.add_edge("q", "c1", 3.0)
+        graph.add_edge("q", "c2", 3.0)
+        graph.add_edge("q", "c3", 3.0)
+        graph.add_edge("c1", "c2", 1.0)
+        graph.add_edge("c1", "c3", 1.0)
+        graph.add_edge("c2", "c3", 1.0)
+        horizon = 6
+        cal = CalendarStore(horizon)
+        for person in graph.vertices():
+            cal.set(person, Schedule.always_available(horizon))
+
+        outcome = STGArrange(graph, cal).compare(
+            initiator="q", group_size=4, radius=1, activity_length=2
+        )
+        # Manual coordination grabs the two loners -> observed k = 2.
+        assert outcome.pcarrange_k == 2
+        assert outcome.pcarrange.total_distance == pytest.approx(1.0 + 2.0 + 3.0)
+        # STGSelect cannot match that distance with a smaller k here, so the
+        # reported k equals the first k whose optimum is no worse.
+        assert outcome.stgarrange.total_distance <= outcome.pcarrange.total_distance
+        assert outcome.stgarrange_k <= outcome.pcarrange_k
+
+    def test_pcarrange_infeasible_falls_back_to_any_feasible_group(self, toy_dataset):
+        """When manual coordination fails outright, STGArrange reports the
+        first k that admits any feasible group."""
+        outcome = STGArrange(toy_dataset.graph, toy_dataset.calendars).compare(
+            initiator="v7", group_size=5, radius=1, activity_length=3
+        )
+        assert not outcome.pcarrange.feasible
+        # The optimal 5-person group {v2, v3, v4, v6, v7} has no common
+        # 3-slot window either, so both approaches fail here.
+        assert not outcome.stgarrange.feasible
+        assert outcome.stgarrange_k is None
+        assert math.isnan(outcome.distance_improvement)
+        assert outcome.k_improvement is None
+
+    def test_max_k_limits_search(self, toy_dataset):
+        outcome = STGArrange(toy_dataset.graph, toy_dataset.calendars).compare(
+            initiator="v7", group_size=4, radius=1, activity_length=3, max_k=0
+        )
+        # k = 0 already admits the clique {v2, v4, v6, v7}; the search stops there.
+        assert outcome.stgarrange_k == 0
+
+    def test_consistency_with_direct_solvers(self, toy_dataset):
+        outcome = STGArrange(toy_dataset.graph, toy_dataset.calendars).compare(
+            initiator="v7", group_size=4, radius=1, activity_length=3
+        )
+        pc = PCArrange(toy_dataset.graph, toy_dataset.calendars).solve(
+            STGQuery("v7", 4, 1, 4, 3)
+        )
+        assert outcome.pcarrange.total_distance == pytest.approx(pc.total_distance)

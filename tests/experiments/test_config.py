@@ -1,0 +1,46 @@
+"""Unit tests for the experiment configuration."""
+
+import pytest
+
+from repro.experiments import FIGURE_IDS, ExperimentScale, figure_config
+
+
+class TestFigureConfig:
+    def test_every_figure_has_a_config(self):
+        for figure in FIGURE_IDS:
+            config = figure_config(figure)
+            assert config.figure == figure
+            assert len(config.sweep_values) >= 2
+            assert config.description
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            figure_config("1z")
+
+    def test_scales_nest(self):
+        """Smoke sweeps are no longer than paper-shape, which are no longer
+        than full-scale sweeps."""
+        for figure in FIGURE_IDS:
+            smoke = figure_config(figure, ExperimentScale.SMOKE)
+            shape = figure_config(figure, ExperimentScale.PAPER_SHAPE)
+            full = figure_config(figure, ExperimentScale.FULL)
+            assert len(smoke.sweep_values) <= len(shape.sweep_values) <= len(full.sweep_values)
+
+    def test_paper_parameters_preserved_in_notes(self):
+        config = figure_config("1a")
+        assert "k = 2" in config.notes and "s = 1" in config.notes
+
+    def test_ip_only_in_figures_1a_and_1d(self):
+        with_ip = {f for f in FIGURE_IDS if figure_config(f).include_ip}
+        assert with_ip == {"1a", "1d"}
+
+    def test_quality_panels_have_no_baseline(self):
+        assert not figure_config("1g").include_baseline
+        assert not figure_config("1h").include_baseline
+
+    def test_figure_1d_sweeps_paper_network_sizes(self):
+        config = figure_config("1d", ExperimentScale.FULL)
+        assert tuple(config.sweep_values) == (194, 800, 3200, 12800)
+
+    def test_accepts_fig_prefix(self):
+        assert figure_config("fig1e").figure == "1e"

@@ -1,0 +1,101 @@
+"""Unit tests for the measurement helpers and result reporting."""
+
+import pytest
+
+from repro.experiments import (
+    FigureSeries,
+    Measurement,
+    SeriesPoint,
+    format_quality_table,
+    format_table,
+    measure,
+    speedup_summary,
+    to_csv,
+)
+
+
+def make_series():
+    series = FigureSeries(figure="1a", description="demo", sweep_name="p")
+    for p, fast, slow in [(3, 0.001, 0.01), (4, 0.002, 0.08)]:
+        point = SeriesPoint(sweep_value=p)
+        point.measurements["SGSelect"] = Measurement(fast, fast, fast, 1)
+        point.measurements["Baseline"] = Measurement(slow, slow, slow, 1)
+        series.points.append(point)
+    return series
+
+
+class TestMeasure:
+    def test_returns_result_and_statistics(self):
+        measurement = measure(lambda: 41 + 1, repetitions=3)
+        assert measurement.result == 42
+        assert measurement.repetitions == 3
+        assert measurement.seconds_min <= measurement.seconds_mean <= measurement.seconds_max
+        assert measurement.milliseconds == pytest.approx(measurement.seconds_mean * 1e3)
+        assert measurement.nanoseconds == pytest.approx(measurement.seconds_mean * 1e9)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repetitions=0)
+
+
+class TestFigureSeries:
+    def test_algorithms_and_series(self):
+        series = make_series()
+        assert series.algorithms() == ["SGSelect", "Baseline"]
+        assert series.series("SGSelect") == [0.001, 0.002]
+        assert series.series("Missing") == [None, None]
+
+
+class TestReporting:
+    def test_format_table_contains_all_rows(self):
+        text = format_table(make_series())
+        assert "Figure 1a" in text
+        assert "SGSelect" in text and "Baseline" in text
+        assert "3" in text and "4" in text
+        assert "ms" in text or "us" in text
+
+    def test_format_table_handles_missing_measurements(self):
+        series = make_series()
+        series.points[0].measurements.pop("Baseline")
+        text = format_table(series)
+        assert "-" in text
+
+    def test_quality_table(self):
+        series = FigureSeries(figure="1g", description="quality", sweep_name="p")
+        point = SeriesPoint(sweep_value=3)
+        point.measurements["STGArrange"] = Measurement(0.1, 0.1, 0.1, 1)
+        point.extra.update(
+            {
+                "pcarrange_feasible": True,
+                "pcarrange_k": 2,
+                "pcarrange_distance": 30.0,
+                "stgarrange_feasible": True,
+                "stgarrange_k": 1,
+                "stgarrange_distance": 28.0,
+            }
+        )
+        series.points.append(point)
+        text = format_quality_table(series)
+        assert "PCArrange k" in text
+        assert "28.0" in text and "30.0" in text
+
+    def test_quality_table_infeasible_pcarrange(self):
+        series = FigureSeries(figure="1g", description="quality", sweep_name="p")
+        point = SeriesPoint(sweep_value=9)
+        point.extra.update({"pcarrange_feasible": False, "stgarrange_k": None})
+        series.points.append(point)
+        assert "infeasible" in format_quality_table(series)
+
+    def test_to_csv(self):
+        csv_text = to_csv(make_series())
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("figure,sweep_name,sweep_value,algorithm")
+        assert len(lines) == 1 + 4  # two points x two algorithms
+
+    def test_speedup_summary(self):
+        summary = speedup_summary(make_series(), fast="SGSelect", slow="Baseline")
+        assert summary[3] == pytest.approx(10.0)
+        assert summary[4] == pytest.approx(40.0)
+
+    def test_speedup_summary_missing_algorithm(self):
+        assert speedup_summary(make_series(), fast="SGSelect", slow="Missing") == {}

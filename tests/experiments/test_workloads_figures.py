@@ -1,0 +1,98 @@
+"""Tests for workload construction, the figure runners (smoke scale) and the
+ablation harness."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    ego_size,
+    format_ablation,
+    pick_initiator,
+    run_figure,
+    run_sg_ablation,
+    run_stg_ablation,
+    workload,
+)
+
+
+class TestWorkloads:
+    def test_small_workload_uses_community_generator(self):
+        dataset = workload(network_size=80, schedule_days=1, seed=7)
+        assert dataset.graph.vertex_count == 80
+        assert dataset.name == "real-194"
+
+    def test_large_workload_uses_coauthorship_generator(self):
+        dataset = workload(network_size=600, schedule_days=1, seed=7)
+        assert dataset.graph.vertex_count == 600
+        assert dataset.name.startswith("coauthorship")
+
+    def test_workload_is_memoised(self):
+        a = workload(network_size=80, schedule_days=1, seed=7)
+        b = workload(network_size=80, schedule_days=1, seed=7)
+        assert a is b
+
+    def test_ego_size(self):
+        dataset = workload(network_size=80, schedule_days=1, seed=7)
+        initiator = dataset.metadata["initiator"]
+        assert ego_size(dataset, initiator, 1) == dataset.graph.degree(initiator)
+        assert ego_size(dataset, initiator, 2) >= ego_size(dataset, initiator, 1)
+
+    def test_pick_initiator_respects_bounds(self):
+        dataset = workload(network_size=80, schedule_days=1, seed=7)
+        initiator = pick_initiator(dataset, radius=1, min_candidates=5, max_candidates=30)
+        assert 5 <= ego_size(dataset, initiator, 1) <= 30
+
+    def test_pick_initiator_falls_back_to_largest_ego(self):
+        dataset = workload(network_size=80, schedule_days=1, seed=7)
+        initiator = pick_initiator(dataset, radius=1, min_candidates=10_000)
+        degrees = [dataset.graph.degree(v) for v in dataset.people]
+        assert dataset.graph.degree(initiator) == max(degrees)
+
+
+@pytest.mark.parametrize("figure", ["1a", "1b", "1c", "1e", "1f", "1g", "1h"])
+def test_figure_runners_smoke(figure):
+    """Every panel runner completes at smoke scale and yields measurements for
+    each sweep value."""
+    series = run_figure(figure, scale=ExperimentScale.SMOKE)
+    assert series.figure == figure
+    assert len(series.points) >= 2
+    for point in series.points:
+        assert point.measurements or point.extra
+    # Performance panels must include the paper's protagonist algorithm.
+    if figure in ("1a", "1b", "1c"):
+        assert "SGSelect" in series.algorithms()
+        assert "Baseline" in series.algorithms()
+    if figure in ("1e", "1f"):
+        assert "STGSelect" in series.algorithms()
+    if figure in ("1g", "1h"):
+        for point in series.points:
+            assert "stgarrange_k" in point.extra
+
+
+def test_figure_runner_unknown_panel():
+    with pytest.raises(KeyError):
+        run_figure("9z")
+
+
+class TestAblation:
+    def test_sg_ablation_variants_agree_on_optimum(self):
+        dataset = workload(network_size=80, schedule_days=1, seed=7)
+        initiator = pick_initiator(dataset, radius=1, min_candidates=8, max_candidates=24)
+        report = run_sg_ablation(dataset, initiator, group_size=4, radius=1, acquaintance=2)
+        distances = {row.total_distance for row in report.rows if row.feasible}
+        assert len(distances) <= 1  # every variant returns the same optimum
+        assert {row.variant for row in report.rows} >= {"full", "no-distance-pruning"}
+        text = format_ablation(report)
+        assert "variant" in text and "full" in text
+
+    def test_stg_ablation_includes_temporal_strategies(self):
+        dataset = workload(network_size=80, schedule_days=1, seed=7)
+        initiator = pick_initiator(dataset, radius=1, min_candidates=8, max_candidates=24)
+        report = run_stg_ablation(
+            dataset, initiator, group_size=3, radius=1, acquaintance=2, activity_length=2
+        )
+        variants = {row.variant for row in report.rows}
+        assert "no-pivot-slots" in variants
+        assert "no-availability-pruning" in variants
+        distances = {round(row.total_distance, 6) for row in report.rows if row.feasible}
+        assert len(distances) <= 1

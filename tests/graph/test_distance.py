@@ -1,0 +1,154 @@
+"""Unit tests for edge-bounded shortest distances (Definition 1 of the paper)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph import (
+    SocialGraph,
+    bounded_distance_table,
+    bounded_distances,
+    bounded_shortest_path,
+    hop_counts,
+)
+
+
+class TestBoundedDistances:
+    def test_source_distance_is_zero(self, triangle_graph):
+        dist = bounded_distances(triangle_graph, "q", 1)
+        assert dist["q"] == 0.0
+
+    def test_direct_neighbors(self, triangle_graph):
+        dist = bounded_distances(triangle_graph, "q", 1)
+        assert dist["a"] == 1.0
+        assert dist["b"] == 2.0
+
+    def test_edge_bound_restricts_paths(self, two_hop_graph):
+        one_edge = bounded_distances(two_hop_graph, "q", 1)
+        two_edges = bounded_distances(two_hop_graph, "q", 2)
+        # With one edge allowed only the expensive direct edge reaches b.
+        assert one_edge["b"] == 10.0
+        # With two edges the cheaper q-a-b path wins.
+        assert two_edges["b"] == 2.0
+
+    def test_unreachable_vertex_is_infinite(self):
+        graph = SocialGraph(vertices=["q", "island"])
+        graph.add_edge("q", "a", 1.0)
+        dist = bounded_distances(graph, "q", 3)
+        assert dist["island"] == math.inf
+
+    def test_unknown_source_raises(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            bounded_distances(triangle_graph, "zzz", 1)
+
+    def test_invalid_radius_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            bounded_distances(triangle_graph, "q", 0)
+
+    def test_monotone_in_radius(self, toy_dataset):
+        graph = toy_dataset.graph
+        d1 = bounded_distances(graph, "v7", 1)
+        d2 = bounded_distances(graph, "v7", 2)
+        d3 = bounded_distances(graph, "v7", 3)
+        for v in graph:
+            assert d2[v] <= d1[v]
+            assert d3[v] <= d2[v]
+
+    def test_matches_networkx_when_radius_large(self, toy_dataset):
+        """With a radius at least |V| - 1 the bound is vacuous and the result
+        must equal the ordinary shortest-path distance."""
+        import networkx as nx
+
+        graph = toy_dataset.graph
+        ours = bounded_distances(graph, "v7", graph.vertex_count)
+        reference = nx.single_source_dijkstra_path_length(graph.to_networkx(), "v7")
+        for v, d in reference.items():
+            assert ours[v] == pytest.approx(d)
+
+    def test_distance_can_exceed_min_edge_path(self, two_hop_graph):
+        """The minimum-edge path (1 edge, cost 10) differs from the bounded
+        minimum-distance path (2 edges, cost 2) — the paper's motivating case."""
+        hops = hop_counts(two_hop_graph, "q")
+        assert hops["b"] == 1
+        dist = bounded_distances(two_hop_graph, "q", 2)
+        assert dist["b"] == 2.0
+
+
+class TestDistanceTable:
+    def test_table_has_radius_plus_one_rows(self, triangle_graph):
+        table = bounded_distance_table(triangle_graph, "q", 3)
+        assert len(table) == 4
+
+    def test_table_row_zero(self, triangle_graph):
+        table = bounded_distance_table(triangle_graph, "q", 1)
+        assert table[0]["q"] == 0.0
+        assert table[0]["a"] == math.inf
+
+    def test_table_rows_monotone(self, toy_dataset):
+        table = bounded_distance_table(toy_dataset.graph, "v7", 3)
+        for i in range(1, len(table)):
+            for v in toy_dataset.graph:
+                assert table[i][v] <= table[i - 1][v]
+
+    def test_table_final_row_matches_bounded_distances(self, toy_dataset):
+        graph = toy_dataset.graph
+        table = bounded_distance_table(graph, "v7", 2)
+        direct = bounded_distances(graph, "v7", 2)
+        assert table[2] == direct
+
+    def test_negative_radius_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            bounded_distance_table(triangle_graph, "q", -1)
+
+
+class TestShortestPath:
+    def test_path_endpoints_and_cost(self, two_hop_graph):
+        path, cost = bounded_shortest_path(two_hop_graph, "q", "b", 2)
+        assert path[0] == "q" and path[-1] == "b"
+        assert cost == 2.0
+        assert path == ["q", "a", "b"]
+
+    def test_path_respects_edge_bound(self, two_hop_graph):
+        path, cost = bounded_shortest_path(two_hop_graph, "q", "b", 1)
+        assert path == ["q", "b"]
+        assert cost == 10.0
+
+    def test_unreachable_returns_none(self):
+        graph = SocialGraph(vertices=["q", "x"])
+        graph.add_edge("q", "a", 1.0)
+        assert bounded_shortest_path(graph, "q", "x", 3) is None
+
+    def test_path_to_source(self, triangle_graph):
+        path, cost = bounded_shortest_path(triangle_graph, "q", "q", 1)
+        assert path == ["q"]
+        assert cost == 0.0
+
+    def test_path_cost_matches_edge_sum(self, toy_dataset):
+        graph = toy_dataset.graph
+        for target in ["v2", "v4", "v6"]:
+            path, cost = bounded_shortest_path(graph, "v7", target, 2)
+            edge_sum = sum(graph.distance(path[i], path[i + 1]) for i in range(len(path) - 1))
+            assert cost == pytest.approx(edge_sum)
+            assert len(path) - 1 <= 2
+
+
+class TestHopCounts:
+    def test_hop_counts_bfs(self, toy_dataset):
+        hops = hop_counts(toy_dataset.graph, "v7")
+        assert hops["v7"] == 0
+        assert hops["v2"] == 1
+        assert hops["v8"] == 1
+
+    def test_hop_counts_limited(self, two_hop_graph):
+        hops = hop_counts(two_hop_graph, "q", max_edges=1)
+        assert set(hops) == {"q", "a", "b"}
+        hops0_graph = SocialGraph()
+        hops0_graph.add_edge("q", "a", 1.0)
+        hops0_graph.add_edge("a", "b", 1.0)
+        limited = hop_counts(hops0_graph, "q", max_edges=1)
+        assert "b" not in limited
+
+    def test_hop_counts_unknown_source(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            hop_counts(triangle_graph, "zzz")

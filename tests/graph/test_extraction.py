@@ -1,0 +1,88 @@
+"""Unit tests for radius graph extraction (feasible graph GF, paper §3.2.1)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph import SocialGraph, bounded_distances, extract_feasible_graph
+
+
+class TestExtraction:
+    def test_source_always_included(self, star_graph):
+        feasible = extract_feasible_graph(star_graph, "q", 1)
+        assert "q" in feasible
+        assert feasible.distance("q") == 0.0
+
+    def test_radius_one_keeps_direct_friends(self, toy_dataset):
+        feasible = extract_feasible_graph(toy_dataset.graph, "v7", 1)
+        assert set(feasible.graph.vertices()) == {"v7", "v2", "v3", "v4", "v6", "v8"}
+
+    def test_distances_are_bounded_minimum(self, toy_dataset):
+        feasible = extract_feasible_graph(toy_dataset.graph, "v7", 1)
+        assert feasible.distance("v2") == 17.0
+        assert feasible.distance("v3") == 18.0
+        assert feasible.distance("v4") == 27.0
+        assert feasible.distance("v6") == 23.0
+        assert feasible.distance("v8") == 25.0
+
+    def test_unreachable_vertices_excluded(self):
+        graph = SocialGraph(vertices=["q", "far"])
+        graph.add_edge("q", "a", 1.0)
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("b", "far", 1.0)
+        feasible = extract_feasible_graph(graph, "q", 2)
+        assert "far" not in feasible
+        assert "b" in feasible
+
+    def test_induced_edges_preserved(self, toy_dataset):
+        feasible = extract_feasible_graph(toy_dataset.graph, "v7", 1)
+        assert feasible.graph.has_edge("v2", "v4")
+        assert feasible.graph.has_edge("v2", "v6")
+        assert not feasible.graph.has_edge("v2", "v3")
+
+    def test_candidates_sorted_by_distance(self, toy_dataset):
+        feasible = extract_feasible_graph(toy_dataset.graph, "v7", 1)
+        candidates = feasible.candidates
+        assert candidates[0] == "v2"
+        distances = [feasible.distance(v) for v in candidates]
+        assert distances == sorted(distances)
+        assert "v7" not in candidates
+
+    def test_distance_uses_multi_edge_path_when_cheaper(self, two_hop_graph):
+        feasible = extract_feasible_graph(two_hop_graph, "q", 2)
+        assert feasible.distance("b") == 2.0
+
+    def test_radius_limits_path_length_not_distance(self, two_hop_graph):
+        feasible = extract_feasible_graph(two_hop_graph, "q", 1)
+        # b is still reachable directly, but only via the expensive edge.
+        assert feasible.distance("b") == 10.0
+
+    def test_unknown_source_raises(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            extract_feasible_graph(triangle_graph, "zzz", 1)
+
+    def test_invalid_radius_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            extract_feasible_graph(triangle_graph, "q", 0)
+
+    def test_neighbors_and_contains_and_len(self, toy_dataset):
+        feasible = extract_feasible_graph(toy_dataset.graph, "v7", 1)
+        assert "v2" in feasible
+        assert len(feasible) == 6
+        assert "v4" in feasible.neighbors("v2")
+
+    def test_distance_lookup_unknown_vertex(self, toy_dataset):
+        feasible = extract_feasible_graph(toy_dataset.graph, "v7", 1)
+        with pytest.raises(VertexNotFoundError):
+            feasible.distance("nobody")
+
+    def test_consistent_with_bounded_distances(self, random_graph_factory):
+        for seed in range(5):
+            graph = random_graph_factory(seed, n=12, edge_prob=0.3)
+            dist = bounded_distances(graph, 0, 2)
+            feasible = extract_feasible_graph(graph, 0, 2)
+            expected = {v for v, d in dist.items() if d < math.inf}
+            assert set(feasible.graph.vertices()) == expected
+            for v in feasible.graph.vertices():
+                assert feasible.distance(v) == dist[v]

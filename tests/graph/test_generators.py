@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic social-network generators."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    coauthorship_style_network,
+    community_social_network,
+    connected_components,
+    ensure_connected_to,
+    erdos_renyi_network,
+    interaction_to_distance,
+    small_world_network,
+)
+
+
+class TestInteractionToDistance:
+    def test_zero_frequency_maps_to_scale(self):
+        assert interaction_to_distance(0.0, scale=30.0) == pytest.approx(30.0)
+
+    def test_monotone_decreasing(self):
+        distances = [interaction_to_distance(f) for f in (0, 1, 5, 20, 100)]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_always_positive(self):
+        assert interaction_to_distance(1e6) > 0
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            interaction_to_distance(-1.0)
+
+
+class TestCommunityNetwork:
+    def test_size_and_connectivity(self):
+        graph = community_social_network(n_people=80, seed=1)
+        assert graph.vertex_count == 80
+        assert all(graph.degree(v) >= 1 for v in graph)
+
+    def test_deterministic_with_seed(self):
+        a = community_social_network(n_people=60, seed=5)
+        b = community_social_network(n_people=60, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = community_social_network(n_people=60, seed=5)
+        b = community_social_network(n_people=60, seed=6)
+        assert a != b
+
+    def test_positive_finite_distances(self):
+        graph = community_social_network(n_people=60, seed=2)
+        for _, _, d in graph.edges():
+            assert 0 < d < math.inf
+
+    def test_community_structure_denser_than_random(self):
+        """Intra-community wiring should give substantially more edges per
+        person than the sparse inter-community probability alone."""
+        graph = community_social_network(n_people=100, seed=3)
+        mean_degree = 2 * graph.edge_count / graph.vertex_count
+        assert mean_degree > 3.0
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(GraphError):
+            community_social_network(n_people=1)
+
+    def test_invalid_community_count_rejected(self):
+        with pytest.raises(GraphError):
+            community_social_network(n_people=10, n_communities=0)
+
+
+class TestCoauthorshipNetwork:
+    def test_size(self):
+        graph = coauthorship_style_network(n_people=400, seed=1)
+        assert graph.vertex_count == 400
+
+    def test_no_isolated_vertices(self):
+        graph = coauthorship_style_network(n_people=300, seed=2)
+        assert all(graph.degree(v) >= 1 for v in graph)
+
+    def test_deterministic_with_seed(self):
+        a = coauthorship_style_network(n_people=200, seed=9)
+        b = coauthorship_style_network(n_people=200, seed=9)
+        assert a == b
+
+    def test_heavy_tail_degrees(self):
+        """Preferential attachment should create hubs well above the mean degree."""
+        graph = coauthorship_style_network(n_people=500, seed=4)
+        degrees = [graph.degree(v) for v in graph]
+        mean = sum(degrees) / len(degrees)
+        assert max(degrees) > 2.5 * mean
+
+    def test_scales_to_thousands(self):
+        graph = coauthorship_style_network(n_people=3000, seed=7)
+        assert graph.vertex_count == 3000
+        assert graph.edge_count > 3000
+
+
+class TestSmallWorldAndRandom:
+    def test_small_world_degree(self):
+        graph = small_world_network(n_people=50, nearest_neighbors=4, seed=1)
+        assert graph.vertex_count == 50
+        assert all(graph.degree(v) >= 1 for v in graph)
+
+    def test_small_world_odd_neighbors_rejected(self):
+        with pytest.raises(GraphError):
+            small_world_network(n_people=20, nearest_neighbors=3)
+
+    def test_erdos_renyi_density(self):
+        graph = erdos_renyi_network(n_people=60, edge_prob=0.2, seed=1)
+        expected = 0.2 * 60 * 59 / 2
+        assert 0.5 * expected < graph.edge_count < 1.5 * expected
+
+    def test_erdos_renyi_connects_isolated(self):
+        graph = erdos_renyi_network(n_people=40, edge_prob=0.01, seed=1)
+        assert all(graph.degree(v) >= 1 for v in graph)
+
+
+class TestEnsureConnectedTo:
+    def test_densifies_hub(self):
+        graph = community_social_network(n_people=80, seed=11)
+        ensure_connected_to(graph, hub=0, min_degree=20, seed=1)
+        assert graph.degree(0) >= 20
+
+    def test_no_change_when_already_dense(self):
+        graph = community_social_network(n_people=80, seed=11)
+        ensure_connected_to(graph, hub=0, min_degree=20, seed=1)
+        edges_before = graph.edge_count
+        ensure_connected_to(graph, hub=0, min_degree=5, seed=2)
+        assert graph.edge_count == edges_before

@@ -1,0 +1,82 @@
+"""Unit tests for graph persistence (edge lists and JSON)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import SocialGraph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, toy_dataset, tmp_path):
+        path = tmp_path / "toy.edges"
+        write_edge_list(toy_dataset.graph, path)
+        back = read_edge_list(path)
+        assert back == toy_dataset.graph
+
+    def test_round_trip_with_int_vertices(self, tmp_path):
+        graph = SocialGraph(edges=[(1, 2, 3.0), (2, 3, 4.5)])
+        path = tmp_path / "ints.edges"
+        write_edge_list(graph, path)
+        back = read_edge_list(path, vertex_type=int)
+        assert back == graph
+
+    def test_header_written_as_comments(self, triangle_graph, tmp_path):
+        path = tmp_path / "hdr.edges"
+        write_edge_list(triangle_graph, path, header="first line\nsecond line")
+        text = path.read_text()
+        assert text.startswith("# first line\n# second line\n")
+        assert read_edge_list(path) == triangle_graph
+
+    def test_two_column_lines_default_distance(self, tmp_path):
+        path = tmp_path / "plain.edges"
+        path.write_text("a b\nb c\n")
+        graph = read_edge_list(path)
+        assert graph.distance("a", "b") == 1.0
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "messy.edges"
+        path.write_text("# comment\n\na b 2.0\n")
+        graph = read_edge_list(path)
+        assert graph.edge_count == 1
+
+    def test_invalid_distance_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("a b notanumber\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_wrong_column_count_raises(self, tmp_path):
+        path = tmp_path / "bad2.edges"
+        path.write_text("a b 1.0 extra\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_whitespace_vertex_rejected_on_write(self, tmp_path):
+        graph = SocialGraph(edges=[("a b", "c", 1.0)])
+        with pytest.raises(GraphError):
+            write_edge_list(graph, tmp_path / "bad.edges")
+
+
+class TestJson:
+    def test_round_trip(self, toy_dataset, tmp_path):
+        path = tmp_path / "toy.json"
+        write_json(toy_dataset.graph, path)
+        assert read_json(path) == toy_dataset.graph
+
+    def test_dict_round_trip_preserves_isolated_vertices(self):
+        graph = SocialGraph(edges=[("a", "b", 1.0)], vertices=["lonely"])
+        back = graph_from_dict(graph_to_dict(graph))
+        assert "lonely" in back
+        assert back == graph
+
+    def test_malformed_edge_entry(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"vertices": ["a", "b"], "edges": [["a", "b"]]})

@@ -1,0 +1,109 @@
+"""Unit tests for the k-plex / acquaintance-constraint utilities."""
+
+import pytest
+
+from repro.graph import (
+    SocialGraph,
+    greedy_max_kplex,
+    is_kplex,
+    maximal_kplexes,
+    non_neighbor_counts,
+    violates,
+)
+
+
+def complete_graph(n: int) -> SocialGraph:
+    graph = SocialGraph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v, 1.0)
+    return graph
+
+
+class TestNonNeighborCounts:
+    def test_clique_has_zero_strangers(self):
+        graph = complete_graph(4)
+        counts = non_neighbor_counts(graph, [0, 1, 2, 3])
+        assert all(c == 0 for c in counts.values())
+
+    def test_star_counts(self, star_graph):
+        counts = non_neighbor_counts(star_graph, ["q", "a", "b", "c"])
+        assert counts["q"] == 0
+        assert counts["a"] == 2
+        assert counts["b"] == 2
+
+    def test_single_member(self, star_graph):
+        assert non_neighbor_counts(star_graph, ["q"]) == {"q": 0}
+
+
+class TestIsKplex:
+    def test_clique_is_0_feasible(self):
+        assert is_kplex(complete_graph(5), range(5), 0)
+
+    def test_star_requires_large_k(self, star_graph):
+        members = ["q", "a", "b", "c"]
+        assert not is_kplex(star_graph, members, 1)
+        assert is_kplex(star_graph, members, 2)
+
+    def test_paper_example_group(self, toy_dataset):
+        graph = toy_dataset.graph
+        # {v2, v3, v4, v7}: v2 and v3 are strangers, everyone else connected.
+        assert is_kplex(graph, ["v2", "v3", "v4", "v7"], 1)
+        assert not is_kplex(graph, ["v2", "v3", "v4", "v7"], 0)
+        # {v2, v3, v6, v7} is infeasible even for k = 1 (v3 has two strangers).
+        assert not is_kplex(graph, ["v2", "v3", "v6", "v7"], 1)
+
+    def test_violates_lists_offenders(self, toy_dataset):
+        offenders = violates(toy_dataset.graph, ["v2", "v3", "v6", "v7"], 1)
+        assert offenders == ["v3"]
+
+    def test_violates_empty_when_feasible(self, toy_dataset):
+        assert violates(toy_dataset.graph, ["v2", "v4", "v6", "v7"], 1) == []
+
+
+class TestGreedyMaxKplex:
+    def test_complete_graph_returns_everything(self):
+        graph = complete_graph(6)
+        result = greedy_max_kplex(graph, k=0)
+        assert result == set(range(6))
+
+    def test_respects_constraint(self, toy_dataset):
+        graph = toy_dataset.graph
+        for k in (0, 1, 2):
+            result = greedy_max_kplex(graph, k)
+            assert is_kplex(graph, result, k)
+
+    def test_max_size_cap(self):
+        graph = complete_graph(8)
+        result = greedy_max_kplex(graph, k=0, max_size=3)
+        assert len(result) == 3
+
+    def test_seed_vertex_respected(self, toy_dataset):
+        result = greedy_max_kplex(toy_dataset.graph, k=1, seed_vertex="v8")
+        assert "v8" in result
+
+    def test_empty_graph(self):
+        assert greedy_max_kplex(SocialGraph(), k=1) == set()
+
+
+class TestMaximalKplexes:
+    def test_triangle_single_maximal_clique(self, triangle_graph):
+        result = maximal_kplexes(triangle_graph, k=0)
+        assert frozenset({"q", "a", "b"}) in result
+
+    def test_all_results_feasible_and_maximal(self, toy_dataset):
+        graph = toy_dataset.graph
+        result = maximal_kplexes(graph, k=1, min_size=2)
+        for group in result:
+            assert is_kplex(graph, group, 1)
+        for group in result:
+            assert not any(group < other for other in result)
+
+    def test_refuses_large_graphs(self):
+        graph = complete_graph(20)
+        with pytest.raises(ValueError):
+            maximal_kplexes(graph, k=1)
+
+    def test_min_size_filter(self, triangle_graph):
+        result = maximal_kplexes(triangle_graph, k=0, min_size=3)
+        assert all(len(group) >= 3 for group in result)

@@ -1,0 +1,111 @@
+"""Unit tests for graph metrics."""
+
+import math
+
+import pytest
+
+from repro.graph import (
+    SocialGraph,
+    average_clustering,
+    average_degree,
+    clustering_coefficient,
+    community_social_network,
+    connected_components,
+    degree_histogram,
+    density,
+    largest_component,
+    summarize,
+)
+
+
+def complete_graph(n: int) -> SocialGraph:
+    graph = SocialGraph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v, 1.0)
+    return graph
+
+
+class TestDegreeMetrics:
+    def test_degree_histogram(self, star_graph):
+        hist = degree_histogram(star_graph)
+        assert hist == {4: 1, 1: 4}
+
+    def test_average_degree_star(self, star_graph):
+        assert average_degree(star_graph) == pytest.approx(2 * 4 / 5)
+
+    def test_average_degree_empty(self):
+        assert average_degree(SocialGraph()) == 0.0
+
+    def test_density_complete_graph(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_density_small_graphs(self):
+        assert density(SocialGraph(vertices=["a"])) == 0.0
+
+
+class TestClustering:
+    def test_clustering_of_triangle(self, triangle_graph):
+        assert clustering_coefficient(triangle_graph, "q") == pytest.approx(1.0)
+
+    def test_clustering_of_star_center(self, star_graph):
+        assert clustering_coefficient(star_graph, "q") == 0.0
+
+    def test_clustering_degree_below_two(self, star_graph):
+        assert clustering_coefficient(star_graph, "a") == 0.0
+
+    def test_average_clustering_complete(self):
+        assert average_clustering(complete_graph(4)) == pytest.approx(1.0)
+
+    def test_average_clustering_with_sample(self):
+        graph = complete_graph(6)
+        assert average_clustering(graph, sample=[0, 1]) == pytest.approx(1.0)
+
+    def test_average_clustering_empty(self):
+        assert average_clustering(SocialGraph()) == 0.0
+
+
+class TestComponents:
+    def test_single_component(self, triangle_graph):
+        comps = connected_components(triangle_graph)
+        assert len(comps) == 1
+        assert comps[0] == {"q", "a", "b"}
+
+    def test_multiple_components(self):
+        graph = SocialGraph(vertices=["lonely"])
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("c", "d", 1.0)
+        comps = connected_components(graph)
+        assert len(comps) == 3
+        assert largest_component(graph) in ({"a", "b"}, {"c", "d"})
+
+    def test_largest_component_empty_graph(self):
+        assert largest_component(SocialGraph()) == set()
+
+
+class TestSummary:
+    def test_summary_fields(self, toy_dataset):
+        summary = summarize(toy_dataset.graph)
+        assert summary.vertex_count == 6
+        assert summary.edge_count == 9
+        assert summary.component_count == 1
+        assert summary.largest_component_size == 6
+        assert summary.max_degree == 5
+        assert summary.min_edge_distance == 14.0
+        assert summary.max_edge_distance == 29.0
+
+    def test_summary_as_dict_round_trip(self, toy_dataset):
+        summary = summarize(toy_dataset.graph)
+        d = summary.as_dict()
+        assert d["vertex_count"] == 6
+        assert set(d) >= {"density", "average_degree", "average_clustering"}
+
+    def test_summary_empty_graph(self):
+        summary = summarize(SocialGraph())
+        assert summary.vertex_count == 0
+        assert math.isnan(summary.mean_edge_distance)
+
+    def test_summary_samples_clustering_on_large_graph(self):
+        graph = community_social_network(n_people=120, seed=3)
+        summary = summarize(graph, clustering_sample=30)
+        assert 0.0 <= summary.average_clustering <= 1.0

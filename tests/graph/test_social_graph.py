@@ -1,0 +1,175 @@
+"""Unit tests for the SocialGraph adjacency structure."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph import SocialGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = SocialGraph()
+        assert len(graph) == 0
+        assert graph.vertex_count == 0
+        assert graph.edge_count == 0
+        assert graph.vertices() == []
+        assert graph.edges() == []
+
+    def test_init_from_edges_and_vertices(self):
+        graph = SocialGraph(edges=[("a", "b", 1.0)], vertices=["c"])
+        assert set(graph.vertices()) == {"a", "b", "c"}
+        assert graph.edge_count == 1
+        assert graph.degree("c") == 0
+
+    def test_add_edge_creates_vertices(self):
+        graph = SocialGraph()
+        graph.add_edge(1, 2, 3.5)
+        assert 1 in graph and 2 in graph
+        assert graph.distance(1, 2) == 3.5
+        assert graph.distance(2, 1) == 3.5
+
+    def test_add_edge_updates_distance(self):
+        graph = SocialGraph()
+        graph.add_edge("a", "b", 2.0)
+        graph.add_edge("a", "b", 7.0)
+        assert graph.distance("a", "b") == 7.0
+        assert graph.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        graph = SocialGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "a", 1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_distance_rejected(self, bad):
+        graph = SocialGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "b", bad)
+
+    def test_add_vertex_idempotent(self):
+        graph = SocialGraph()
+        graph.add_vertex("x")
+        graph.add_vertex("x")
+        assert graph.vertex_count == 1
+
+
+class TestQueries:
+    def test_neighbors(self, triangle_graph):
+        assert triangle_graph.neighbors("q") == frozenset({"a", "b"})
+        assert triangle_graph.neighbors("a") == frozenset({"q", "b"})
+
+    def test_neighbors_unknown_vertex(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.neighbors("zzz")
+
+    def test_degree(self, star_graph):
+        assert star_graph.degree("q") == 4
+        assert star_graph.degree("a") == 1
+
+    def test_degree_unknown_vertex(self, star_graph):
+        with pytest.raises(VertexNotFoundError):
+            star_graph.degree("zzz")
+
+    def test_has_edge(self, triangle_graph):
+        assert triangle_graph.has_edge("a", "b")
+        assert triangle_graph.has_edge("b", "a")
+        assert not triangle_graph.has_edge("a", "zzz")
+
+    def test_distance_missing_edge(self, star_graph):
+        with pytest.raises(EdgeNotFoundError):
+            star_graph.distance("a", "b")
+
+    def test_edges_are_unique(self, triangle_graph):
+        edges = triangle_graph.edges()
+        assert len(edges) == 3
+        pairs = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(pairs) == 3
+
+    def test_total_distance(self, triangle_graph):
+        assert triangle_graph.total_distance() == pytest.approx(4.5)
+
+    def test_adjacency_returns_copy(self, triangle_graph):
+        adj = triangle_graph.adjacency("q")
+        adj["zzz"] = 1.0
+        assert "zzz" not in triangle_graph.neighbors("q")
+
+    def test_iteration_in_insertion_order(self):
+        graph = SocialGraph(vertices=["c", "a", "b"])
+        assert list(graph) == ["c", "a", "b"]
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle_graph):
+        triangle_graph.remove_edge("a", "b")
+        assert not triangle_graph.has_edge("a", "b")
+        assert triangle_graph.edge_count == 2
+
+    def test_remove_missing_edge(self, triangle_graph):
+        with pytest.raises(EdgeNotFoundError):
+            triangle_graph.remove_edge("a", "zzz")
+
+    def test_remove_vertex(self, triangle_graph):
+        triangle_graph.remove_vertex("a")
+        assert "a" not in triangle_graph
+        assert not triangle_graph.has_edge("q", "a")
+        assert triangle_graph.edge_count == 1
+
+    def test_remove_missing_vertex(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.remove_vertex("zzz")
+
+    def test_neighbor_cache_invalidated_on_mutation(self, triangle_graph):
+        assert "b" in triangle_graph.neighbors("a")
+        triangle_graph.remove_edge("a", "b")
+        assert "b" not in triangle_graph.neighbors("a")
+
+
+class TestDerivedGraphs:
+    def test_subgraph_induces_edges(self, toy_dataset):
+        graph = toy_dataset.graph
+        sub = graph.subgraph(["v7", "v2", "v4"])
+        assert set(sub.vertices()) == {"v7", "v2", "v4"}
+        assert sub.has_edge("v2", "v4")
+        assert sub.has_edge("v7", "v2")
+        assert not sub.has_edge("v7", "v6")
+
+    def test_subgraph_ignores_unknown_vertices(self, triangle_graph):
+        sub = triangle_graph.subgraph(["a", "zzz"])
+        assert set(sub.vertices()) == {"a"}
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_edge("a", "b")
+        assert triangle_graph.has_edge("a", "b")
+        assert not clone.has_edge("a", "b")
+
+    def test_equality(self, triangle_graph):
+        assert triangle_graph == triangle_graph.copy()
+        other = triangle_graph.copy()
+        other.add_edge("q", "z", 1.0)
+        assert triangle_graph != other
+        assert triangle_graph != "not a graph"
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, toy_dataset):
+        nx_graph = toy_dataset.graph.to_networkx()
+        back = SocialGraph.from_networkx(nx_graph)
+        assert back == toy_dataset.graph
+
+    def test_from_networkx_defaults_weight(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        sg = SocialGraph.from_networkx(g, default=2.5)
+        assert sg.distance("a", "b") == 2.5
+
+    def test_from_networkx_skips_self_loops(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "a", weight=1.0)
+        g.add_edge("a", "b", weight=1.0)
+        sg = SocialGraph.from_networkx(g)
+        assert sg.edge_count == 1

@@ -1,0 +1,94 @@
+"""Unit tests for the CalendarStore."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.temporal import CalendarStore, Schedule, SlotRange
+
+
+@pytest.fixture
+def store():
+    cal = CalendarStore(6)
+    cal.set("alice", Schedule.from_string("OOOO.."))
+    cal.set("bob", Schedule.from_string(".OOOO."))
+    cal.set("carol", Schedule.from_string("..OOOO"))
+    return cal
+
+
+class TestBasics:
+    def test_invalid_horizon(self):
+        with pytest.raises(ScheduleError):
+            CalendarStore(0)
+
+    def test_set_and_get(self, store):
+        assert store.get("alice").available_slots() == [1, 2, 3, 4]
+
+    def test_len_contains_iter_people(self, store):
+        assert len(store) == 3
+        assert "alice" in store and "nobody" not in store
+        assert set(iter(store)) == {"alice", "bob", "carol"}
+        assert set(store.people()) == {"alice", "bob", "carol"}
+
+    def test_unknown_person_is_never_available(self, store):
+        sched = store.get("nobody")
+        assert sched.available_count() == 0
+
+    def test_mismatched_horizon_rejected(self, store):
+        with pytest.raises(ScheduleError):
+            store.set("dave", Schedule(5))
+
+    def test_constructor_with_schedules(self):
+        cal = CalendarStore(3, schedules={"x": Schedule(3, [1])})
+        assert cal.is_available("x", 1)
+
+
+class TestAvailabilityQueries:
+    def test_is_available(self, store):
+        assert store.is_available("alice", 1)
+        assert not store.is_available("alice", 5)
+
+    def test_is_available_range(self, store):
+        assert store.is_available_range("bob", SlotRange(2, 5))
+        assert not store.is_available_range("bob", SlotRange(1, 3))
+
+    def test_joint_schedule(self, store):
+        joint = store.joint_schedule(["alice", "bob", "carol"])
+        assert joint.available_slots() == [3, 4]
+
+    def test_joint_schedule_empty_group_is_always_available(self, store):
+        assert store.joint_schedule([]).available_count() == 6
+
+    def test_common_windows(self, store):
+        assert store.common_windows(["alice", "bob", "carol"], 2) == [SlotRange(3, 4)]
+        assert store.common_windows(["alice", "bob", "carol"], 3) == []
+
+    def test_available_people(self, store):
+        assert store.available_people(SlotRange(3, 4)) == {"alice", "bob", "carol"}
+        assert store.available_people(SlotRange(1, 2)) == {"alice"}
+        assert store.available_people(SlotRange(3, 4), candidates=["bob"]) == {"bob"}
+
+    def test_availability_matrix(self, store):
+        matrix = store.availability_matrix(["alice", "bob"])
+        assert matrix["alice"] == [1, 2, 3, 4]
+        assert matrix["bob"] == [2, 3, 4, 5]
+
+
+class TestPersistence:
+    def test_dict_round_trip(self, store):
+        data = store.to_dict()
+        back = CalendarStore.from_dict(data)
+        assert back.horizon == 6
+        assert back.get("alice").available_slots() == [1, 2, 3, 4]
+
+    def test_json_round_trip(self, store, tmp_path):
+        path = tmp_path / "calendars.json"
+        store.write_json(path)
+        back = CalendarStore.read_json(path)
+        assert len(back) == 3
+        assert back.get("carol").available_slots() == [3, 4, 5, 6]
+
+    def test_dict_round_trip_with_int_ids(self):
+        cal = CalendarStore(3)
+        cal.set(7, Schedule(3, [2]))
+        back = CalendarStore.from_dict(cal.to_dict(), vertex_type=int)
+        assert back.is_available(7, 2)

@@ -1,0 +1,115 @@
+"""Unit tests for the schedule generators."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.temporal import (
+    CalendarStore,
+    Schedule,
+    day_structured_schedule,
+    generate_calendar_store,
+    random_schedule,
+    resample_calendar_store,
+)
+
+
+class TestRandomSchedule:
+    def test_horizon_respected(self):
+        s = random_schedule(20, availability=0.5, seed=1)
+        assert s.horizon == 20
+
+    def test_availability_extremes(self):
+        assert random_schedule(30, availability=0.0, seed=1).available_count() == 0
+        assert random_schedule(30, availability=1.0, seed=1).available_count() == 30
+
+    def test_invalid_availability(self):
+        with pytest.raises(ScheduleError):
+            random_schedule(10, availability=1.5)
+
+    def test_deterministic_with_seed(self):
+        assert random_schedule(40, seed=7) == random_schedule(40, seed=7)
+
+
+class TestDayStructuredSchedule:
+    def test_horizon_is_days_times_slots(self):
+        s = day_structured_schedule(days=3, slots_per_day=48, seed=1)
+        assert s.horizon == 144
+
+    def test_invalid_days(self):
+        with pytest.raises(ScheduleError):
+            day_structured_schedule(days=0)
+
+    def test_evenings_freer_than_nights(self):
+        """Aggregate availability in the evening band should exceed the night
+        band across many sampled days."""
+        s = day_structured_schedule(days=30, slots_per_day=48, seed=3)
+        night, evening = 0, 0
+        for day in range(30):
+            base = day * 48
+            night += sum(1 for i in range(0, 16) if s.is_available(base + i + 1))
+            evening += sum(1 for i in range(36, 48) if s.is_available(base + i + 1))
+        assert evening > night
+
+    def test_deterministic_with_seed(self):
+        a = day_structured_schedule(days=2, seed=11)
+        b = day_structured_schedule(days=2, seed=11)
+        assert a == b
+
+
+class TestGenerateCalendarStore:
+    def test_population_and_horizon(self):
+        store = generate_calendar_store(range(10), days=2, slots_per_day=24, seed=5)
+        assert len(store) == 10
+        assert store.horizon == 48
+
+    def test_deterministic_with_seed(self):
+        a = generate_calendar_store(range(5), days=1, seed=9)
+        b = generate_calendar_store(range(5), days=1, seed=9)
+        for person in range(5):
+            assert a.get(person) == b.get(person)
+
+    def test_people_have_varied_availability(self):
+        store = generate_calendar_store(range(30), days=1, seed=2)
+        ratios = {round(store.get(p).availability_ratio(), 3) for p in range(30)}
+        assert len(ratios) > 5
+
+
+class TestResampleCalendarStore:
+    def test_resampled_population_and_horizon(self):
+        source = generate_calendar_store(range(8), days=2, slots_per_day=12, seed=1)
+        resampled = resample_calendar_store(range(20), source, days=3, slots_per_day=12, seed=2)
+        assert len(resampled) == 20
+        assert resampled.horizon == 36
+
+    def test_resampling_only_uses_source_day_patterns(self):
+        """Each resampled day must equal some (person, day) pattern of the source."""
+        slots_per_day = 10
+        source = generate_calendar_store(range(5), days=2, slots_per_day=slots_per_day, seed=3)
+        source_patterns = set()
+        for person in source.people():
+            sched = source.get(person)
+            for day in range(2):
+                base = day * slots_per_day
+                pattern = tuple(
+                    sched.is_available(base + i) for i in range(1, slots_per_day + 1)
+                )
+                source_patterns.add(pattern)
+        resampled = resample_calendar_store(range(6), source, days=2, slots_per_day=slots_per_day, seed=4)
+        for person in range(6):
+            sched = resampled.get(person)
+            for day in range(2):
+                base = day * slots_per_day
+                pattern = tuple(
+                    sched.is_available(base + i) for i in range(1, slots_per_day + 1)
+                )
+                assert pattern in source_patterns
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ScheduleError):
+            resample_calendar_store(range(3), CalendarStore(10), days=1)
+
+    def test_short_source_rejected(self):
+        source = CalendarStore(5)
+        source.set("x", Schedule(5, [1]))
+        with pytest.raises(ScheduleError):
+            resample_calendar_store(range(3), source, days=1, slots_per_day=10)

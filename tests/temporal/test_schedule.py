@@ -1,0 +1,160 @@
+"""Unit tests for per-person availability schedules."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.temporal import Schedule, SlotRange
+
+
+class TestConstruction:
+    def test_empty_schedule(self):
+        s = Schedule(5)
+        assert s.available_slots() == []
+        assert s.available_count() == 0
+        assert s.busy_slots() == [1, 2, 3, 4, 5]
+
+    def test_from_slot_list(self):
+        s = Schedule(6, available=[2, 4, 5])
+        assert s.available_slots() == [2, 4, 5]
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ScheduleError):
+            Schedule(0)
+
+    def test_slot_out_of_range(self):
+        s = Schedule(4)
+        with pytest.raises(ScheduleError):
+            s.set_available(5)
+        with pytest.raises(ScheduleError):
+            s.is_available(0)
+
+    def test_from_string_paper_notation(self):
+        s = Schedule.from_string(".OO.OO.")
+        assert s.horizon == 7
+        assert s.available_slots() == [2, 3, 5, 6]
+
+    def test_from_string_binary_notation(self):
+        s = Schedule.from_string("0110")
+        assert s.available_slots() == [2, 3]
+
+    def test_from_string_invalid_character(self):
+        with pytest.raises(ScheduleError):
+            Schedule.from_string("O?O")
+
+    def test_from_string_empty(self):
+        with pytest.raises(ScheduleError):
+            Schedule.from_string("   ")
+
+    def test_always_and_never_available(self):
+        assert Schedule.always_available(4).available_count() == 4
+        assert Schedule.never_available(4).available_count() == 0
+
+    def test_from_bitmask_masks_extra_bits(self):
+        s = Schedule.from_bitmask(3, 0b11111)
+        assert s.available_slots() == [1, 2, 3]
+
+
+class TestAvailabilityQueries:
+    def test_is_available(self):
+        s = Schedule(5, available=[1, 3])
+        assert s.is_available(1)
+        assert not s.is_available(2)
+
+    def test_is_available_range(self):
+        s = Schedule(6, available=[2, 3, 4])
+        assert s.is_available_range(SlotRange(2, 4))
+        assert s.is_available_range(SlotRange(3, 3))
+        assert not s.is_available_range(SlotRange(1, 3))
+        assert not s.is_available_range(SlotRange(4, 6))
+
+    def test_is_available_range_past_horizon(self):
+        s = Schedule.always_available(4)
+        assert not s.is_available_range(SlotRange(3, 5))
+
+    def test_availability_ratio(self):
+        s = Schedule(4, available=[1, 2])
+        assert s.availability_ratio() == pytest.approx(0.5)
+
+    def test_set_busy(self):
+        s = Schedule(4, available=[1, 2, 3])
+        s.set_busy(2)
+        assert s.available_slots() == [1, 3]
+
+
+class TestRuns:
+    def test_available_runs(self):
+        s = Schedule.from_string("OO.OOO.O")
+        assert s.available_runs() == [SlotRange(1, 2), SlotRange(4, 6), SlotRange(8, 8)]
+
+    def test_runs_empty_schedule(self):
+        assert Schedule(5).available_runs() == []
+
+    def test_runs_full_schedule(self):
+        assert Schedule.always_available(5).available_runs() == [SlotRange(1, 5)]
+
+    def test_run_containing(self):
+        s = Schedule.from_string("OO.OOO.O")
+        assert s.run_containing(5) == SlotRange(4, 6)
+        assert s.run_containing(1) == SlotRange(1, 2)
+        assert s.run_containing(3) is None
+
+    def test_has_window(self):
+        s = Schedule.from_string("OO.OOO.O")
+        assert s.has_window(3)
+        assert not s.has_window(4)
+        assert s.has_window(2, within=SlotRange(1, 2))
+        assert not s.has_window(3, within=SlotRange(1, 3))
+
+    def test_has_window_invalid_length(self):
+        with pytest.raises(ScheduleError):
+            Schedule(3).has_window(0)
+
+    def test_free_windows(self):
+        s = Schedule.from_string("OOOO")
+        assert s.free_windows(3) == [SlotRange(1, 3), SlotRange(2, 4)]
+        assert s.free_windows(3, within=SlotRange(2, 4)) == [SlotRange(2, 4)]
+
+    def test_free_windows_fragmented(self):
+        s = Schedule.from_string("OO.OO")
+        assert s.free_windows(2) == [SlotRange(1, 2), SlotRange(4, 5)]
+        assert s.free_windows(3) == []
+
+
+class TestCombination:
+    def test_intersect(self):
+        a = Schedule.from_string("OOO..")
+        b = Schedule.from_string(".OOO.")
+        assert a.intersect(b).available_slots() == [2, 3]
+
+    def test_union(self):
+        a = Schedule.from_string("OO...")
+        b = Schedule.from_string("...OO")
+        assert a.union(b).available_slots() == [1, 2, 4, 5]
+
+    def test_mismatched_horizons_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule(3).intersect(Schedule(4))
+        with pytest.raises(ScheduleError):
+            Schedule(3).union(Schedule(4))
+
+    def test_restricted(self):
+        s = Schedule.always_available(6)
+        restricted = s.restricted(SlotRange(2, 4))
+        assert restricted.available_slots() == [2, 3, 4]
+
+    def test_copy_independent(self):
+        s = Schedule(4, available=[1])
+        clone = s.copy()
+        clone.set_available(2)
+        assert s.available_slots() == [1]
+
+    def test_equality_and_hash(self):
+        a = Schedule(4, available=[1, 3])
+        b = Schedule(4, available=[1, 3])
+        c = Schedule(4, available=[2])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a schedule"
+
+    def test_iteration(self):
+        assert list(Schedule(4, available=[2, 4])) == [2, 4]

@@ -1,0 +1,84 @@
+"""Unit tests for slot arithmetic and SlotRange."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.temporal import SlotRange, day_of_slot, slot_label, slots_per_day
+
+
+class TestSlotRange:
+    def test_length_and_iteration(self):
+        r = SlotRange(3, 6)
+        assert len(r) == 4
+        assert list(r) == [3, 4, 5, 6]
+
+    def test_single_slot_range(self):
+        r = SlotRange(5, 5)
+        assert len(r) == 1
+        assert 5 in r
+
+    def test_membership(self):
+        r = SlotRange(2, 4)
+        assert 2 in r and 4 in r
+        assert 1 not in r and 5 not in r
+        assert "3" not in r
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ScheduleError):
+            SlotRange(0, 3)
+        with pytest.raises(ScheduleError):
+            SlotRange(4, 3)
+
+    def test_contains_range(self):
+        assert SlotRange(1, 10).contains_range(SlotRange(3, 5))
+        assert not SlotRange(3, 5).contains_range(SlotRange(1, 10))
+        assert SlotRange(3, 5).contains_range(SlotRange(3, 5))
+
+    def test_intersect(self):
+        assert SlotRange(1, 5).intersect(SlotRange(4, 9)) == SlotRange(4, 5)
+        assert SlotRange(1, 3).intersect(SlotRange(5, 7)) is None
+        assert SlotRange(1, 5).intersect(SlotRange(1, 5)) == SlotRange(1, 5)
+
+    def test_shift(self):
+        assert SlotRange(2, 4).shift(3) == SlotRange(5, 7)
+
+    def test_windows(self):
+        assert SlotRange(1, 4).windows(2) == [SlotRange(1, 2), SlotRange(2, 3), SlotRange(3, 4)]
+        assert SlotRange(1, 3).windows(3) == [SlotRange(1, 3)]
+        assert SlotRange(1, 2).windows(3) == []
+
+    def test_windows_invalid_length(self):
+        with pytest.raises(ScheduleError):
+            SlotRange(1, 4).windows(0)
+
+    def test_ordering_and_tuple(self):
+        assert SlotRange(1, 2) < SlotRange(2, 3)
+        assert SlotRange(3, 6).as_tuple() == (3, 6)
+
+
+class TestSlotHelpers:
+    def test_slots_per_day(self):
+        assert slots_per_day(30) == 48
+        assert slots_per_day(60) == 24
+        assert slots_per_day(15) == 96
+
+    def test_slots_per_day_invalid(self):
+        with pytest.raises(ScheduleError):
+            slots_per_day(7)
+        with pytest.raises(ScheduleError):
+            slots_per_day(0)
+
+    def test_day_of_slot(self):
+        assert day_of_slot(1, per_day=48) == 1
+        assert day_of_slot(48, per_day=48) == 1
+        assert day_of_slot(49, per_day=48) == 2
+
+    def test_day_of_slot_invalid(self):
+        with pytest.raises(ScheduleError):
+            day_of_slot(0)
+
+    def test_slot_label(self):
+        assert slot_label(1) == "day 1 00:00-00:30"
+        assert slot_label(48) == "day 1 23:30-24:00"
+        assert slot_label(49) == "day 2 00:00-00:30"
+        assert slot_label(20) == "day 1 09:30-10:00"

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_query_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["query", "-p", "5", "-k", "2", "-m", "4"])
+        assert args.command == "query"
+        assert args.group_size == 5
+        assert args.acquaintance == 2
+        assert args.activity_length == 4
+
+    def test_figure_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "1e", "--scale", "smoke", "--csv"])
+        assert args.command == "figure"
+        assert args.panel == "1e"
+        assert args.csv
+
+    def test_unknown_panel_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "9x"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_sgq_query_runs(self, capsys):
+        code = main(
+            ["query", "-p", "3", "-k", "2", "--people", "60", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "group (sgselect):" in out
+        assert "total social distance" in out
+
+    def test_stgq_query_runs(self, capsys):
+        code = main(
+            [
+                "query",
+                "-p",
+                "3",
+                "-k",
+                "2",
+                "-m",
+                "2",
+                "--people",
+                "60",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        if code == 0:
+            assert "activity period" in out
+
+    def test_query_with_explicit_algorithm(self, capsys):
+        code = main(
+            ["query", "-p", "3", "-k", "2", "--algorithm", "baseline", "--people", "60", "--seed", "3"]
+        )
+        assert code == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_figure_table_output(self, capsys):
+        code = main(["figure", "1g", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "STGArrange" in out
+
+    def test_figure_csv_output(self, capsys):
+        code = main(["figure", "1b", "--scale", "smoke", "--csv"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("figure,sweep_name")
+
+    def test_ablation_command(self, capsys):
+        code = main(["ablation", "-p", "4", "-k", "2", "--people", "60", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no-distance-pruning" in out

@@ -1,0 +1,106 @@
+"""Unit tests for the dataset builders."""
+
+import pytest
+
+from repro.datasets import (
+    NETWORK_SIZE_SWEEP,
+    REAL_DATASET_SIZE,
+    generate_coauthorship_dataset,
+    generate_real_dataset,
+    load_movie_network,
+    load_toy_example,
+)
+from repro.graph import connected_components
+
+
+class TestToyDatasets:
+    def test_toy_structure(self):
+        ds = load_toy_example()
+        assert ds.graph.vertex_count == 6
+        assert ds.graph.edge_count == 9
+        assert ds.calendars.horizon == 7
+        assert ds.metadata["initiator"] == "v7"
+
+    def test_toy_schedules_match_figure(self):
+        ds = load_toy_example()
+        assert ds.calendars.get("v2").available_slots() == [1, 2, 3, 4, 5, 6, 7]
+        assert ds.calendars.get("v3").available_slots() == [2, 3, 5, 6]
+        assert ds.calendars.get("v7").available_slots() == [1, 2, 3, 4, 5, 6]
+        assert ds.calendars.get("v8").available_slots() == [1, 3, 5, 6]
+
+    def test_toy_distances_match_figure(self):
+        ds = load_toy_example()
+        assert ds.graph.distance("v7", "v2") == 17.0
+        assert ds.graph.distance("v7", "v8") == 25.0
+
+    def test_movie_network_structure(self):
+        ds = load_movie_network()
+        assert ds.graph.vertex_count == 8
+        assert ds.graph.degree("casey_affleck") == 5
+        assert ds.calendars.horizon == 6
+        # The k = 0 clique of Example 1 must exist.
+        assert ds.graph.has_edge("george_clooney", "brad_pitt")
+        assert ds.graph.has_edge("george_clooney", "julia_roberts")
+        assert ds.graph.has_edge("brad_pitt", "julia_roberts")
+        # The three closest contacts must not be mutually acquainted.
+        assert not ds.graph.has_edge("george_clooney", "robert_de_niro")
+        assert not ds.graph.has_edge("george_clooney", "michelle_monaghan")
+        assert not ds.graph.has_edge("robert_de_niro", "michelle_monaghan")
+
+    def test_summaries(self):
+        ds = load_toy_example()
+        summary = ds.summary()
+        assert summary["people"] == 6
+        assert summary["friendships"] == 9
+        assert summary["horizon_slots"] == 7
+
+
+class TestRealDataset:
+    def test_default_size_matches_paper(self):
+        ds = generate_real_dataset(seed=1)
+        assert ds.graph.vertex_count == REAL_DATASET_SIZE
+        assert len(ds.calendars) == REAL_DATASET_SIZE
+        assert ds.calendars.horizon == 48
+
+    def test_schedule_days_scale_horizon(self):
+        ds = generate_real_dataset(n_people=40, schedule_days=3, seed=1)
+        assert ds.calendars.horizon == 3 * 48
+
+    def test_deterministic_with_seed(self):
+        a = generate_real_dataset(n_people=50, seed=9)
+        b = generate_real_dataset(n_people=50, seed=9)
+        assert a.graph == b.graph
+        assert a.calendars.get(0) == b.calendars.get(0)
+
+    def test_initiator_densified(self):
+        ds = generate_real_dataset(n_people=100, seed=3, initiator_min_degree=14)
+        assert ds.graph.degree(0) >= 14
+
+    def test_initiator_candidates_helper(self):
+        ds = generate_real_dataset(n_people=80, seed=3)
+        candidates = ds.initiator_candidates(min_degree=5)
+        assert all(ds.graph.degree(v) >= 5 for v in candidates)
+
+    def test_metadata_summary(self):
+        ds = generate_real_dataset(n_people=60, seed=3)
+        assert ds.metadata["schedule_days"] == 1
+        assert "average_degree" in ds.metadata
+
+
+class TestCoauthorshipDataset:
+    def test_small_instance(self):
+        ds = generate_coauthorship_dataset(n_people=300, seed=5)
+        assert ds.graph.vertex_count == 300
+        assert len(ds.calendars) == 300
+        assert ds.calendars.horizon == 48
+
+    def test_network_size_sweep_constant(self):
+        assert NETWORK_SIZE_SWEEP == (194, 800, 3200, 12800)
+
+    def test_no_isolated_people(self):
+        ds = generate_coauthorship_dataset(n_people=200, seed=6)
+        assert all(ds.graph.degree(v) >= 1 for v in ds.graph)
+
+    def test_multi_day_schedules(self):
+        ds = generate_coauthorship_dataset(n_people=100, schedule_days=2, seed=6)
+        assert ds.calendars.horizon == 96

@@ -1,0 +1,116 @@
+"""Integration tests: full pipeline on generated datasets.
+
+These exercise the same path the examples and benchmarks use — generate a
+dataset, plan activities through the public API, and verify every result
+independently — at a size small enough for the regular test run.
+"""
+
+import math
+
+import pytest
+
+from repro import ActivityPlanner, SGQuery, STGQuery, SearchParameters
+from repro.core import (
+    BaselineSGQ,
+    BaselineSTGQ,
+    IPSolver,
+    PCArrange,
+    SGSelect,
+    STGArrange,
+    STGSelect,
+    observed_acquaintance,
+)
+from repro.datasets import generate_real_dataset
+from repro.experiments import pick_initiator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_real_dataset(n_people=70, schedule_days=1, seed=11)
+
+
+@pytest.fixture(scope="module")
+def initiator(dataset):
+    return pick_initiator(dataset, radius=1, min_candidates=8, max_candidates=22)
+
+
+class TestGeneratedDatasetPipeline:
+    def test_sgq_solvers_agree(self, dataset, initiator):
+        query = SGQuery(initiator, 5, 1, 2)
+        fast = SGSelect(dataset.graph).solve(query)
+        slow = BaselineSGQ(dataset.graph).solve(query)
+        ip = IPSolver().solve_sgq(dataset.graph, query)
+        assert fast.matches(slow)
+        assert fast.matches(ip)
+
+    def test_stgq_solvers_agree(self, dataset, initiator):
+        query = STGQuery(initiator, 4, 1, 2, 3)
+        fast = STGSelect(dataset.graph, dataset.calendars).solve(query)
+        slow = BaselineSTGQ(dataset.graph, dataset.calendars).solve(query)
+        assert fast.matches(slow)
+
+    def test_planner_verifies_its_own_answers(self, dataset, initiator):
+        planner = ActivityPlanner(dataset.graph, dataset.calendars)
+        query = STGQuery(initiator, 4, 2, 2, 2)
+        result = planner.find_group_and_time(
+            initiator=initiator, group_size=4, activity_length=2, radius=2, acquaintance=2
+        )
+        if result.feasible:
+            assert planner.verify(query, result).ok
+
+    def test_tighter_constraints_cost_more(self, dataset, initiator):
+        planner = ActivityPlanner(dataset.graph, dataset.calendars)
+        distances = []
+        for k in (3, 2, 1):
+            result = planner.find_group(
+                initiator=initiator, group_size=5, radius=1, acquaintance=k
+            )
+            distances.append(result.total_distance)
+        assert distances[0] <= distances[1] <= distances[2]
+
+    def test_longer_activities_cost_at_least_as_much(self, dataset, initiator):
+        planner = ActivityPlanner(dataset.graph, dataset.calendars)
+        previous = 0.0
+        for m in (1, 2, 4):
+            result = planner.find_group_and_time(
+                initiator=initiator, group_size=4, activity_length=m, radius=1, acquaintance=3
+            )
+            if not result.feasible:
+                break
+            assert result.total_distance >= previous - 1e-9
+            previous = result.total_distance
+
+    def test_quality_comparison_runs_end_to_end(self, dataset, initiator):
+        outcome = STGArrange(dataset.graph, dataset.calendars).compare(
+            initiator=initiator, group_size=4, radius=1, activity_length=3
+        )
+        if outcome.pcarrange.feasible and outcome.stgarrange.feasible:
+            assert outcome.stgarrange.total_distance <= outcome.pcarrange.total_distance
+            assert outcome.stgarrange_k <= outcome.pcarrange_k
+
+    def test_search_parameters_do_not_change_answers(self, dataset, initiator):
+        query = SGQuery(initiator, 5, 1, 2)
+        reference = SGSelect(dataset.graph).solve(query)
+        for theta in (0, 1, 4):
+            variant = SGSelect(dataset.graph, SearchParameters(theta=theta)).solve(query)
+            assert reference.matches(variant)
+
+    def test_pcarrange_distance_never_beats_optimum_at_observed_k(self, dataset, initiator):
+        pc = PCArrange(dataset.graph, dataset.calendars)
+        pc_result = pc.solve(STGQuery(initiator, 4, 1, 4, 2))
+        if not pc_result.feasible:
+            pytest.skip("manual coordination found no group on this workload")
+        k_h = pc.observed_k(pc_result)
+        optimal = STGSelect(dataset.graph, dataset.calendars).solve(
+            STGQuery(initiator, 4, 1, k_h, 2)
+        )
+        assert optimal.feasible
+        assert optimal.total_distance <= pc_result.total_distance + 1e-9
+
+    def test_stats_reflect_pruning_work(self, dataset, initiator):
+        query = SGQuery(initiator, 5, 1, 2)
+        result = SGSelect(dataset.graph).solve(query)
+        baseline = BaselineSGQ(dataset.graph).solve(query)
+        # The branch-and-bound search must consider far fewer states than the
+        # exhaustive enumeration considers groups.
+        assert result.stats.nodes_expanded < baseline.stats.nodes_expanded

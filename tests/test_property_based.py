@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+optimality/soundness invariants of the solvers."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BaselineSGQ,
+    BaselineSTGQ,
+    SGQuery,
+    SGSelect,
+    STGQuery,
+    STGSelect,
+    check_sg_solution,
+    check_stg_solution,
+    observed_acquaintance,
+)
+from repro.graph import SocialGraph, bounded_distances, extract_feasible_graph, is_kplex
+from repro.temporal import CalendarStore, Schedule, SlotRange, candidate_periods, pivot_slots
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def social_graphs(draw, min_vertices=4, max_vertices=9):
+    """Random small social graphs containing vertex 0 (the initiator)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    graph = SocialGraph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                graph.add_edge(u, v, draw(st.integers(1, 15)))
+    return graph
+
+
+@st.composite
+def calendars_for(draw, people, min_horizon=4, max_horizon=10):
+    horizon = draw(st.integers(min_horizon, max_horizon))
+    store = CalendarStore(horizon)
+    for person in people:
+        slots = draw(
+            st.lists(st.integers(1, horizon), unique=True, max_size=horizon)
+        )
+        store.set(person, Schedule(horizon, slots))
+    return store
+
+
+schedule_bits = st.lists(st.booleans(), min_size=1, max_size=24)
+
+
+# ----------------------------------------------------------------------
+# substrate invariants
+# ----------------------------------------------------------------------
+class TestScheduleProperties:
+    @given(schedule_bits)
+    def test_available_plus_busy_covers_horizon(self, bits):
+        horizon = len(bits)
+        sched = Schedule(horizon, [i + 1 for i, b in enumerate(bits) if b])
+        assert sorted(sched.available_slots() + sched.busy_slots()) == list(range(1, horizon + 1))
+
+    @given(schedule_bits)
+    def test_runs_partition_available_slots(self, bits):
+        horizon = len(bits)
+        sched = Schedule(horizon, [i + 1 for i, b in enumerate(bits) if b])
+        covered = []
+        for run in sched.available_runs():
+            covered.extend(list(run))
+        assert covered == sched.available_slots()
+        # Runs are maximal: consecutive runs are separated by a busy slot.
+        runs = sched.available_runs()
+        for first, second in zip(runs, runs[1:]):
+            assert second.start - first.end >= 2
+
+    @given(schedule_bits, schedule_bits)
+    def test_intersection_is_commutative_and_subset(self, bits_a, bits_b):
+        horizon = max(len(bits_a), len(bits_b))
+        a = Schedule(horizon, [i + 1 for i, b in enumerate(bits_a) if b])
+        b = Schedule(horizon, [i + 1 for i, bit in enumerate(bits_b) if bit])
+        ab = a.intersect(b)
+        ba = b.intersect(a)
+        assert ab == ba
+        assert set(ab.available_slots()) <= set(a.available_slots())
+        assert set(ab.available_slots()) <= set(b.available_slots())
+
+    @given(schedule_bits, st.integers(1, 6))
+    def test_free_windows_are_actually_free(self, bits, length):
+        horizon = len(bits)
+        sched = Schedule(horizon, [i + 1 for i, b in enumerate(bits) if b])
+        for window in sched.free_windows(length):
+            assert len(window) == length
+            assert sched.is_available_range(window)
+
+
+class TestPivotProperties:
+    @given(st.integers(1, 40), st.integers(1, 8))
+    def test_every_period_contains_exactly_one_pivot(self, horizon, m):
+        if m > horizon:
+            return
+        pivots = set(pivot_slots(horizon, m))
+        for period in candidate_periods(horizon, m):
+            assert sum(1 for slot in period if slot in pivots) == 1
+
+
+class TestDistanceProperties:
+    @given(social_graphs(), st.integers(1, 4))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_bounded_distances_monotone_and_triangle(self, graph, radius):
+        d_small = bounded_distances(graph, 0, radius)
+        d_big = bounded_distances(graph, 0, radius + 1)
+        for v in graph:
+            assert d_big[v] <= d_small[v]
+        # Direct edges bound the one-hop distance from above.
+        for v, c in graph.adjacency(0).items():
+            assert d_small[v] <= c
+
+    @given(social_graphs(), st.integers(1, 3))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_feasible_graph_members_are_reachable(self, graph, radius):
+        feasible = extract_feasible_graph(graph, 0, radius)
+        distances = bounded_distances(graph, 0, radius)
+        for v in feasible.graph.vertices():
+            assert distances[v] < math.inf
+            assert feasible.distance(v) == distances[v]
+
+
+# ----------------------------------------------------------------------
+# solver invariants
+# ----------------------------------------------------------------------
+class TestSGSelectProperties:
+    @given(social_graphs(), st.integers(2, 4), st.integers(1, 2), st.integers(0, 2))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_optimality_against_bruteforce(self, graph, p, s, k):
+        query = SGQuery(0, p, s, k)
+        fast = SGSelect(graph).solve(query)
+        slow = BaselineSGQ(graph).solve(query)
+        assert fast.matches(slow)
+
+    @given(social_graphs(), st.integers(2, 4), st.integers(1, 2), st.integers(0, 2))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_solutions_satisfy_all_constraints(self, graph, p, s, k):
+        query = SGQuery(0, p, s, k)
+        result = SGSelect(graph).solve(query)
+        if result.feasible:
+            report = check_sg_solution(graph, query, result.members)
+            assert report.ok
+            assert result.total_distance == report.total_distance
+            assert observed_acquaintance(graph, result.members) <= k
+            assert is_kplex(graph, result.members, k)
+
+    @given(social_graphs(), st.integers(2, 4), st.integers(1, 2))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_relaxing_k_never_hurts(self, graph, p, s):
+        """The optimal distance is monotonically non-increasing in k."""
+        distances = []
+        for k in range(0, p):
+            result = SGSelect(graph).solve(SGQuery(0, p, s, k))
+            distances.append(result.total_distance)
+        for tighter, looser in zip(distances, distances[1:]):
+            assert looser <= tighter
+
+
+class TestSTGSelectProperties:
+    @given(st.data())
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_optimality_and_feasibility(self, data):
+        graph = data.draw(social_graphs(max_vertices=8))
+        calendars = data.draw(calendars_for(graph.vertices()))
+        p = data.draw(st.integers(2, 4))
+        k = data.draw(st.integers(0, 2))
+        m = data.draw(st.integers(1, min(3, calendars.horizon)))
+        query = STGQuery(0, p, 2, k, m)
+        fast = STGSelect(graph, calendars).solve(query)
+        slow = BaselineSTGQ(graph, calendars, inner="bruteforce").solve(query)
+        assert fast.matches(slow)
+        if fast.feasible:
+            report = check_stg_solution(graph, calendars, query, fast.members, fast.period)
+            assert report.ok
+
+    @given(st.data())
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_stgq_never_beats_sgq(self, data):
+        """Adding the availability constraint can only increase the optimum."""
+        graph = data.draw(social_graphs(max_vertices=8))
+        calendars = data.draw(calendars_for(graph.vertices()))
+        p = data.draw(st.integers(2, 4))
+        k = data.draw(st.integers(0, 2))
+        m = data.draw(st.integers(1, min(3, calendars.horizon)))
+        sg = SGSelect(graph).solve(SGQuery(0, p, 2, k))
+        stg = STGSelect(graph, calendars).solve(STGQuery(0, p, 2, k, m))
+        if stg.feasible:
+            assert sg.feasible
+            assert stg.total_distance >= sg.total_distance - 1e-9
