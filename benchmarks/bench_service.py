@@ -1,0 +1,158 @@
+"""Kernel speedup and batched-service throughput benchmark.
+
+Two measurements back the compiled-kernel + QueryService work:
+
+1. **Kernel speedup** — the Figure 1(a) SGQ sweep (k = 2, s = 1, the
+   194-person real dataset) run once per kernel, with the aggregate
+   reference/compiled time ratio reported for the hot tail of the sweep
+   (p >= 6).  A second, heavier sweep at s = 2 (larger ego networks) shows
+   the kernel on the regime the paper's scalability figures target.
+2. **Batch throughput** — a mixed-initiator SGQ batch answered through
+   :class:`repro.service.QueryService`, comparing a cold sequential pass
+   against the cached thread-pooled path, plus an STGQ batch.
+
+Run directly (it is a script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick  # CI smoke
+
+The script exits non-zero when the p >= 6 aggregate speedup falls below the
+3x acceptance floor, so CI catches kernel regressions loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Tuple
+
+from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery
+from repro.experiments.workloads import ego_size, pick_initiator, workload
+from repro.service import QueryService
+
+SPEEDUP_FLOOR = 3.0
+FIG1A = dict(radius=1, acquaintance=2, group_sizes=(3, 4, 5, 6, 7))
+HEAVY = dict(radius=2, acquaintance=2, group_sizes=(5, 6, 7))
+
+
+def _time_solve(solver: SGSelect, query: SGQuery, repeats: int) -> Tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = solver.solve(query)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def kernel_sweep(name: str, dataset, initiator, radius: int, acquaintance: int,
+                 group_sizes, repeats: int) -> Tuple[float, float]:
+    """Run one SGQ sweep on both kernels; return aggregate times (ref, compiled)."""
+    ref_solver = SGSelect(dataset.graph, SearchParameters(kernel="reference"))
+    comp_solver = SGSelect(dataset.graph, SearchParameters(kernel="compiled"))
+    print(f"\n== {name}: s={radius}, k={acquaintance}, "
+          f"ego={ego_size(dataset, initiator, radius)} candidates ==")
+    print(f"{'p':>3} {'reference':>12} {'compiled':>12} {'speedup':>8}")
+    total_ref = total_comp = 0.0
+    tail_ref = tail_comp = 0.0
+    for p in group_sizes:
+        query = SGQuery(initiator=initiator, group_size=p, radius=radius,
+                        acquaintance=acquaintance)
+        t_ref, r_ref = _time_solve(ref_solver, query, repeats)
+        t_comp, r_comp = _time_solve(comp_solver, query, repeats)
+        assert r_ref.members == r_comp.members, f"kernel mismatch at p={p}"
+        assert r_ref.total_distance == r_comp.total_distance
+        total_ref += t_ref
+        total_comp += t_comp
+        if p >= 6:
+            tail_ref += t_ref
+            tail_comp += t_comp
+        print(f"{p:>3} {t_ref * 1000:>10.2f}ms {t_comp * 1000:>10.2f}ms "
+              f"{t_ref / t_comp:>7.1f}x")
+    print(f"sweep aggregate: {total_ref * 1000:.1f}ms -> {total_comp * 1000:.1f}ms "
+          f"({total_ref / total_comp:.1f}x)")
+    return tail_ref, tail_comp
+
+
+def batch_throughput(dataset, n_queries: int, n_initiators: int, seed: int,
+                     activity_length=None) -> float:
+    rng = random.Random(seed)
+    initiators = rng.sample(list(dataset.people), n_initiators)
+    queries: List = []
+    for _ in range(n_queries):
+        initiator = rng.choice(initiators)
+        if activity_length is None:
+            queries.append(SGQuery(initiator=initiator, group_size=5, radius=1,
+                                   acquaintance=2))
+        else:
+            queries.append(STGQuery(initiator=initiator, group_size=4, radius=1,
+                                    acquaintance=2, activity_length=activity_length))
+    kind = "SGQ" if activity_length is None else "STGQ"
+
+    # Cold sequential pass: no warm cache, one worker.
+    cold = QueryService(dataset.graph, dataset.calendars)
+    start = time.perf_counter()
+    cold.solve_many(queries, max_workers=1)
+    t_cold = time.perf_counter() - start
+
+    # Warm threaded pass: second batch through the same service.
+    warm = QueryService(dataset.graph, dataset.calendars)
+    warm.solve_many(queries)  # warm-up fills the feasible-graph cache
+    start = time.perf_counter()
+    results = warm.solve_many(queries)
+    t_warm = time.perf_counter() - start
+
+    info = warm.cache_info()
+    qps = len(queries) / t_warm
+    print(f"\n== batch throughput: {len(queries)} {kind} queries, "
+          f"{n_initiators} initiators ==")
+    print(f"cold sequential : {t_cold:.3f}s ({len(queries) / t_cold:.0f} q/s)")
+    print(f"warm threaded   : {t_warm:.3f}s ({qps:.0f} q/s, "
+          f"workers={warm.max_workers}, cache hit rate {info.hit_rate:.0%})")
+    feasible = sum(1 for r in results if r.feasible)
+    print(f"feasible        : {feasible}/{len(results)}")
+    return qps
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer repeats, smaller batches")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    repeats = 2 if args.quick else 3
+    n_queries = 100 if args.quick else 400
+
+    dataset = workload(network_size=194, schedule_days=1, seed=args.seed)
+    fig1a_initiator = pick_initiator(dataset, radius=1, min_candidates=10,
+                                     max_candidates=26)
+    tail_ref, tail_comp = kernel_sweep(
+        "Figure 1(a) sweep", dataset, fig1a_initiator,
+        FIG1A["radius"], FIG1A["acquaintance"], FIG1A["group_sizes"], repeats,
+    )
+    speedup = tail_ref / tail_comp
+    print(f"\np >= 6 aggregate speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+
+    heavy_initiator = pick_initiator(dataset, radius=2, min_candidates=30,
+                                     max_candidates=80)
+    kernel_sweep("heavy sweep", dataset, heavy_initiator,
+                 HEAVY["radius"], HEAVY["acquaintance"], HEAVY["group_sizes"],
+                 repeats)
+
+    batch_throughput(dataset, n_queries, 16, args.seed)
+    batch_throughput(dataset, max(20, n_queries // 4), 8, args.seed,
+                     activity_length=4)
+
+    if speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: p >= 6 speedup {speedup:.1f}x below {SPEEDUP_FLOOR:.0f}x floor",
+              file=sys.stderr)
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

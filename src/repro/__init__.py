@@ -56,6 +56,7 @@ from .exceptions import (
     SolverError,
 )
 from .graph import SocialGraph
+from .service import QueryService, ServiceStats
 from .temporal import CalendarStore, Schedule, SlotRange
 
 __version__ = "1.0.0"
@@ -76,6 +77,8 @@ __all__ = [
     "STGSelect",
     "sg_select",
     "stg_select",
+    "QueryService",
+    "ServiceStats",
     "BaselineSGQ",
     "BaselineSTGQ",
     "IPSolver",

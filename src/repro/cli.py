@@ -11,6 +11,10 @@ Three sub-commands mirror how the library is typically used:
 ``stgq ablation``
     Run the strategy-ablation study on a generated dataset.
 
+``stgq serve``
+    Answer a batch of queries through the cached, thread-pooled
+    :class:`~repro.service.QueryService` and report throughput.
+
 Run ``python -m repro --help`` (or ``stgq --help`` once installed) for the
 full argument reference.
 """
@@ -18,18 +22,29 @@ full argument reference.
 from __future__ import annotations
 
 import argparse
+import random
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .core.planner import ActivityPlanner
+from .core.query import SearchParameters, SGQuery, STGQuery
 from .datasets.realistic import generate_real_dataset
 from .experiments.ablation import format_ablation, run_sg_ablation, run_stg_ablation
 from .experiments.config import FIGURE_IDS, ExperimentScale
 from .experiments.figures import run_figure
 from .experiments.reporting import format_quality_table, format_table
 from .experiments.workloads import pick_initiator, workload
+from .service import QueryService
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +95,43 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("-s", "--radius", type=int, default=1)
     ablation.add_argument("-k", "--acquaintance", type=int, default=2)
     ablation.add_argument("-m", "--activity-length", type=int, default=None)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="answer a batch of queries through the cached QueryService and report throughput",
+    )
+    serve.add_argument("--people", type=int, default=194, help="population size (default 194)")
+    serve.add_argument("--days", type=int, default=1, help="schedule length in days (default 1)")
+    serve.add_argument("--seed", type=int, default=42, help="dataset/batch seed (default 42)")
+    serve.add_argument("--queries", type=int, default=100, help="batch size (default 100)")
+    serve.add_argument(
+        "--initiators",
+        type=_positive_int,
+        default=16,
+        help="number of distinct initiators to draw queries from (default 16)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=None, help="thread-pool width (default: auto)"
+    )
+    serve.add_argument(
+        "--cache-size", type=_positive_int, default=128, help="feasible-graph cache entries"
+    )
+    serve.add_argument("-p", "--group-size", type=int, default=5)
+    serve.add_argument("-s", "--radius", type=int, default=1)
+    serve.add_argument("-k", "--acquaintance", type=int, default=2)
+    serve.add_argument(
+        "-m",
+        "--activity-length",
+        type=int,
+        default=None,
+        help="activity length in slots; omit for a purely social (SGQ) batch",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=["compiled", "reference"],
+        default="compiled",
+        help="branch-and-bound kernel (default compiled)",
+    )
 
     return parser
 
@@ -166,6 +218,63 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    dataset = generate_real_dataset(
+        n_people=args.people, schedule_days=args.days, seed=args.seed
+    )
+    rng = random.Random(args.seed)
+    pool = list(dataset.people)
+    initiators = rng.sample(pool, min(args.initiators, len(pool)))
+
+    queries: List = []
+    for _ in range(args.queries):
+        initiator = rng.choice(initiators)
+        if args.activity_length is None:
+            queries.append(
+                SGQuery(
+                    initiator=initiator,
+                    group_size=args.group_size,
+                    radius=args.radius,
+                    acquaintance=args.acquaintance,
+                )
+            )
+        else:
+            queries.append(
+                STGQuery(
+                    initiator=initiator,
+                    group_size=args.group_size,
+                    radius=args.radius,
+                    acquaintance=args.acquaintance,
+                    activity_length=args.activity_length,
+                )
+            )
+
+    service = QueryService(
+        dataset.graph,
+        dataset.calendars,
+        parameters=SearchParameters(kernel=args.kernel),
+        cache_size=args.cache_size,
+        max_workers=args.workers,
+    )
+    start = time.perf_counter()
+    results = service.solve_many(queries)
+    elapsed = time.perf_counter() - start
+
+    stats = service.stats()
+    info = service.cache_info()
+    feasible = sum(1 for r in results if r.feasible)
+    kind = "SGQ" if args.activity_length is None else "STGQ"
+    print(f"batch: {len(results)} {kind} queries over {args.people} people "
+          f"({len(initiators)} initiators, kernel={args.kernel})")
+    print(f"feasible: {feasible}/{len(results)}")
+    print(f"wall clock: {elapsed:.3f} s  ({len(results) / elapsed:.1f} queries/s, "
+          f"workers={service.max_workers})")
+    print(f"solver time: {stats.solve_seconds:.3f} s across {stats.nodes_expanded} nodes")
+    print(f"cache: {info.hits} hits / {info.misses} misses "
+          f"(hit rate {info.hit_rate:.0%}, {info.size}/{info.max_size} entries)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``stgq`` console script and ``python -m repro``."""
     parser = build_parser()
@@ -176,6 +285,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_figure(args)
     if args.command == "ablation":
         return _command_ablation(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -32,6 +32,7 @@ __all__ = [
     "interior_unfamiliarity_condition",
     "exterior_expansibility_condition",
     "temporal_extensibility_condition",
+    "candidate_measures_bitset",
 ]
 
 
@@ -78,6 +79,63 @@ def exterior_expansibility(
         if best is None or value < best:
             best = value
     return best if best is not None else 0
+
+
+def candidate_measures_bitset(
+    adj: Sequence[int],
+    member_ids: Sequence[int],
+    strangers: Sequence[int],
+    members_mask: int,
+    trial_remaining_mask: int,
+    candidate: int,
+    acquaintance: int,
+) -> "tuple[int, int]":
+    """Bitset evaluation of ``U(VS ∪ {u})`` and ``A(VS ∪ {u})`` in one pass.
+
+    This is the compiled-kernel counterpart of
+    :func:`interior_unfamiliarity` + :func:`exterior_expansibility`.  Instead
+    of rescanning ``VS`` with set operations per member, it reuses the
+    *incrementally maintained* stranger counters of the current search node:
+    ``strangers[v]`` must hold ``|VS - {v} - N_v|`` for every ``v`` in
+    ``member_ids``.  The candidate's own stranger count and every member's
+    one-step delta are then single AND/popcount expressions over the
+    adjacency bitmasks.
+
+    Parameters
+    ----------
+    adj:
+        Bitmask adjacency of the compiled feasible graph.
+    member_ids:
+        Ids currently in ``VS`` (any order).
+    strangers:
+        Per-id stranger counters, valid at the ids in ``member_ids``.
+    members_mask:
+        Bitmask of ``VS``.
+    trial_remaining_mask:
+        Bitmask of ``VA - {u}``.
+    candidate:
+        The id ``u`` being evaluated.
+    acquaintance:
+        The constraint ``k``.
+
+    Returns
+    -------
+    (unfamiliarity, expansibility):
+        ``U(VS ∪ {u})`` and ``A(VS ∪ {u})`` — identical to the reference
+        measures evaluated on the expanded set.
+    """
+    cand_adj = adj[candidate]
+    cand_strangers = (members_mask & ~cand_adj).bit_count()
+    worst = cand_strangers
+    best = (trial_remaining_mask & cand_adj).bit_count() + (acquaintance - cand_strangers)
+    for v in member_ids:
+        s = strangers[v] + (0 if cand_adj >> v & 1 else 1)
+        if s > worst:
+            worst = s
+        value = (trial_remaining_mask & adj[v]).bit_count() + (acquaintance - s)
+        if value < best:
+            best = value
+    return worst, best
 
 
 def temporal_extensibility(shared_slots: Optional[SlotRange], activity_length: int) -> int:

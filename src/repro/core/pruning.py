@@ -22,6 +22,9 @@ __all__ = [
     "distance_pruning",
     "acquaintance_pruning",
     "availability_pruning",
+    "distance_pruning_bitset",
+    "acquaintance_pruning_bitset",
+    "availability_pruning_bitset",
 ]
 
 
@@ -113,6 +116,106 @@ def acquaintance_pruning(
         return False
     upper_bound = total_inner - not_chosen * (min_inner or 0)
     return upper_bound < required
+
+
+def distance_pruning_bitset(
+    incumbent_distance: float,
+    current_distance: float,
+    members_count: int,
+    group_size: int,
+    remaining_mask: int,
+    dist: Sequence[float],
+) -> bool:
+    """Bitset counterpart of :func:`distance_pruning` (Lemma 2).
+
+    Relies on the compiled-graph invariant that adopted distances are
+    ascending in id order, so the cheapest remaining candidate is simply the
+    lowest set bit of ``remaining_mask`` — no scan needed.
+    """
+    if incumbent_distance == math.inf:
+        return False
+    needed = group_size - members_count
+    if needed <= 0 or not remaining_mask:
+        return False
+    cheapest = dist[(remaining_mask & -remaining_mask).bit_length() - 1]
+    return incumbent_distance - current_distance < needed * cheapest
+
+
+def acquaintance_pruning_bitset(
+    adj: Sequence[int],
+    remaining_mask: int,
+    members_count: int,
+    group_size: int,
+    acquaintance: int,
+) -> bool:
+    """Bitset counterpart of :func:`acquaintance_pruning` (Lemma 3, corrected
+    bound — see the reference docstring).  Inner degrees become one
+    AND/popcount per remaining candidate."""
+    needed = group_size - members_count
+    if needed <= 0:
+        return False
+    required = needed * (needed - 1 - acquaintance)
+    if required <= 0 or not remaining_mask:
+        return False
+    count = remaining_mask.bit_count()
+    not_chosen = count - needed
+    if not_chosen < 0:
+        return False
+    total_inner = 0
+    min_inner: Optional[int] = None
+    mask = remaining_mask
+    while mask:
+        low = mask & -mask
+        inner = (remaining_mask & adj[low.bit_length() - 1]).bit_count()
+        total_inner += inner
+        if min_inner is None or inner < min_inner:
+            min_inner = inner
+        mask ^= low
+    upper_bound = total_inner - not_chosen * (min_inner or 0)
+    return upper_bound < required
+
+
+def availability_pruning_bitset(
+    busy_masks: Mapping[int, int],
+    remaining_mask: int,
+    members_count: int,
+    group_size: int,
+    window: PivotWindow,
+) -> bool:
+    """Bitset counterpart of :func:`availability_pruning` (Lemma 5).
+
+    ``busy_masks[slot]`` must hold the bitmask of candidate ids that are
+    *unavailable* in ``slot`` for every slot of the pivot window, so the
+    per-slot unavailable count is one AND/popcount instead of a scan over
+    the remaining candidates.
+    """
+    needed = group_size - members_count
+    if needed <= 0:
+        return False
+    count = remaining_mask.bit_count()
+    if count < needed:
+        return False
+    threshold = count - needed + 1
+    pivot = window.pivot
+    m = window.activity_length
+
+    t_minus = window.window.start - 1
+    slot = pivot - 1
+    while slot >= window.window.start:
+        if (remaining_mask & busy_masks[slot]).bit_count() >= threshold:
+            t_minus = slot
+            break
+        slot -= 1
+
+    t_plus = window.window.end + 1
+    slot = pivot + 1
+    while slot <= window.window.end:
+        if (remaining_mask & busy_masks[slot]).bit_count() >= threshold:
+            t_plus = slot
+            break
+        slot += 1
+
+    return t_plus - t_minus <= m
 
 
 def availability_pruning(

@@ -49,6 +49,14 @@ class SearchParameters:
         Toggles for the individual strategies, used by the ablation
         benchmarks.  Disabling a strategy never affects optimality, only
         running time.
+    kernel:
+        Which branch-and-bound inner loop to run: ``"compiled"`` (default)
+        maps the feasible graph to dense integer ids and evaluates the
+        measures with bitmask AND/popcount and incrementally maintained
+        counters; ``"reference"`` keeps the original pure-Python set-based
+        loop.  Both kernels explore the identical search tree and return
+        identical results (asserted by the equivalence test-suite); the
+        reference kernel exists as the executable specification.
     """
 
     theta: int = 2
@@ -59,6 +67,7 @@ class SearchParameters:
     use_acquaintance_pruning: bool = True
     use_availability_pruning: bool = True
     use_pivot_slots: bool = True
+    kernel: str = "compiled"
 
     def __post_init__(self) -> None:
         if self.theta < 0:
@@ -68,6 +77,10 @@ class SearchParameters:
         if self.phi_threshold < self.phi:
             raise QueryError(
                 f"phi_threshold ({self.phi_threshold}) must be >= phi ({self.phi})"
+            )
+        if self.kernel not in ("compiled", "reference"):
+            raise QueryError(
+                f"kernel must be 'compiled' or 'reference', got {self.kernel!r}"
             )
 
 

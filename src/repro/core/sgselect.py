@@ -19,6 +19,20 @@ node).  Optimality relies on three ingredients:
 * The interior unfamiliarity condition at ``θ = 0`` *is* the acquaintance
   constraint, so every recorded solution is feasible by construction.
 
+Two interchangeable kernels drive the inner loop (selected via
+``SearchParameters.kernel``):
+
+* ``"compiled"`` (default) — the feasible graph is mapped to dense integer
+  ids (:mod:`repro.graph.compiled`); ``VS``/``VA``/deferred become int
+  bitmasks, the measures become AND/popcount expressions, and the
+  per-member stranger counters behind ``U``/``A`` are maintained
+  *incrementally* across include/backtrack instead of being recomputed
+  from scratch per candidate.
+* ``"reference"`` — the original pure-Python set-based loop, kept as the
+  executable specification.  Both kernels visit the identical search tree
+  and produce identical results and statistics (asserted by the
+  equivalence test-suite).
+
 The solver reports rich :class:`~repro.core.result.SearchStats` so the
 experiment harness can attribute speed-ups to individual strategies.
 """
@@ -27,23 +41,33 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import InfeasibleQueryError
+from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
 from ..graph.extraction import FeasibleGraph, extract_feasible_graph
 from ..graph.social_graph import SocialGraph
 from ..types import Vertex
 from .ordering import (
+    candidate_measures_bitset,
     exterior_expansibility,
     exterior_expansibility_condition,
     interior_unfamiliarity,
     interior_unfamiliarity_condition,
 )
-from .pruning import acquaintance_pruning, distance_pruning
+from .pruning import (
+    acquaintance_pruning,
+    acquaintance_pruning_bitset,
+    distance_pruning,
+    distance_pruning_bitset,
+)
 from .query import SearchParameters, SGQuery
 from .result import GroupResult, SearchStats
 
 __all__ = ["SGSelect", "sg_select"]
+
+#: Signature of the incumbent-recording callback shared by both kernels.
+RecordFn = Callable[[Set[Vertex], float], None]
 
 
 class SGSelect:
@@ -54,8 +78,9 @@ class SGSelect:
     graph:
         The full social graph ``G``.
     parameters:
-        Search tunables (``θ`` start value and strategy toggles); defaults
-        reproduce the paper's configuration.
+        Search tunables (``θ`` start value, kernel choice, and strategy
+        toggles); defaults reproduce the paper's configuration on the
+        compiled kernel.
 
     Examples
     --------
@@ -81,6 +106,8 @@ class SGSelect:
         query: SGQuery,
         on_infeasible: str = "return",
         allowed_candidates: Optional[Set[Vertex]] = None,
+        feasible_graph: Optional[FeasibleGraph] = None,
+        compiled_graph: Optional[CompiledFeasibleGraph] = None,
     ) -> GroupResult:
         """Answer ``query`` and return the optimal group.
 
@@ -97,13 +124,31 @@ class SGSelect:
             graph; only group membership is restricted.  This is how the
             per-period STGQ baseline reuses SGSelect without perturbing the
             distance semantics.
+        feasible_graph:
+            Optional pre-extracted feasible graph for
+            ``(query.initiator, query.radius)``.  The caller guarantees the
+            correspondence; :class:`~repro.service.QueryService` uses this to
+            amortise extraction across queries sharing an ego network.
+        compiled_graph:
+            Optional pre-compiled bitmask form of ``feasible_graph`` (full
+            candidate pool).  Ignored when ``allowed_candidates`` restricts
+            the pool or the reference kernel is selected.
         """
         start = time.perf_counter()
         stats = SearchStats()
 
-        feasible_graph = extract_feasible_graph(self.graph, query.initiator, query.radius)
+        if feasible_graph is None:
+            feasible_graph = extract_feasible_graph(self.graph, query.initiator, query.radius)
+            # A caller-supplied compilation is only trusted together with the
+            # feasible graph it was built from.
+            compiled_graph = None
         result = self._search(
-            feasible_graph, query, stats, incumbent=math.inf, allowed_candidates=allowed_candidates
+            feasible_graph,
+            query,
+            stats,
+            incumbent=math.inf,
+            allowed_candidates=allowed_candidates,
+            compiled_graph=compiled_graph,
         )
         stats.elapsed_seconds = time.perf_counter() - start
 
@@ -131,6 +176,7 @@ class SGSelect:
         stats: SearchStats,
         incumbent: float,
         allowed_candidates: Optional[Set[Vertex]] = None,
+        compiled_graph: Optional[CompiledFeasibleGraph] = None,
     ) -> Optional[Tuple[Set[Vertex], float]]:
         """Run the branch-and-bound over the feasible graph.
 
@@ -145,36 +191,187 @@ class SGSelect:
         candidates = feasible_graph.candidates
         if allowed_candidates is not None:
             candidates = [v for v in candidates if v in allowed_candidates]
+            # A restricted pool invalidates a full-pool compilation.
+            compiled_graph = None
         if len(candidates) < p - 1:
             return None
 
-        graph = feasible_graph.graph
-        distances = feasible_graph.distances
-
         best: Dict[str, object] = {"distance": incumbent, "members": None}
 
-        def record(members: Set[Vertex], total: float) -> None:
-            if total < best["distance"]:
+        def record(members, total: float) -> None:
+            """Single incumbent-update path shared by both kernels."""
+            if total < best["distance"]:  # type: ignore[operator]
                 best["distance"] = total
                 best["members"] = set(members)
                 stats.solutions_found += 1
 
-        self._expand(
-            graph=graph,
-            distances=distances,
-            query=query,
-            members=[q],
-            members_set={q},
-            remaining=list(candidates),
-            current_distance=0.0,
-            best=best,
-            stats=stats,
-        )
+        if self.parameters.kernel == "compiled":
+            compiled = compiled_graph or compile_feasible_graph(feasible_graph, candidates)
+            strangers = [0] * len(compiled)
+            self._expand_bitset(
+                compiled=compiled,
+                query=query,
+                members_mask=1,
+                member_ids=[0],
+                strangers=strangers,
+                remaining_mask=compiled.candidate_mask,
+                current_distance=0.0,
+                record=record,
+                best=best,
+                stats=stats,
+            )
+        else:
+            self._expand(
+                graph=feasible_graph.graph,
+                distances=feasible_graph.distances,
+                query=query,
+                members=[q],
+                members_set={q},
+                remaining=list(candidates),
+                current_distance=0.0,
+                record=record,
+                best=best,
+                stats=stats,
+            )
 
         if best["members"] is None:
             return None
         return best["members"], float(best["distance"])  # type: ignore[arg-type]
 
+    # ------------------------------------------------------------------
+    # compiled kernel
+    # ------------------------------------------------------------------
+    def _expand_bitset(
+        self,
+        compiled: CompiledFeasibleGraph,
+        query: SGQuery,
+        members_mask: int,
+        member_ids: List[int],
+        strangers: List[int],
+        remaining_mask: int,
+        current_distance: float,
+        record: RecordFn,
+        best: Dict[str, object],
+        stats: SearchStats,
+    ) -> None:
+        """Explore one node of the set-enumeration tree (bitset state).
+
+        ``strangers[v]`` holds ``|VS - {v} - N_v|`` for every id in
+        ``member_ids`` and is maintained incrementally around the include
+        branch instead of being recomputed per candidate.
+        """
+        params = self.parameters
+        p = query.group_size
+        k = query.acquaintance
+        adj = compiled.adj
+        dist = compiled.dist
+        stats.nodes_expanded += 1
+
+        theta = params.theta if params.use_access_ordering else 0
+        deferred_mask = 0
+        members_count = len(member_ids)
+
+        while True:
+            if members_count == p:
+                record(compiled.members_of(members_mask), current_distance)
+                return
+            if members_count + remaining_mask.bit_count() < p:
+                return
+
+            # --- node-level pruning -----------------------------------
+            if params.use_distance_pruning and distance_pruning_bitset(
+                incumbent_distance=best["distance"],  # type: ignore[arg-type]
+                current_distance=current_distance,
+                members_count=members_count,
+                group_size=p,
+                remaining_mask=remaining_mask,
+                dist=dist,
+            ):
+                stats.distance_prunes += 1
+                return
+            if params.use_acquaintance_pruning and acquaintance_pruning_bitset(
+                adj=adj,
+                remaining_mask=remaining_mask,
+                members_count=members_count,
+                group_size=p,
+                acquaintance=k,
+            ):
+                stats.acquaintance_prunes += 1
+                return
+
+            # --- candidate selection (access ordering) ----------------
+            selected = -1
+            while selected < 0:
+                open_mask = remaining_mask & ~deferred_mask
+                if not open_mask:
+                    if theta > 0:
+                        theta -= 1
+                        deferred_mask = 0
+                        continue
+                    # θ exhausted and every remaining candidate deferred or
+                    # removed: nothing left to branch on at this node.
+                    return
+                # Ids follow the access order, so the lowest set bit is the
+                # unvisited candidate with the smallest social distance.
+                candidate = (open_mask & -open_mask).bit_length() - 1
+                stats.candidates_considered += 1
+
+                new_size = members_count + 1
+                cand_bit = 1 << candidate
+                trial_remaining = remaining_mask & ~cand_bit
+                unfam, expans = candidate_measures_bitset(
+                    adj, member_ids, strangers, members_mask, trial_remaining, candidate, k
+                )
+                if not exterior_expansibility_condition(expans, new_size, p):
+                    # Lemma 1: this candidate can never complete the group.
+                    remaining_mask &= ~cand_bit
+                    deferred_mask &= ~cand_bit
+                    stats.expansibility_removals += 1
+                    continue
+                if not interior_unfamiliarity_condition(unfam, new_size, p, k, theta):
+                    if theta == 0:
+                        # The expanded set already violates the acquaintance
+                        # constraint; adding more members can only make it worse.
+                        remaining_mask &= ~cand_bit
+                        deferred_mask &= ~cand_bit
+                        stats.unfamiliarity_removals += 1
+                    else:
+                        deferred_mask |= cand_bit
+                    continue
+                selected = candidate
+
+            # --- branch 1: include ``selected`` -----------------------
+            sel_bit = 1 << selected
+            sel_adj = adj[selected]
+            strangers[selected] = (members_mask & ~sel_adj).bit_count()
+            for v in member_ids:
+                if not sel_adj >> v & 1:
+                    strangers[v] += 1
+            member_ids.append(selected)
+            self._expand_bitset(
+                compiled=compiled,
+                query=query,
+                members_mask=members_mask | sel_bit,
+                member_ids=member_ids,
+                strangers=strangers,
+                remaining_mask=remaining_mask & ~sel_bit,
+                current_distance=current_distance + dist[selected],
+                record=record,
+                best=best,
+                stats=stats,
+            )
+            member_ids.pop()
+            for v in member_ids:
+                if not sel_adj >> v & 1:
+                    strangers[v] -= 1
+
+            # --- branch 2: exclude ``selected`` and continue ----------
+            remaining_mask &= ~sel_bit
+            deferred_mask &= ~sel_bit
+
+    # ------------------------------------------------------------------
+    # reference kernel
+    # ------------------------------------------------------------------
     def _expand(
         self,
         graph: SocialGraph,
@@ -184,10 +381,11 @@ class SGSelect:
         members_set: Set[Vertex],
         remaining: List[Vertex],
         current_distance: float,
+        record: RecordFn,
         best: Dict[str, object],
         stats: SearchStats,
     ) -> None:
-        """Explore one node of the set-enumeration tree."""
+        """Explore one node of the set-enumeration tree (reference state)."""
         params = self.parameters
         p = query.group_size
         k = query.acquaintance
@@ -200,11 +398,7 @@ class SGSelect:
 
         while True:
             if len(members_set) == p:
-                record_distance = current_distance
-                if record_distance < best["distance"]:  # type: ignore[operator]
-                    best["distance"] = record_distance
-                    best["members"] = set(members_set)
-                    stats.solutions_found += 1
+                record(members_set, current_distance)
                 return
             if len(members_set) + len(remaining) < p:
                 return
@@ -280,6 +474,7 @@ class SGSelect:
                 members_set=members_set,
                 remaining=child_remaining,
                 current_distance=current_distance + distances[selected],
+                record=record,
                 best=best,
                 stats=stats,
             )

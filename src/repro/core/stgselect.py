@@ -16,6 +16,13 @@ STGSelect extends SGSelect along the temporal dimension:
 * **Availability pruning** (Lemma 5) discards nodes whose remaining
   candidates are collectively too busy around the pivot.
 
+Like SGSelect, two interchangeable kernels drive the per-pivot inner loop
+(``SearchParameters.kernel``): the default ``"compiled"`` kernel runs on the
+dense-id bitmask form of the feasible graph (incremental stranger counters,
+AND/popcount measures, per-slot busy masks for Lemma 5), while
+``"reference"`` keeps the original set-based loop as the executable
+specification.  Both visit the identical search tree.
+
 The returned :class:`~repro.core.result.STGroupResult` carries the selected
 activity period, the pivot it was anchored at, and the full shared run.
 """
@@ -24,17 +31,19 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import InfeasibleQueryError, ScheduleError
+from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph, iter_bits
 from ..graph.extraction import FeasibleGraph, extract_feasible_graph
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
-from ..temporal.pivot import PivotWindow, feasible_members_for_pivot, pivot_windows
+from ..temporal.pivot import PivotWindow, pivot_windows
 from ..temporal.schedule import Schedule
 from ..temporal.slots import SlotRange
 from ..types import Vertex
 from .ordering import (
+    candidate_measures_bitset,
     exterior_expansibility,
     exterior_expansibility_condition,
     interior_unfamiliarity,
@@ -42,11 +51,21 @@ from .ordering import (
     temporal_extensibility,
     temporal_extensibility_condition,
 )
-from .pruning import acquaintance_pruning, availability_pruning, distance_pruning
+from .pruning import (
+    acquaintance_pruning,
+    acquaintance_pruning_bitset,
+    availability_pruning,
+    availability_pruning_bitset,
+    distance_pruning,
+    distance_pruning_bitset,
+)
 from .query import STGQuery, SearchParameters
 from .result import STGroupResult, SearchStats
 
 __all__ = ["STGSelect", "stg_select"]
+
+#: Incumbent-recording callback: (members, total, shared_run, pivot).
+RecordFn = Callable[[object, float, SlotRange, int], None]
 
 
 class STGSelect:
@@ -60,7 +79,7 @@ class STGSelect:
         Availability schedules for (at least) every candidate attendee and
         the initiator.
     parameters:
-        Search tunables (``θ``, ``φ``, strategy toggles).
+        Search tunables (``θ``, ``φ``, kernel choice, strategy toggles).
     """
 
     def __init__(
@@ -76,8 +95,20 @@ class STGSelect:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def solve(self, query: STGQuery, on_infeasible: str = "return") -> STGroupResult:
-        """Answer ``query`` and return the optimal group and activity period."""
+    def solve(
+        self,
+        query: STGQuery,
+        on_infeasible: str = "return",
+        feasible_graph: Optional[FeasibleGraph] = None,
+        compiled_graph: Optional[CompiledFeasibleGraph] = None,
+    ) -> STGroupResult:
+        """Answer ``query`` and return the optimal group and activity period.
+
+        ``feasible_graph`` / ``compiled_graph`` allow a caller (the batched
+        :class:`~repro.service.QueryService`) to reuse a cached extraction
+        for ``(query.initiator, query.radius)``; the caller guarantees the
+        correspondence.
+        """
         start = time.perf_counter()
         stats = SearchStats()
         horizon = self.calendars.horizon
@@ -86,13 +117,29 @@ class STGSelect:
                 f"activity length m={query.activity_length} exceeds the planning horizon {horizon}"
             )
 
-        feasible_graph = extract_feasible_graph(self.graph, query.initiator, query.radius)
+        if feasible_graph is None:
+            feasible_graph = extract_feasible_graph(self.graph, query.initiator, query.radius)
+            compiled_graph = None
+        use_bitset = self.parameters.kernel == "compiled"
+        compiled: Optional[CompiledFeasibleGraph] = None
+        if use_bitset:
+            compiled = compiled_graph or compile_feasible_graph(feasible_graph)
+
         best: Dict[str, object] = {
             "distance": math.inf,
             "members": None,
             "shared": None,
             "pivot": None,
         }
+
+        def record(members, total: float, shared: SlotRange, pivot: int) -> None:
+            """Single incumbent-update path shared by both kernels."""
+            if total < best["distance"]:  # type: ignore[operator]
+                best["distance"] = total
+                best["members"] = set(members)
+                best["shared"] = shared
+                best["pivot"] = pivot
+                stats.solutions_found += 1
 
         if self.parameters.use_pivot_slots:
             windows = pivot_windows(horizon, query.activity_length)
@@ -107,7 +154,11 @@ class STGSelect:
             if not self._member_feasible(q_schedule, window):
                 continue
             stats.pivots_processed += 1
-            self._search_pivot(feasible_graph, query, window, best, stats)
+            if use_bitset:
+                assert compiled is not None
+                self._search_pivot_bitset(compiled, query, window, record, best, stats)
+            else:
+                self._search_pivot(feasible_graph, query, window, record, best, stats)
 
         stats.elapsed_seconds = time.perf_counter() - start
         if best["members"] is None:
@@ -161,13 +212,238 @@ class STGSelect:
         return SlotRange(start, start + m - 1)
 
     # ------------------------------------------------------------------
-    # per-pivot search
+    # per-pivot search (compiled kernel)
+    # ------------------------------------------------------------------
+    def _search_pivot_bitset(
+        self,
+        compiled: CompiledFeasibleGraph,
+        query: STGQuery,
+        window: PivotWindow,
+        record: RecordFn,
+        best: Dict[str, object],
+        stats: SearchStats,
+    ) -> None:
+        q = query.initiator
+        p = query.group_size
+
+        q_shared = self.calendars.get(q).restricted(window.window).run_containing(window.pivot)
+        if q_shared is None or len(q_shared) < query.activity_length:
+            return
+        if p == 1:
+            record((q,), 0.0, q_shared, window.pivot)
+            return
+
+        # Pivot-feasible candidate pool (Definition 4) as a bitmask, plus the
+        # per-candidate schedules the joint-run updates need.
+        schedules: List[Optional[Schedule]] = [None] * len(compiled)
+        feasible_mask = 0
+        for i in range(1, len(compiled)):
+            sched = self.calendars.get(compiled.vertices[i])
+            if self._member_feasible(sched, window):
+                feasible_mask |= 1 << i
+                schedules[i] = sched
+        if feasible_mask.bit_count() < p - 1:
+            return
+
+        # Per-slot busy masks over the pivot window turn Lemma 5's per-slot
+        # candidate scan into one AND/popcount.  Skipped when availability
+        # pruning is ablated so the toggle isolates the strategy's full cost.
+        busy_masks: Dict[int, int] = {}
+        if self.parameters.use_availability_pruning:
+            for slot in window.window:
+                mask = 0
+                for i in iter_bits(feasible_mask):
+                    if not schedules[i].is_available(slot):  # type: ignore[union-attr]
+                        mask |= 1 << i
+                busy_masks[slot] = mask
+
+        strangers = [0] * len(compiled)
+        self._expand_bitset(
+            compiled=compiled,
+            schedules=schedules,
+            busy_masks=busy_masks,
+            query=query,
+            window=window,
+            members_mask=1,
+            member_ids=[0],
+            strangers=strangers,
+            shared=q_shared,
+            remaining_mask=feasible_mask,
+            current_distance=0.0,
+            record=record,
+            best=best,
+            stats=stats,
+        )
+
+    def _expand_bitset(
+        self,
+        compiled: CompiledFeasibleGraph,
+        schedules: List[Optional[Schedule]],
+        busy_masks: Dict[int, int],
+        query: STGQuery,
+        window: PivotWindow,
+        members_mask: int,
+        member_ids: List[int],
+        strangers: List[int],
+        shared: SlotRange,
+        remaining_mask: int,
+        current_distance: float,
+        record: RecordFn,
+        best: Dict[str, object],
+        stats: SearchStats,
+    ) -> None:
+        """Explore one node of the per-pivot set-enumeration tree (bitset state)."""
+        params = self.parameters
+        p = query.group_size
+        k = query.acquaintance
+        m = query.activity_length
+        adj = compiled.adj
+        dist = compiled.dist
+        stats.nodes_expanded += 1
+
+        theta = params.theta if params.use_access_ordering else 0
+        phi = params.phi if params.use_access_ordering else params.phi_threshold
+        deferred_mask = 0
+        members_count = len(member_ids)
+
+        while True:
+            if members_count == p:
+                record(compiled.members_of(members_mask), current_distance, shared, window.pivot)
+                return
+            if members_count + remaining_mask.bit_count() < p:
+                return
+
+            # --- node-level pruning -----------------------------------
+            if params.use_distance_pruning and distance_pruning_bitset(
+                incumbent_distance=best["distance"],  # type: ignore[arg-type]
+                current_distance=current_distance,
+                members_count=members_count,
+                group_size=p,
+                remaining_mask=remaining_mask,
+                dist=dist,
+            ):
+                stats.distance_prunes += 1
+                return
+            if params.use_acquaintance_pruning and acquaintance_pruning_bitset(
+                adj=adj,
+                remaining_mask=remaining_mask,
+                members_count=members_count,
+                group_size=p,
+                acquaintance=k,
+            ):
+                stats.acquaintance_prunes += 1
+                return
+            if params.use_availability_pruning and availability_pruning_bitset(
+                busy_masks=busy_masks,
+                remaining_mask=remaining_mask,
+                members_count=members_count,
+                group_size=p,
+                window=window,
+            ):
+                stats.availability_prunes += 1
+                return
+
+            # --- candidate selection (access ordering) ----------------
+            selected = -1
+            selected_shared: Optional[SlotRange] = None
+            while selected < 0:
+                open_mask = remaining_mask & ~deferred_mask
+                if not open_mask:
+                    if theta > 0:
+                        theta -= 1
+                        deferred_mask = 0
+                        continue
+                    if phi < params.phi_threshold:
+                        phi += 1
+                        deferred_mask = 0
+                        continue
+                    return
+                candidate = (open_mask & -open_mask).bit_length() - 1
+                stats.candidates_considered += 1
+
+                new_size = members_count + 1
+                cand_bit = 1 << candidate
+                trial_remaining = remaining_mask & ~cand_bit
+                unfam, expans = candidate_measures_bitset(
+                    adj, member_ids, strangers, members_mask, trial_remaining, candidate, k
+                )
+                if not exterior_expansibility_condition(expans, new_size, p):
+                    remaining_mask &= ~cand_bit
+                    deferred_mask &= ~cand_bit
+                    stats.expansibility_removals += 1
+                    continue
+                if not interior_unfamiliarity_condition(unfam, new_size, p, k, theta):
+                    if theta == 0:
+                        remaining_mask &= ~cand_bit
+                        deferred_mask &= ~cand_bit
+                        stats.unfamiliarity_removals += 1
+                    else:
+                        deferred_mask |= cand_bit
+                    continue
+
+                cand_shared = self._joint_run_schedule(
+                    shared, schedules[candidate], window  # type: ignore[arg-type]
+                )
+                ext = temporal_extensibility(cand_shared, m)
+                if not temporal_extensibility_condition(
+                    ext, new_size, p, m, phi, params.phi_threshold
+                ):
+                    if ext < 0:
+                        # Adding this candidate destroys temporal feasibility
+                        # for every extension of the current VS.
+                        remaining_mask &= ~cand_bit
+                        deferred_mask &= ~cand_bit
+                        stats.temporal_removals += 1
+                    else:
+                        deferred_mask |= cand_bit
+                    continue
+
+                selected = candidate
+                selected_shared = cand_shared
+
+            # --- branch 1: include ``selected`` -----------------------
+            assert selected_shared is not None
+            sel_bit = 1 << selected
+            sel_adj = adj[selected]
+            strangers[selected] = (members_mask & ~sel_adj).bit_count()
+            for v in member_ids:
+                if not sel_adj >> v & 1:
+                    strangers[v] += 1
+            member_ids.append(selected)
+            self._expand_bitset(
+                compiled=compiled,
+                schedules=schedules,
+                busy_masks=busy_masks,
+                query=query,
+                window=window,
+                members_mask=members_mask | sel_bit,
+                member_ids=member_ids,
+                strangers=strangers,
+                shared=selected_shared,
+                remaining_mask=remaining_mask & ~sel_bit,
+                current_distance=current_distance + dist[selected],
+                record=record,
+                best=best,
+                stats=stats,
+            )
+            member_ids.pop()
+            for v in member_ids:
+                if not sel_adj >> v & 1:
+                    strangers[v] -= 1
+
+            # --- branch 2: exclude ``selected`` and continue ----------
+            remaining_mask &= ~sel_bit
+            deferred_mask &= ~sel_bit
+
+    # ------------------------------------------------------------------
+    # per-pivot search (reference kernel)
     # ------------------------------------------------------------------
     def _search_pivot(
         self,
         feasible_graph: FeasibleGraph,
         query: STGQuery,
         window: PivotWindow,
+        record: RecordFn,
         best: Dict[str, object],
         stats: SearchStats,
     ) -> None:
@@ -180,9 +456,7 @@ class STGSelect:
         if q_shared is None or len(q_shared) < query.activity_length:
             return
         if p == 1:
-            if 0.0 < best["distance"]:  # type: ignore[operator]
-                best.update(distance=0.0, members={q}, shared=q_shared, pivot=window.pivot)
-                stats.solutions_found += 1
+            record((q,), 0.0, q_shared, window.pivot)
             return
 
         candidates = [
@@ -203,6 +477,7 @@ class STGSelect:
             shared=q_shared,
             remaining=list(candidates),
             current_distance=0.0,
+            record=record,
             best=best,
             stats=stats,
         )
@@ -218,6 +493,7 @@ class STGSelect:
         shared: SlotRange,
         remaining: List[Vertex],
         current_distance: float,
+        record: RecordFn,
         best: Dict[str, object],
         stats: SearchStats,
     ) -> None:
@@ -234,12 +510,7 @@ class STGSelect:
 
         while True:
             if len(members_set) == p:
-                if current_distance < best["distance"]:  # type: ignore[operator]
-                    best["distance"] = current_distance
-                    best["members"] = set(members_set)
-                    best["shared"] = shared
-                    best["pivot"] = window.pivot
-                    stats.solutions_found += 1
+                record(members_set, current_distance, shared, window.pivot)
                 return
             if len(members_set) + len(remaining) < p:
                 return
@@ -344,6 +615,7 @@ class STGSelect:
                 shared=selected_shared,
                 remaining=child_remaining,
                 current_distance=current_distance + distances[selected],
+                record=record,
                 best=best,
                 stats=stats,
             )
@@ -359,7 +631,13 @@ class STGSelect:
     ) -> Optional[SlotRange]:
         """Shared run of consecutive free slots containing the pivot after
         intersecting the current run with ``candidate``'s availability."""
-        schedule = self.calendars.get(candidate)
+        return self._joint_run_schedule(shared, self.calendars.get(candidate), window)
+
+    @staticmethod
+    def _joint_run_schedule(
+        shared: SlotRange, schedule: Schedule, window: PivotWindow
+    ) -> Optional[SlotRange]:
+        """Joint-run computation shared by both kernels."""
         pivot = window.pivot
         if not schedule.is_available(pivot):
             return None

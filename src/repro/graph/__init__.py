@@ -1,6 +1,7 @@
 """Social-graph substrate: weighted graphs, bounded distances, extraction,
 generators, metrics, and k-plex utilities."""
 
+from .compiled import CompiledFeasibleGraph, compile_feasible_graph
 from .distance import bounded_distance_table, bounded_distances, bounded_shortest_path, hop_counts
 from .extraction import FeasibleGraph, extract_feasible_graph
 from .generators import (
@@ -29,6 +30,8 @@ __all__ = [
     "SocialGraph",
     "FeasibleGraph",
     "extract_feasible_graph",
+    "CompiledFeasibleGraph",
+    "compile_feasible_graph",
     "bounded_distances",
     "bounded_distance_table",
     "bounded_shortest_path",

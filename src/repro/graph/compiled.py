@@ -1,0 +1,146 @@
+"""Compiled (integer-indexed, bitmask-adjacency) form of a feasible graph.
+
+The reference SGSelect/STGSelect implementations manipulate Python sets of
+arbitrary vertex objects; every interior-unfamiliarity or exterior-
+expansibility evaluation rescans those sets, which makes the branch-and-bound
+inner loop O(|VS|²) set operations per candidate per node.  This module maps
+a :class:`~repro.graph.extraction.FeasibleGraph` to a dense integer universe
+where
+
+* vertex ``id 0`` is the initiator ``q``,
+* ids ``1..n-1`` are the candidate attendees in *access order* (ascending
+  adopted social distance, ties broken by insertion order — exactly
+  ``FeasibleGraph.candidates``), and
+* adjacency is stored as one arbitrary-precision Python int bitmask per id.
+
+With that layout the search-state sets (``VS``, ``VA``, deferred) become int
+bitmasks and the paper's measures become AND/popcount expressions:
+
+* strangers of ``u`` inside ``VS``  →  ``popcount(members & ~adj[u])``,
+* candidates acquainted with ``v``  →  ``popcount(remaining & adj[v])``,
+* "next candidate by distance"      →  lowest set bit of the remaining mask
+  (the id order *is* the distance order).
+
+The structure is immutable after construction, so one compiled graph can be
+shared by many concurrent searches (the batched
+:class:`~repro.service.QueryService` relies on this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..types import Vertex
+from .extraction import FeasibleGraph
+
+__all__ = ["CompiledFeasibleGraph", "compile_feasible_graph", "iter_bits", "lowest_bit_index"]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def lowest_bit_index(mask: int) -> int:
+    """Index of the lowest set bit of a non-zero ``mask``."""
+    return (mask & -mask).bit_length() - 1
+
+
+class CompiledFeasibleGraph:
+    """Dense-id, bitmask-adjacency view of a feasible graph.
+
+    Attributes
+    ----------
+    source:
+        The initiator vertex (always id 0).
+    vertices:
+        Tuple mapping id -> vertex; ``vertices[0] == source`` and
+        ``vertices[1:]`` follow the access order.
+    index:
+        Inverse mapping vertex -> id.
+    adj:
+        ``adj[i]`` is the bitmask of ids adjacent to id ``i`` *within this
+        universe* (vertices outside the candidate pool carry no bits, which
+        is sound: every search-state set the measures intersect with is a
+        subset of the universe).
+    dist:
+        ``dist[i]`` is the adopted social distance of id ``i`` from the
+        initiator; ascending over ``i >= 1`` by construction.
+    candidate_mask:
+        Bitmask with ids ``1..n-1`` set (the full candidate pool).
+    """
+
+    __slots__ = ("source", "vertices", "index", "adj", "dist", "candidate_mask")
+
+    def __init__(
+        self,
+        source: Vertex,
+        ordered_candidates: Sequence[Vertex],
+        feasible: FeasibleGraph,
+    ) -> None:
+        self.source = source
+        self.vertices: Tuple[Vertex, ...] = (source, *ordered_candidates)
+        self.index: Dict[Vertex, int] = {v: i for i, v in enumerate(self.vertices)}
+        n = len(self.vertices)
+        graph = feasible.graph
+        adj: List[int] = [0] * n
+        for i, v in enumerate(self.vertices):
+            mask = 0
+            for u in graph.neighbors(v):
+                j = self.index.get(u)
+                if j is not None:
+                    mask |= 1 << j
+            adj[i] = mask
+        self.adj: Tuple[int, ...] = tuple(adj)
+        self.dist: Tuple[float, ...] = tuple(
+            feasible.distances[v] if i else 0.0 for i, v in enumerate(self.vertices)
+        )
+        self.candidate_mask: int = (1 << n) - 2  # all ids except the source
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of candidate attendees (excluding the initiator)."""
+        return len(self.vertices) - 1
+
+    def members_of(self, mask: int) -> List[Vertex]:
+        """Map a bitmask of ids back to the vertex objects."""
+        return [self.vertices[i] for i in iter_bits(mask)]
+
+    def mask_of(self, vertices) -> int:
+        """Bitmask of the ids of ``vertices`` (all must be in the universe)."""
+        mask = 0
+        for v in vertices:
+            mask |= 1 << self.index[v]
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledFeasibleGraph(source={self.source!r}, "
+            f"candidates={self.candidate_count})"
+        )
+
+
+def compile_feasible_graph(
+    feasible: FeasibleGraph,
+    candidates: Optional[Sequence[Vertex]] = None,
+) -> CompiledFeasibleGraph:
+    """Compile ``feasible`` into the dense bitmask form.
+
+    Parameters
+    ----------
+    feasible:
+        The extracted feasible graph.
+    candidates:
+        Optional pre-filtered candidate pool *in access order* (must be a
+        subsequence of ``feasible.candidates``).  Defaults to the full pool;
+        the restricted form supports :class:`SGSelect`'s
+        ``allowed_candidates`` parameter.
+    """
+    pool = feasible.candidates if candidates is None else list(candidates)
+    return CompiledFeasibleGraph(feasible.source, pool, feasible)

@@ -49,11 +49,18 @@ class FeasibleGraph:
         """Candidate attendees: feasible vertices excluding the initiator,
         ordered by ascending social distance (ties broken by insertion order).
 
-        This is exactly the access order SGSelect starts from.
+        This is exactly the access order SGSelect starts from.  The sorted
+        list is computed once and cached; callers receive a fresh copy so the
+        cache cannot be mutated from outside.
         """
-        others = [v for v in self.graph if v != self.source]
-        others.sort(key=lambda v: self.distances[v])
-        return others
+        cached = getattr(self, "_candidates_cache", None)
+        if cached is None:
+            others = [v for v in self.graph if v != self.source]
+            others.sort(key=lambda v: self.distances[v])
+            cached = tuple(others)
+            # The dataclass is frozen; bypass the guard for the private cache.
+            object.__setattr__(self, "_candidates_cache", cached)
+        return list(cached)
 
     def distance(self, v: Vertex) -> float:
         """Adopted social distance ``d_{v,q}`` of a feasible vertex."""

@@ -1,0 +1,50 @@
+"""repro.service — batched query serving over one shared social graph.
+
+Why a service layer
+-------------------
+The solvers in :mod:`repro.core` are single-query objects: every call to
+``SGSelect.solve`` re-extracts the initiator's feasible graph and recompiles
+it for the bitset kernel.  Real deployments look different — one large,
+slowly-changing social graph, many concurrent users issuing queries whose
+ego networks overlap heavily.  :class:`QueryService` is the piece that turns
+the solvers into that shape:
+
+* **Feasible-graph cache** — extracted (and compiled) ego networks are
+  LRU-cached per ``(initiator, radius)``, so repeated queries from the same
+  initiator — the common case for an activity-planning product — skip both
+  the bounded-Bellman–Ford extraction and the bitmask compilation.
+* **Batch fan-out** — ``solve_many`` runs independent queries across a
+  thread pool and returns results in submission order.  All cached
+  structures are immutable, so no per-query locking is needed on the read
+  path.
+* **Observability** — ``stats()`` and ``cache_info()`` expose query counts,
+  feasibility ratios, solver time and cache hit rates, the numbers a
+  capacity planner needs.
+
+Quickstart::
+
+    from repro.core import SGQuery
+    from repro.datasets import generate_real_dataset
+    from repro.service import QueryService
+
+    dataset = generate_real_dataset(n_people=194, seed=42)
+    service = QueryService(dataset.graph, dataset.calendars)
+
+    queries = [
+        SGQuery(initiator=person, group_size=5, radius=1, acquaintance=2)
+        for person in dataset.people[:50]
+    ]
+    results = service.solve_many(queries)          # thread-pool fan-out
+    print(service.stats().as_dict())
+    print(service.cache_info())                    # hits/misses/size
+
+From the command line the same path is exposed as ``stgq serve`` (see
+``python -m repro serve --help``), and ``benchmarks/bench_service.py``
+measures the compiled-kernel speedup and the batch throughput.
+
+See ``examples/batch_service.py`` for a narrated end-to-end demo.
+"""
+
+from .query_service import CacheInfo, QueryService, ServiceStats
+
+__all__ = ["QueryService", "ServiceStats", "CacheInfo"]

@@ -1,0 +1,253 @@
+"""Batched query service over one shared social graph.
+
+See :mod:`repro.service` for the subsystem overview.  This module holds the
+implementation: :class:`QueryService` (the server object),
+:class:`ServiceStats` (its observable counters) and :class:`CacheInfo`
+(a point-in-time snapshot of the feasible-graph cache).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.query import SearchParameters, SGQuery, STGQuery
+from ..core.result import GroupResult, STGroupResult
+from ..core.sgselect import SGSelect
+from ..core.stgselect import STGSelect
+from ..exceptions import QueryError
+from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
+from ..graph.extraction import FeasibleGraph, extract_feasible_graph
+from ..graph.social_graph import SocialGraph
+from ..temporal.calendars import CalendarStore
+from ..types import Vertex
+
+__all__ = ["QueryService", "ServiceStats", "CacheInfo"]
+
+Query = Union[SGQuery, STGQuery]
+Result = Union[GroupResult, STGroupResult]
+
+#: Cache key: one entry per (initiator, radius) ego network.
+CacheKey = Tuple[Vertex, int]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Point-in-time snapshot of the feasible-graph cache."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when none yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters the service exposes for observability.
+
+    ``solve_seconds`` sums the wall-clock time spent inside the solvers
+    (not queueing), so ``queries / solve_seconds`` is the per-worker solve
+    rate while the ``solve_many`` wall-clock gives end-to-end throughput.
+    """
+
+    queries: int = 0
+    sg_queries: int = 0
+    stg_queries: int = 0
+    feasible: int = 0
+    infeasible: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    solve_seconds: float = 0.0
+    nodes_expanded: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the counters as a plain dict (for CSV/JSON reporting)."""
+        return {
+            "queries": self.queries,
+            "sg_queries": self.sg_queries,
+            "stg_queries": self.stg_queries,
+            "feasible": self.feasible,
+            "infeasible": self.infeasible,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "solve_seconds": self.solve_seconds,
+            "nodes_expanded": self.nodes_expanded,
+        }
+
+
+class QueryService:
+    """Serve many SGQ/STGQ queries over one shared :class:`SocialGraph`.
+
+    Parameters
+    ----------
+    graph:
+        The social graph all queries run against.
+    calendars:
+        Availability schedules; required only for :class:`STGQuery` traffic.
+    parameters:
+        Search tunables forwarded to SGSelect/STGSelect (the default uses
+        the compiled bitset kernel).
+    cache_size:
+        Maximum number of ``(initiator, radius)`` ego networks to keep
+        (feasible graph + its compiled form).  Least-recently-used entries
+        are evicted beyond that.
+    max_workers:
+        Thread-pool width for :meth:`solve_many`.  Defaults to
+        ``min(32, os.cpu_count() + 4)``.
+
+    Notes
+    -----
+    Thread safety: the cache is guarded by a lock; the cached
+    :class:`FeasibleGraph` / :class:`CompiledFeasibleGraph` values are
+    immutable after construction, so concurrent searches share them without
+    synchronisation.  The underlying graph must not be mutated while the
+    service is live (mutating a served graph is a deployment error; build a
+    new service instead).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        calendars: Optional[CalendarStore] = None,
+        parameters: Optional[SearchParameters] = None,
+        cache_size: int = 128,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if cache_size < 1:
+            raise QueryError(f"cache_size must be >= 1, got {cache_size}")
+        self.graph = graph
+        self.calendars = calendars
+        self.parameters = parameters or SearchParameters()
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[CacheKey, Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+        self.max_workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
+
+    # ------------------------------------------------------------------
+    # feasible-graph cache
+    # ------------------------------------------------------------------
+    def _lookup(self, initiator: Vertex, radius: int) -> Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]:
+        """Return the (feasible, compiled) pair for an ego network, caching it."""
+        key = (initiator, radius)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                self._stats.cache_hits += 1
+                return entry
+            self._stats.cache_misses += 1
+        # Build outside the lock: extraction can be expensive and two threads
+        # racing on the same key simply do redundant work once.
+        feasible = extract_feasible_graph(self.graph, initiator, radius)
+        compiled = (
+            compile_feasible_graph(feasible) if self.parameters.kernel == "compiled" else None
+        )
+        with self._lock:
+            self._cache[key] = (feasible, compiled)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return feasible, compiled
+
+    def cache_info(self) -> CacheInfo:
+        """Snapshot of cache effectiveness."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._stats.cache_hits,
+                misses=self._stats.cache_misses,
+                size=len(self._cache),
+                max_size=self._cache_size,
+            )
+
+    def clear_cache(self) -> None:
+        """Drop every cached ego network (e.g. after the graph changed)."""
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, query: Query) -> Result:
+        """Answer one query (SGQ or STGQ) and update the service stats."""
+        if isinstance(query, STGQuery):
+            if self.calendars is None:
+                raise QueryError("a CalendarStore is required for social-temporal queries")
+            feasible, compiled = self._lookup(query.initiator, query.radius)
+            result: Result = STGSelect(self.graph, self.calendars, self.parameters).solve(
+                query, feasible_graph=feasible, compiled_graph=compiled
+            )
+            is_stg = True
+        elif isinstance(query, SGQuery):
+            feasible, compiled = self._lookup(query.initiator, query.radius)
+            result = SGSelect(self.graph, self.parameters).solve(
+                query, feasible_graph=feasible, compiled_graph=compiled
+            )
+            is_stg = False
+        else:
+            raise QueryError(f"unsupported query type {type(query).__name__}")
+
+        with self._lock:
+            self._stats.queries += 1
+            if is_stg:
+                self._stats.stg_queries += 1
+            else:
+                self._stats.sg_queries += 1
+            if result.feasible:
+                self._stats.feasible += 1
+            else:
+                self._stats.infeasible += 1
+            self._stats.solve_seconds += result.stats.elapsed_seconds
+            self._stats.nodes_expanded += result.stats.nodes_expanded
+        return result
+
+    def solve_many(
+        self,
+        queries: Iterable[Query],
+        max_workers: Optional[int] = None,
+    ) -> List[Result]:
+        """Answer a batch of independent queries concurrently.
+
+        Results are returned in the order of ``queries`` regardless of
+        completion order.  Queries are independent reads over the shared
+        graph, so fan-out across a thread pool is safe; with the compiled
+        kernel the per-query work is popcount-dominated, which keeps the
+        GIL contention tolerable and lets cache-warm batches overlap
+        extraction with search.
+        """
+        batch: Sequence[Query] = list(queries)
+        if not batch:
+            return []
+        workers = max_workers or self.max_workers
+        if workers <= 1 or len(batch) == 1:
+            return [self.solve(q) for q in batch]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.solve, batch))
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Copy of the aggregate service counters."""
+        with self._lock:
+            return ServiceStats(**self._stats.as_dict())  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.cache_info()
+        return (
+            f"QueryService(queries={self._stats.queries}, "
+            f"cache={info.size}/{info.max_size}, hit_rate={info.hit_rate:.2f})"
+        )

@@ -1,0 +1,192 @@
+"""Tests for the batched :class:`repro.service.QueryService`."""
+
+import pytest
+
+from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery, STGSelect
+from repro.exceptions import QueryError
+from repro.service import CacheInfo, QueryService, ServiceStats
+
+from ..conftest import make_random_calendars, make_random_graph
+
+
+@pytest.fixture
+def service_setup():
+    graph = make_random_graph(7, n=14, edge_prob=0.4)
+    calendars = make_random_calendars(11, list(graph), horizon=12, availability=0.6)
+    return graph, calendars
+
+
+class TestSolve:
+    def test_sg_matches_direct_solver(self, service_setup):
+        graph, calendars = service_setup
+        query = SGQuery(initiator=0, group_size=4, radius=2, acquaintance=1)
+        service = QueryService(graph, calendars)
+        direct = SGSelect(graph).solve(query)
+        served = service.solve(query)
+        assert served.members == direct.members
+        assert served.total_distance == direct.total_distance
+
+    def test_stg_matches_direct_solver(self, service_setup):
+        graph, calendars = service_setup
+        query = STGQuery(initiator=0, group_size=3, radius=2, acquaintance=1, activity_length=2)
+        service = QueryService(graph, calendars)
+        direct = STGSelect(graph, calendars).solve(query)
+        served = service.solve(query)
+        assert served.members == direct.members
+        assert served.total_distance == direct.total_distance
+        assert served.period == direct.period
+
+    def test_stg_requires_calendars(self, service_setup):
+        graph, _ = service_setup
+        service = QueryService(graph)
+        query = STGQuery(initiator=0, group_size=3, radius=1, acquaintance=1, activity_length=2)
+        with pytest.raises(QueryError):
+            service.solve(query)
+
+    def test_rejects_unknown_query_type(self, service_setup):
+        graph, calendars = service_setup
+        service = QueryService(graph, calendars)
+        with pytest.raises(QueryError):
+            service.solve("not a query")
+
+    def test_reference_kernel_service(self, service_setup):
+        graph, calendars = service_setup
+        query = SGQuery(initiator=0, group_size=4, radius=2, acquaintance=1)
+        compiled = QueryService(graph, calendars).solve(query)
+        reference = QueryService(
+            graph, calendars, parameters=SearchParameters(kernel="reference")
+        ).solve(query)
+        assert reference.members == compiled.members
+        assert reference.total_distance == compiled.total_distance
+
+
+class TestCache:
+    def test_repeat_initiator_hits_cache(self, service_setup):
+        graph, calendars = service_setup
+        service = QueryService(graph, calendars)
+        for p in (3, 4, 5):
+            service.solve(SGQuery(initiator=0, group_size=p, radius=2, acquaintance=1))
+        info = service.cache_info()
+        assert info.misses == 1
+        assert info.hits == 2
+        assert info.size == 1
+        assert info.hit_rate == pytest.approx(2 / 3)
+
+    def test_distinct_radius_is_distinct_entry(self, service_setup):
+        graph, calendars = service_setup
+        service = QueryService(graph, calendars)
+        service.solve(SGQuery(initiator=0, group_size=3, radius=1, acquaintance=1))
+        service.solve(SGQuery(initiator=0, group_size=3, radius=2, acquaintance=1))
+        info = service.cache_info()
+        assert info.misses == 2
+        assert info.size == 2
+
+    def test_lru_eviction(self, service_setup):
+        graph, calendars = service_setup
+        service = QueryService(graph, calendars, cache_size=2)
+        for initiator in (0, 1, 2):
+            service.solve(SGQuery(initiator=initiator, group_size=3, radius=1, acquaintance=1))
+        info = service.cache_info()
+        assert info.size == 2
+        # Initiator 0 was evicted; querying it again misses.
+        service.solve(SGQuery(initiator=0, group_size=3, radius=1, acquaintance=1))
+        assert service.cache_info().misses == 4
+
+    def test_clear_cache(self, service_setup):
+        graph, calendars = service_setup
+        service = QueryService(graph, calendars)
+        service.solve(SGQuery(initiator=0, group_size=3, radius=1, acquaintance=1))
+        service.clear_cache()
+        assert service.cache_info().size == 0
+        service.solve(SGQuery(initiator=0, group_size=3, radius=1, acquaintance=1))
+        assert service.cache_info().misses == 2
+
+    def test_cache_size_validation(self, service_setup):
+        graph, calendars = service_setup
+        with pytest.raises(QueryError):
+            QueryService(graph, calendars, cache_size=0)
+
+    def test_shared_cache_across_query_kinds(self, service_setup):
+        graph, calendars = service_setup
+        service = QueryService(graph, calendars)
+        service.solve(SGQuery(initiator=0, group_size=3, radius=2, acquaintance=1))
+        service.solve(
+            STGQuery(initiator=0, group_size=3, radius=2, acquaintance=1, activity_length=2)
+        )
+        info = service.cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+
+
+class TestSolveMany:
+    def _batch(self, graph):
+        return [
+            SGQuery(initiator=initiator, group_size=p, radius=2, acquaintance=1)
+            for initiator in (0, 1, 2, 3)
+            for p in (3, 4, 5)
+        ]
+
+    def test_results_in_submission_order(self, service_setup):
+        graph, calendars = service_setup
+        queries = self._batch(graph)
+        service = QueryService(graph, calendars, max_workers=4)
+        results = service.solve_many(queries)
+        assert len(results) == len(queries)
+        sequential = [SGSelect(graph).solve(q) for q in queries]
+        for got, want in zip(results, sequential):
+            assert got.feasible == want.feasible
+            assert got.members == want.members
+            assert got.total_distance == want.total_distance
+
+    def test_single_worker_path(self, service_setup):
+        graph, calendars = service_setup
+        queries = self._batch(graph)
+        service = QueryService(graph, calendars, max_workers=1)
+        results = service.solve_many(queries)
+        assert [r.members for r in results] == [
+            SGSelect(graph).solve(q).members for q in queries
+        ]
+
+    def test_empty_batch(self, service_setup):
+        graph, calendars = service_setup
+        assert QueryService(graph, calendars).solve_many([]) == []
+
+    def test_mixed_batch(self, service_setup):
+        graph, calendars = service_setup
+        queries = [
+            SGQuery(initiator=0, group_size=3, radius=2, acquaintance=1),
+            STGQuery(initiator=0, group_size=3, radius=2, acquaintance=1, activity_length=2),
+        ]
+        service = QueryService(graph, calendars)
+        sg_result, stg_result = service.solve_many(queries)
+        assert sg_result.solver == "SGSelect"
+        assert stg_result.solver == "STGSelect"
+        stats = service.stats()
+        assert stats.sg_queries == 1
+        assert stats.stg_queries == 1
+
+
+class TestStats:
+    def test_counters_accumulate(self, service_setup):
+        graph, calendars = service_setup
+        service = QueryService(graph, calendars)
+        queries = [
+            SGQuery(initiator=initiator, group_size=3, radius=1, acquaintance=1)
+            for initiator in (0, 1, 0)
+        ]
+        results = service.solve_many(queries, max_workers=2)
+        stats = service.stats()
+        assert stats.queries == 3
+        assert stats.sg_queries == 3
+        assert stats.feasible == sum(1 for r in results if r.feasible)
+        assert stats.infeasible == 3 - stats.feasible
+        assert stats.solve_seconds >= 0.0
+        assert isinstance(stats.as_dict(), dict)
+
+    def test_stats_returns_copy(self, service_setup):
+        graph, calendars = service_setup
+        service = QueryService(graph, calendars)
+        snapshot = service.stats()
+        service.solve(SGQuery(initiator=0, group_size=3, radius=1, acquaintance=1))
+        assert snapshot.queries == 0
+        assert service.stats().queries == 1

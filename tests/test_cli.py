@@ -86,3 +86,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "no-distance-pruning" in out
+
+    def test_serve_sgq_batch(self, capsys):
+        code = main(
+            ["serve", "--queries", "12", "--initiators", "4", "--people", "60",
+             "--seed", "3", "-p", "4", "-k", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "12 SGQ queries" in out
+        assert "queries/s" in out
+        assert "hit rate" in out
+
+    def test_serve_stgq_batch_reference_kernel(self, capsys):
+        code = main(
+            ["serve", "--queries", "6", "--initiators", "3", "--people", "60",
+             "--seed", "3", "-p", "3", "-k", "2", "-m", "2",
+             "--kernel", "reference", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6 STGQ queries" in out
+        assert "kernel=reference" in out
