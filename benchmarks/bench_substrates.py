@@ -8,7 +8,6 @@ filtering) are visible independently of the end-to-end query benchmarks.
 import pytest
 
 from repro.graph import bounded_distances, extract_feasible_graph
-from repro.temporal import SlotRange
 from repro.temporal.pivot import feasible_members_for_pivot, pivot_windows
 
 from .conftest import ROUNDS, dataset_for_size, initiator_for

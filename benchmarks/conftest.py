@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.workloads import ego_size, pick_initiator, workload
+from repro.experiments.workloads import pick_initiator, workload
 
 #: Candidate-pool bounds for benchmark initiators; keeps the brute-force
 #: baselines affordable while preserving the combinatorial growth the paper

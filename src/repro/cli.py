@@ -12,8 +12,10 @@ Three sub-commands mirror how the library is typically used:
     Run the strategy-ablation study on a generated dataset.
 
 ``stgq serve``
-    Answer a batch of queries through the cached, thread-pooled
-    :class:`~repro.service.QueryService` and report throughput.
+    Answer queries through the cached :class:`~repro.service.QueryService`
+    on a selectable executor backend (``--backend serial|thread|process``),
+    either as a generated benchmark batch or as a JSONL request loop over
+    stdin/stdout (``--jsonl``).
 
 Run ``python -m repro --help`` (or ``stgq --help`` once installed) for the
 full argument reference.
@@ -34,8 +36,8 @@ from .experiments.ablation import format_ablation, run_sg_ablation, run_stg_abla
 from .experiments.config import FIGURE_IDS, ExperimentScale
 from .experiments.figures import run_figure
 from .experiments.reporting import format_quality_table, format_table
-from .experiments.workloads import pick_initiator, workload
-from .service import QueryService
+from .experiments.workloads import pick_initiator
+from .service import QueryService, serve_jsonl
 
 __all__ = ["main", "build_parser"]
 
@@ -98,7 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve",
-        help="answer a batch of queries through the cached QueryService and report throughput",
+        help="answer queries through the cached QueryService (selectable executor backend)",
+        description=(
+            "Serve SGQ/STGQ traffic through the cached QueryService. Scaling the "
+            "service: --backend thread (default) fans a batch over a thread pool "
+            "sharing one ego-network cache — best for cache-hot traffic, but the "
+            "compiled kernel is GIL-bound, so it peaks near one core. --backend "
+            "process shards initiators across persistent worker processes, each "
+            "holding its own graph copy and ego-network LRU cache; queries always "
+            "route to the worker owning their initiator, so caches stay hot and "
+            "popcount-heavy batches scale across cores. --backend serial is the "
+            "single-threaded baseline. With --jsonl the command turns into a "
+            "stdin/stdout JSONL request loop (one request per line, responses in "
+            "request order) instead of generating a synthetic batch."
+        ),
     )
     serve.add_argument("--people", type=int, default=194, help="population size (default 194)")
     serve.add_argument("--days", type=int, default=1, help="schedule length in days (default 1)")
@@ -111,7 +126,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of distinct initiators to draw queries from (default 16)",
     )
     serve.add_argument(
-        "--workers", type=_positive_int, default=None, help="thread-pool width (default: auto)"
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="thread",
+        help=(
+            "executor backend: 'serial' (in-process loop), 'thread' (shared-cache "
+            "pool; GIL-bound), 'process' (initiator-sharded worker processes, one "
+            "graph copy + ego cache each; scales across cores) (default thread)"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="executor width: threads for --backend thread, worker processes "
+        "(= shards) for --backend process (default: auto)",
+    )
+    serve.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="serve JSONL requests from stdin to stdout until EOF instead of "
+        "generating a batch (stats summary goes to stderr)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=64,
+        help="pipelining batch size for --jsonl (default 64)",
     )
     serve.add_argument(
         "--cache-size", type=_positive_int, default=128, help="feasible-graph cache entries"
@@ -222,53 +263,67 @@ def _command_serve(args: argparse.Namespace) -> int:
     dataset = generate_real_dataset(
         n_people=args.people, schedule_days=args.days, seed=args.seed
     )
-    rng = random.Random(args.seed)
-    pool = list(dataset.people)
-    initiators = rng.sample(pool, min(args.initiators, len(pool)))
-
-    queries: List = []
-    for _ in range(args.queries):
-        initiator = rng.choice(initiators)
-        if args.activity_length is None:
-            queries.append(
-                SGQuery(
-                    initiator=initiator,
-                    group_size=args.group_size,
-                    radius=args.radius,
-                    acquaintance=args.acquaintance,
-                )
-            )
-        else:
-            queries.append(
-                STGQuery(
-                    initiator=initiator,
-                    group_size=args.group_size,
-                    radius=args.radius,
-                    acquaintance=args.acquaintance,
-                    activity_length=args.activity_length,
-                )
-            )
-
     service = QueryService(
         dataset.graph,
         dataset.calendars,
         parameters=SearchParameters(kernel=args.kernel),
         cache_size=args.cache_size,
         max_workers=args.workers,
+        backend=args.backend,
     )
-    start = time.perf_counter()
-    results = service.solve_many(queries)
-    elapsed = time.perf_counter() - start
+    with service:
+        if args.jsonl:
+            served = serve_jsonl(service, sys.stdin, sys.stdout, batch_size=args.batch_size)
+            stats = service.stats()
+            info = service.cache_info()
+            print(
+                f"served {served} requests (backend={service.backend_name}, "
+                f"workers={service.max_workers}); solver time {stats.solve_seconds:.3f} s, "
+                f"cache hit rate {info.hit_rate:.0%}",
+                file=sys.stderr,
+            )
+            return 0
 
-    stats = service.stats()
-    info = service.cache_info()
+        rng = random.Random(args.seed)
+        pool = list(dataset.people)
+        initiators = rng.sample(pool, min(args.initiators, len(pool)))
+
+        queries: List = []
+        for _ in range(args.queries):
+            initiator = rng.choice(initiators)
+            if args.activity_length is None:
+                queries.append(
+                    SGQuery(
+                        initiator=initiator,
+                        group_size=args.group_size,
+                        radius=args.radius,
+                        acquaintance=args.acquaintance,
+                    )
+                )
+            else:
+                queries.append(
+                    STGQuery(
+                        initiator=initiator,
+                        group_size=args.group_size,
+                        radius=args.radius,
+                        acquaintance=args.acquaintance,
+                        activity_length=args.activity_length,
+                    )
+                )
+
+        start = time.perf_counter()
+        results = service.solve_many(queries)
+        elapsed = time.perf_counter() - start
+
+        stats = service.stats()
+        info = service.cache_info()
     feasible = sum(1 for r in results if r.feasible)
     kind = "SGQ" if args.activity_length is None else "STGQ"
     print(f"batch: {len(results)} {kind} queries over {args.people} people "
           f"({len(initiators)} initiators, kernel={args.kernel})")
     print(f"feasible: {feasible}/{len(results)}")
     print(f"wall clock: {elapsed:.3f} s  ({len(results) / elapsed:.1f} queries/s, "
-          f"workers={service.max_workers})")
+          f"backend={service.backend_name}, workers={service.max_workers})")
     print(f"solver time: {stats.solve_seconds:.3f} s across {stats.nodes_expanded} nodes")
     print(f"cache: {info.hits} hits / {info.misses} misses "
           f"(hit rate {info.hit_rate:.0%}, {info.size}/{info.max_size} entries)")

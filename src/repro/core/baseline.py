@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 import time
 from itertools import combinations
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..graph.extraction import extract_feasible_graph
 from ..graph.kplex import is_kplex

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..graph.distance import bounded_distances
 from ..graph.kplex import non_neighbor_counts

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence, Set, Tuple
 
 from ..graph.extraction import FeasibleGraph, extract_feasible_graph
 from ..graph.kplex import is_kplex

@@ -7,7 +7,6 @@ treat "IP" as just another solver (as the paper's Figures 1(a) and 1(d) do).
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Dict, Optional
 

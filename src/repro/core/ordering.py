@@ -19,7 +19,7 @@ adjust when no candidate qualifies.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence
 
 from ..graph.social_graph import SocialGraph
 from ..temporal.slots import SlotRange

@@ -26,15 +26,12 @@ as an infeasible result.
 
 from __future__ import annotations
 
-import math
 import time
-from typing import List, Optional, Set
+from typing import List
 
 from ..graph.extraction import extract_feasible_graph
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
-from ..temporal.schedule import Schedule
-from ..temporal.slots import SlotRange
 from ..types import Vertex
 from .constraints import observed_acquaintance
 from .query import STGQuery

@@ -11,7 +11,7 @@ availability pruning), so enabling them never changes the optimal answer.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Set
+from typing import Iterable, Mapping, Optional, Sequence
 
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
@@ -101,7 +101,6 @@ def acquaintance_pruning(
     remaining_set = set(remaining)
     if not remaining_set:
         return False
-    inner_degrees = []
     total_inner = 0
     min_inner = None
     for v in remaining_set:

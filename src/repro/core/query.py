@@ -15,8 +15,7 @@ validate them eagerly so solvers can assume well-formed input.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..exceptions import QueryError
 from ..types import Vertex

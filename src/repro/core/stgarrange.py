@@ -12,17 +12,15 @@ smaller total distance than manual coordination.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
 from ..types import Vertex
-from .constraints import observed_acquaintance
 from .pcarrange import PCArrange
 from .query import STGQuery, SearchParameters
-from .result import STGroupResult, SearchStats
+from .result import STGroupResult
 from .stgselect import STGSelect
 
 __all__ = ["STGArrangeOutcome", "STGArrange"]

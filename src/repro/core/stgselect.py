@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..exceptions import InfeasibleQueryError, ScheduleError
 from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph, iter_bits

@@ -9,7 +9,7 @@ instances so the experiment harness can treat them interchangeably.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore

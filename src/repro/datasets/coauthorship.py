@@ -11,7 +11,7 @@ backbone) at the requested size and resamples schedules from the synthetic
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..graph.generators import coauthorship_style_network, ensure_connected_to
 from ..temporal.generators import resample_calendar_store

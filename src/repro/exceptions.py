@@ -24,6 +24,11 @@ class VertexNotFoundError(GraphError):
         super().__init__(f"vertex {vertex!r} is not in the graph")
         self.vertex = vertex
 
+    def __reduce__(self):
+        # Rebuild from the vertex, not the formatted message, so the error
+        # survives the worker-process round trip without double-wrapping.
+        return (VertexNotFoundError, (self.vertex,))
+
 
 class EdgeNotFoundError(GraphError):
     """Raised when an operation references an edge not present in the graph."""
@@ -32,6 +37,11 @@ class EdgeNotFoundError(GraphError):
         super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
         self.u = u
         self.v = v
+
+    def __reduce__(self):
+        # See VertexNotFoundError.__reduce__: pickle the operands, not the
+        # formatted message.
+        return (EdgeNotFoundError, (self.u, self.v))
 
 
 class ScheduleError(ReproError):

@@ -11,14 +11,14 @@ disabled at a time.  Disabling a strategy never changes the returned optimum
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..core.query import STGQuery, SGQuery, SearchParameters
 from ..core.sgselect import SGSelect
 from ..core.stgselect import STGSelect
 from ..datasets.base import Dataset
 from ..types import Vertex
-from .runner import Measurement, measure
+from .runner import measure
 
 __all__ = ["AblationRow", "AblationReport", "run_sg_ablation", "run_stg_ablation", "format_ablation"]
 

@@ -19,9 +19,9 @@ EXPERIMENTS.md all describe exactly the same runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 __all__ = ["ExperimentScale", "FigureConfig", "figure_config", "FIGURE_IDS"]
 

@@ -19,20 +19,18 @@ hardware, C vs. pure Python); the claims reproduced are the *shapes*:
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict
 
 from ..core.baseline import BaselineSGQ, BaselineSTGQ
 from ..core.ip.solver import IPSolver
-from ..core.pcarrange import PCArrange
-from ..core.query import SGQuery, STGQuery, SearchParameters
+from ..core.query import SGQuery, STGQuery
 from ..core.sgselect import SGSelect
 from ..core.stgarrange import STGArrange
 from ..core.stgselect import STGSelect
 from ..datasets.base import Dataset
 from ..types import Vertex
 from .config import ExperimentScale, FigureConfig, figure_config
-from .runner import FigureSeries, Measurement, SeriesPoint, measure
+from .runner import FigureSeries, SeriesPoint, measure
 from .workloads import ego_size, pick_initiator, workload
 
 __all__ = [

@@ -10,7 +10,7 @@ single instance within a process).
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..datasets.base import Dataset
 from ..datasets.coauthorship import generate_coauthorship_dataset

@@ -19,7 +19,7 @@ cross-check helper built on explicit path enumeration for tiny graphs.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import VertexNotFoundError
 from ..types import Vertex

@@ -11,7 +11,7 @@ is discarded before the branch-and-bound search begins.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping
 
 from ..exceptions import VertexNotFoundError

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..exceptions import GraphError
 from ..types import Vertex

@@ -21,7 +21,7 @@ This module provides:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from ..types import Vertex
 from .social_graph import SocialGraph

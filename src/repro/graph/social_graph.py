@@ -18,7 +18,7 @@ cross-checking distances in the test-suite.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional
 
 from ..exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
 from ..types import Vertex, WeightedEdge
@@ -149,7 +149,6 @@ class SocialGraph:
         result: List[WeightedEdge] = []
         for u, nbrs in self._adj.items():
             for v, d in nbrs.items():
-                key = (u, v) if id(u) <= id(v) else (v, u)
                 # Use a frozenset key to deduplicate regardless of id ordering.
                 fkey = frozenset((u, v))
                 if fkey in seen:

@@ -13,13 +13,19 @@ the solvers into that shape:
   LRU-cached per ``(initiator, radius)``, so repeated queries from the same
   initiator — the common case for an activity-planning product — skip both
   the bounded-Bellman–Ford extraction and the bitmask compilation.
-* **Batch fan-out** — ``solve_many`` runs independent queries across a
-  thread pool and returns results in submission order.  All cached
-  structures are immutable, so no per-query locking is needed on the read
-  path.
+* **Pluggable executor backends** — ``solve_many`` delegates to an
+  :class:`ExecutorBackend`: ``serial`` (in-process loop), ``thread`` (pool
+  sharing the service cache; best when traffic is cache-hot) or ``process``
+  (initiators sharded across persistent worker processes, each with its own
+  graph copy and ego-network cache — the backend that scales the GIL-bound
+  compiled kernel across cores).  See :mod:`repro.service.backends` and
+  :mod:`repro.service.sharding`.
+* **Async front-end** — ``solve_many_async`` lets an asyncio caller pipeline
+  batches; ``stgq serve --jsonl`` exposes the same thing as a line-oriented
+  stdin/stdout protocol (:mod:`repro.service.jsonl`).
 * **Observability** — ``stats()`` and ``cache_info()`` expose query counts,
   feasibility ratios, solver time and cache hit rates, the numbers a
-  capacity planner needs.
+  capacity planner needs — aggregated across workers whichever backend runs.
 
 Quickstart::
 
@@ -28,23 +34,45 @@ Quickstart::
     from repro.service import QueryService
 
     dataset = generate_real_dataset(n_people=194, seed=42)
-    service = QueryService(dataset.graph, dataset.calendars)
-
-    queries = [
-        SGQuery(initiator=person, group_size=5, radius=1, acquaintance=2)
-        for person in dataset.people[:50]
-    ]
-    results = service.solve_many(queries)          # thread-pool fan-out
-    print(service.stats().as_dict())
-    print(service.cache_info())                    # hits/misses/size
+    with QueryService(dataset.graph, dataset.calendars, backend="process") as service:
+        queries = [
+            SGQuery(initiator=person, group_size=5, radius=1, acquaintance=2)
+            for person in dataset.people[:50]
+        ]
+        results = service.solve_many(queries)      # sharded process fan-out
+        print(service.stats().as_dict())
+        print(service.cache_info())                # hits/misses/size
 
 From the command line the same path is exposed as ``stgq serve`` (see
 ``python -m repro serve --help``), and ``benchmarks/bench_service.py``
-measures the compiled-kernel speedup and the batch throughput.
+measures the compiled-kernel speedup and per-backend batch throughput.
 
 See ``examples/batch_service.py`` for a narrated end-to-end demo.
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from .jsonl import serve_jsonl
 from .query_service import CacheInfo, QueryService, ServiceStats
+from .sharding import ShardMap, stable_shard
 
-__all__ = ["QueryService", "ServiceStats", "CacheInfo"]
+__all__ = [
+    "BACKEND_NAMES",
+    "CacheInfo",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "QueryService",
+    "SerialBackend",
+    "ServiceStats",
+    "ShardMap",
+    "ThreadBackend",
+    "make_backend",
+    "serve_jsonl",
+    "stable_shard",
+]

@@ -1,0 +1,323 @@
+"""Executor backends for :class:`~repro.service.QueryService` batches.
+
+The service's batch path is a strategy object implementing
+:class:`ExecutorBackend`:
+
+``serial``
+    Solve queries one after another on the calling thread.  Zero overhead,
+    fully deterministic scheduling; the baseline the others are compared to.
+
+``thread``
+    Fan out across a persistent :class:`~concurrent.futures.ThreadPoolExecutor`
+    sharing the service's ego-network cache.  Cheap to start and ideal for
+    cache-hot traffic, but the compiled kernel's popcount loops hold the GIL,
+    so throughput stops scaling past roughly one core.
+
+``process``
+    Shard the workload by initiator across persistent single-worker process
+    pools (one :class:`~concurrent.futures.ProcessPoolExecutor` per shard).
+    Every worker holds its own copy of the social graph plus a private
+    ego-network LRU cache, and a query always routes to the worker owning its
+    initiator (see :mod:`repro.service.sharding`), so caches stay hot without
+    any cross-process invalidation.  This is the backend that scales the
+    GIL-bound kernel across cores, and the shape a future multi-node
+    deployment drops into (replace the pool with a remote worker).
+
+Workers report per-batch :class:`~repro.service.query_service.ServiceStats`
+deltas which the parent service merges, so ``service.stats()`` and
+``service.cache_info()`` aggregate identically whichever backend ran the
+batch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple, Union
+
+from ..exceptions import QueryError
+from .sharding import ShardMap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .query_service import Query, QueryService, Result
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "make_backend",
+]
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+class ExecutorBackend(Protocol):
+    """Strategy interface the service delegates batch execution to.
+
+    Implementations may keep persistent executors; they are started lazily on
+    the first batch and released by :meth:`close` (idempotent — a closed
+    backend restarts on its next batch).
+    """
+
+    name: str
+    workers: int
+
+    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
+        """Answer ``queries`` in submission order, recording stats on ``service``."""
+        ...
+
+    def cache_entries(self) -> Optional[int]:
+        """Total cached ego networks held by workers, or ``None`` when the
+        backend uses the service's own in-process cache."""
+        ...
+
+    def close(self) -> None:
+        """Release pools and worker processes (no-op for stateless backends)."""
+        ...
+
+
+class SerialBackend:
+    """Solve every query on the calling thread, in order."""
+
+    name = "serial"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = 1
+
+    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
+        return [service._solve_local(query) for query in queries]
+
+    def cache_entries(self) -> Optional[int]:
+        return None
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadBackend:
+    """Fan out over a persistent thread pool sharing the service's cache."""
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers or min(32, (os.cpu_count() or 1) + 4)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="stgq-worker"
+                )
+                # Safety net for callers that never close(): release the
+                # threads when the backend is garbage collected.
+                self._finalizer = weakref.finalize(self, self._pool.shutdown, wait=False)
+            return self._pool
+
+    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
+        if self.workers <= 1 or len(queries) <= 1:
+            return [service._solve_local(query) for query in queries]
+        return list(self._ensure_pool().map(service._solve_local, queries))
+
+    def cache_entries(self) -> Optional[int]:
+        return None
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# process backend: worker side
+# ----------------------------------------------------------------------
+# One module-level service per worker process, created by the pool
+# initializer.  Each shard's pool has exactly one worker, so the service
+# (and its ego-network cache) persists across that shard's batches.
+_WORKER_SERVICE: Optional["QueryService"] = None
+
+
+def _init_worker(graph, calendars, parameters, cache_size: int) -> None:
+    """Pool initializer: build this worker's private serial service."""
+    global _WORKER_SERVICE
+    from .query_service import QueryService
+
+    _WORKER_SERVICE = QueryService(
+        graph,
+        calendars,
+        parameters=parameters,
+        cache_size=cache_size,
+        backend="serial",
+    )
+
+
+def _worker_solve_batch(
+    queries: Sequence["Query"],
+) -> Tuple[List["Result"], Dict[str, float], int]:
+    """Solve one shard's slice of a batch inside the worker process.
+
+    Returns the results in slice order, the stats *delta* this slice
+    produced (so the parent can merge it without double counting), and the
+    worker's current cache size.
+    """
+    service = _WORKER_SERVICE
+    if service is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("process-pool worker used before initialisation")
+    before = service.stats().as_dict()
+    results = [service.solve(query) for query in queries]
+    after = service.stats().as_dict()
+    delta = {key: after[key] - before[key] for key in after}
+    return results, delta, service.cache_info().size
+
+
+def _shutdown_pools(pools: List[ProcessPoolExecutor], wait: bool = False) -> None:
+    """Shut down a list of pools (module-level so finalizers can hold it)."""
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+def _default_mp_context():
+    """Prefer ``forkserver``: safe to start lazily from a threaded process."""
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - e.g. Windows
+        return multiprocessing.get_context()
+
+
+class ProcessBackend:
+    """Shard initiators across persistent single-worker process pools.
+
+    Parameters
+    ----------
+    workers:
+        Number of shards / worker processes (default: ``os.cpu_count()``).
+    mp_context:
+        Optional :mod:`multiprocessing` context.  Defaults to ``forkserver``
+        where available (pools may be started lazily from an executor thread
+        — e.g. the asyncio front-end — and forking a multi-threaded process
+        is deadlock-prone and deprecated on Python 3.12+), else the platform
+        default (``spawn`` on Windows).
+
+    Notes
+    -----
+    Worker pools start lazily on the first batch and are bound to that
+    service (its graph, calendars and search parameters are shipped to every
+    worker once, via the pool initializer).  The service-level ``cache_size``
+    is split evenly across workers — keys partition by initiator, so the
+    total capacity is comparable to the single-cache backends.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, mp_context=None) -> None:
+        self.workers = workers or os.cpu_count() or 1
+        self._mp_context = mp_context
+        self._shards = ShardMap(self.workers)
+        self._pools: Optional[List[ProcessPoolExecutor]] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        self._bound_service: Optional["QueryService"] = None
+        self._cache_sizes: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def _ensure_started(self, service: "QueryService") -> List[ProcessPoolExecutor]:
+        with self._lock:
+            if self._pools is not None:
+                if self._bound_service is not service:
+                    raise QueryError(
+                        "a ProcessBackend instance cannot be shared between services; "
+                        "close() it first or give each service its own backend"
+                    )
+                return self._pools
+            context = self._mp_context or _default_mp_context()
+            per_worker_cache = max(1, -(-service.cache_size // self.workers))
+            initargs = (service.graph, service.calendars, service.parameters, per_worker_cache)
+            self._pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=context,
+                    initializer=_init_worker,
+                    initargs=initargs,
+                )
+                for _ in range(self.workers)
+            ]
+            # Safety net for callers that never close(): release the worker
+            # processes when the backend is garbage collected.
+            self._finalizer = weakref.finalize(self, _shutdown_pools, self._pools)
+            self._bound_service = service
+            self._cache_sizes = {}
+            return self._pools
+
+    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
+        pools = self._ensure_started(service)
+        parts = self._shards.partition(queries)
+        futures = {
+            shard: pools[shard].submit(_worker_solve_batch, [query for _, query in entries])
+            for shard, entries in parts.items()
+        }
+        # Wait for every shard before touching the parent counters, so a
+        # failing shard leaves the stats all-or-nothing: a raised batch is
+        # never partially counted (worker-side cache state may still have
+        # advanced; only the parent's aggregate view is transactional).
+        outcomes = {}
+        error: Optional[BaseException] = None
+        for shard, future in futures.items():
+            try:
+                outcomes[shard] = future.result()
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        results: List[Optional["Result"]] = [None] * len(queries)
+        for shard, entries in parts.items():
+            shard_results, delta, cache_size = outcomes[shard]
+            for (index, _), result in zip(entries, shard_results):
+                results[index] = result
+            service._merge_stats_delta(delta)
+            self._cache_sizes[shard] = cache_size
+        return results  # type: ignore[return-value]
+
+    def cache_entries(self) -> Optional[int]:
+        return sum(self._cache_sizes.values())
+
+    def close(self) -> None:
+        with self._lock:
+            pools, self._pools = self._pools, None
+            finalizer, self._finalizer = self._finalizer, None
+            self._bound_service = None
+            self._cache_sizes = {}
+        if finalizer is not None:
+            finalizer.detach()
+        if pools is not None:
+            _shutdown_pools(pools, wait=True)
+
+
+def make_backend(
+    backend: Union[str, "ExecutorBackend"],
+    workers: Optional[int] = None,
+) -> "ExecutorBackend":
+    """Resolve a backend spec (name or ready instance) to an instance.
+
+    ``workers`` only applies when ``backend`` is a name; a ready instance
+    keeps its own configuration.
+    """
+    if not isinstance(backend, str):
+        return backend
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "thread":
+        return ThreadBackend(workers)
+    if backend == "process":
+        return ProcessBackend(workers)
+    raise QueryError(f"unknown backend {backend!r}; expected one of {', '.join(BACKEND_NAMES)}")

@@ -1,0 +1,292 @@
+"""JSONL request loop: the stdin/stdout wire protocol of ``stgq serve --jsonl``.
+
+One request per line, one response per line, responses in request order:
+
+Request::
+
+    {"id": 7, "initiator": 12, "group_size": 5, "radius": 1,
+     "acquaintance": 2, "activity_length": 4}
+
+``id`` is optional and echoed back verbatim.  The paper's short parameter
+names are accepted as aliases (``p`` = group_size, ``s`` = radius,
+``k`` = acquaintance, ``m`` = activity_length); omitting
+``activity_length``/``m`` makes the request a purely social SGQ.
+
+Response::
+
+    {"id": 7, "feasible": true, "members": [3, 9, 12, 17, 20],
+     "total_distance": 6.5, "period": [10, 13], "solver": "STGSelect"}
+
+Malformed lines, invalid parameters and solver-time library errors (e.g. an
+initiator not in the graph) produce ``{"id": ..., "error": "..."}`` in place
+of a result; the loop keeps serving.  ``total_distance`` is ``null`` for
+infeasible results (JSON has no ``Infinity``).
+
+The loop is pipelined: requests are read in batches and each batch is solved
+through :meth:`~repro.service.QueryService.solve_many_async` while the next
+batch is being read and the previous batch's responses are being written.
+Batches fill only while input is immediately available, and pending
+responses are flushed before the loop blocks for more input — so both
+firehose pipelining clients and strict request/response clients are served
+without deadlock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
+
+from ..core.query import SGQuery, STGQuery
+from ..core.result import STGroupResult
+from ..exceptions import QueryError
+from .query_service import Query, QueryService, Result
+
+__all__ = ["serve_jsonl", "query_from_request", "response_for"]
+
+#: Paper-style aliases accepted in requests.
+_ALIASES = {"p": "group_size", "s": "radius", "k": "acquaintance", "m": "activity_length"}
+_FIELDS = ("initiator", "group_size", "radius", "acquaintance", "activity_length")
+
+
+def query_from_request(payload: Dict[str, Any]) -> Query:
+    """Build an :class:`SGQuery`/:class:`STGQuery` from one decoded request.
+
+    Raises :class:`~repro.exceptions.QueryError` on missing or invalid
+    fields, which the serve loop turns into an error response.
+    """
+    if not isinstance(payload, dict):
+        raise QueryError(f"request must be a JSON object, got {type(payload).__name__}")
+    fields: Dict[str, Any] = {}
+    for key, value in payload.items():
+        name = _ALIASES.get(key, key)
+        if name in _FIELDS:
+            if name in fields:
+                raise QueryError(f"duplicate field {name!r} (alias collision)")
+            fields[name] = value
+    if "initiator" not in fields:
+        raise QueryError("request is missing 'initiator'")
+    if "group_size" not in fields:
+        raise QueryError("request is missing 'group_size' (alias 'p')")
+    fields.setdefault("radius", 1)
+    fields.setdefault("acquaintance", 1)
+    activity_length = fields.pop("activity_length", None)
+    try:
+        if activity_length is None:
+            return SGQuery(**fields)
+        return STGQuery(activity_length=activity_length, **fields)
+    except TypeError as exc:  # non-numeric parameters and the like
+        raise QueryError(f"invalid request parameters: {exc}") from exc
+
+
+def response_for(request_id: Any, result: Result) -> Dict[str, Any]:
+    """Encode one solver result as a JSON-safe response object."""
+    response: Dict[str, Any] = {
+        "id": request_id,
+        "feasible": result.feasible,
+        "members": result.sorted_members(),
+        "total_distance": result.total_distance if result.feasible else None,
+        "solver": result.solver,
+    }
+    if isinstance(result, STGroupResult):
+        response["period"] = list(result.period.as_tuple()) if result.period else None
+    return response
+
+
+@dataclass
+class _Entry:
+    """One request line: either a parsed query or a parse error."""
+
+    request_id: Any
+    query: Optional[Query] = None
+    error: Optional[str] = None
+
+
+def _parse_line(line: str) -> Optional[_Entry]:
+    text = line.strip()
+    if not text:
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return _Entry(request_id=None, error=f"invalid JSON: {exc}")
+    request_id = payload.get("id") if isinstance(payload, dict) else None
+    try:
+        return _Entry(request_id=request_id, query=query_from_request(payload))
+    except QueryError as exc:
+        return _Entry(request_id=request_id, error=str(exc))
+
+
+class _RequestReader:
+    """Pull request lines off ``stream`` on a daemon thread, into a queue.
+
+    The serve loop must know whether more input is *immediately* available:
+    it batches aggressively while a pipelining client keeps sending, but has
+    to flush pending responses before blocking when a request/response
+    client stops to wait for answers.  Polling the file descriptor is wrong
+    twice over (``select`` cannot see lines already pulled into the text
+    wrapper's buffer, and cannot poll pipes at all on some platforms), so
+    instead a reader thread performs the blocking ``readline`` calls and the
+    loop keys off the queue state, which works for any stream.
+    """
+
+    _EOF = object()
+
+    def __init__(self, stream: TextIO) -> None:
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._exhausted = False
+        self._thread = threading.Thread(
+            target=self._pump, args=(stream,), name="stgq-jsonl-reader", daemon=True
+        )
+        self._thread.start()
+
+    def _pump(self, stream: TextIO) -> None:
+        for line in iter(stream.readline, ""):
+            entry = _parse_line(line)
+            if entry is not None:
+                self._queue.put(entry)
+        self._queue.put(self._EOF)
+
+    @property
+    def ready(self) -> bool:
+        """True when the next batch can start without blocking."""
+        return not self._queue.empty()
+
+    def next_batch(self, batch_size: int) -> Optional[List[_Entry]]:
+        """Block for the next batch, or return ``None`` at EOF.
+
+        Fills up to ``batch_size`` entries but only from what is already
+        queued — a client that pauses to read answers gets a short batch
+        instead of a stall.
+        """
+        if self._exhausted:
+            return None
+        first = self._queue.get()
+        if first is self._EOF:
+            self._exhausted = True
+            return None
+        batch = [first]
+        while len(batch) < batch_size:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is self._EOF:
+                self._exhausted = True
+                break
+            batch.append(item)
+        return batch
+
+
+async def _solve_entries(service: QueryService, entries: List[_Entry]) -> List[Union[Result, str]]:
+    """Solve one batch's parsed queries, turning library errors into strings.
+
+    Requests whose initiator is not in the graph are rejected up front (the
+    one solver-time failure reachable with well-formed input), so the batch
+    fast path stays exception-free and service stats count each query
+    exactly once on every backend.  Any remaining library error downgrades
+    the whole batch to error responses rather than killing the loop.
+    """
+    for entry in entries:
+        if entry.query is not None and entry.query.initiator not in service.graph:
+            entry.error = f"vertex {entry.query.initiator!r} is not in the graph"
+            entry.query = None
+    queries = [entry.query for entry in entries if entry.query is not None]
+    if not queries:
+        return []
+    try:
+        return list(await service.solve_many_async(queries))
+    except Exception as exc:  # pragma: no cover - defensive backstop
+        # Covers both library errors and executor failures (e.g. a broken
+        # process pool after a worker died): answer the batch with errors
+        # instead of killing the loop.
+        return [str(exc) or type(exc).__name__] * len(queries)
+
+
+def _write_responses(
+    entries: Sequence[_Entry],
+    outcomes: Sequence[Union[Result, str]],
+    output_stream: TextIO,
+) -> None:
+    cursor = iter(outcomes)
+    for entry in entries:
+        if entry.error is not None:
+            payload: Dict[str, Any] = {"id": entry.request_id, "error": entry.error}
+        else:
+            outcome = next(cursor)
+            if isinstance(outcome, str):
+                payload = {"id": entry.request_id, "error": outcome}
+            else:
+                payload = response_for(entry.request_id, outcome)
+        output_stream.write(json.dumps(payload, separators=(",", ":")) + "\n")
+    output_stream.flush()
+
+
+async def _serve(
+    service: QueryService,
+    input_stream: TextIO,
+    output_stream: TextIO,
+    batch_size: int,
+) -> int:
+    served = 0
+    pending: Optional[tuple] = None
+    reader = _RequestReader(input_stream)
+
+    async def flush(item: tuple) -> None:
+        nonlocal served
+        entries, task = item
+        _write_responses(entries, await task, output_stream)
+        served += len(entries)
+
+    try:
+        while True:
+            if pending is not None and not reader.ready:
+                # The client is waiting on answers, not sending: flush before
+                # blocking for more input or neither side makes progress.
+                item, pending = pending, None
+                await flush(item)
+            entries = reader.next_batch(batch_size)
+            if entries is None:
+                break
+            task = asyncio.ensure_future(_solve_entries(service, entries))
+            # Give the task one loop tick so its batch is already running on
+            # the executor while we write the previous responses and read
+            # more input.
+            await asyncio.sleep(0)
+            if pending is not None:
+                item, pending = pending, None
+                await flush(item)
+            pending = (entries, task)
+        if pending is not None:
+            item, pending = pending, None
+            await flush(item)
+    finally:
+        if pending is not None:
+            # Never orphan an in-flight batch (e.g. when a write failed):
+            # its requests still get responses or at least a retrieved error.
+            try:
+                await flush(pending)
+            except Exception:  # pragma: no cover - already failing
+                pending[1].cancel()
+    return served
+
+
+def serve_jsonl(
+    service: QueryService,
+    input_stream: TextIO,
+    output_stream: TextIO,
+    batch_size: int = 64,
+) -> int:
+    """Serve JSONL requests from ``input_stream`` until EOF.
+
+    Returns the number of requests answered (including error responses).
+    Responses preserve request order; solving one batch overlaps with
+    reading the next, so a pipelining client keeps every backend worker
+    busy without waiting for round trips.
+    """
+    if batch_size < 1:
+        raise QueryError(f"batch_size must be >= 1, got {batch_size}")
+    return asyncio.run(_serve(service, input_stream, output_stream, batch_size))

@@ -1,19 +1,20 @@
 """Batched query service over one shared social graph.
 
 See :mod:`repro.service` for the subsystem overview.  This module holds the
-implementation: :class:`QueryService` (the server object),
-:class:`ServiceStats` (its observable counters) and :class:`CacheInfo`
-(a point-in-time snapshot of the feasible-graph cache).
+front-end: :class:`QueryService` (the server object), :class:`ServiceStats`
+(its observable counters) and :class:`CacheInfo` (a point-in-time snapshot of
+the feasible-graph cache).  Batch execution strategies live in
+:mod:`repro.service.backends`; initiator-to-worker routing lives in
+:mod:`repro.service.sharding`.
 """
 
 from __future__ import annotations
 
-import os
+import asyncio
+import functools
 import threading
-import time
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.query import SearchParameters, SGQuery, STGQuery
@@ -26,6 +27,7 @@ from ..graph.extraction import FeasibleGraph, extract_feasible_graph
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
 from ..types import Vertex
+from .backends import ExecutorBackend, ThreadBackend, make_backend
 
 __all__ = ["QueryService", "ServiceStats", "CacheInfo"]
 
@@ -34,6 +36,8 @@ Result = Union[GroupResult, STGroupResult]
 
 #: Cache key: one entry per (initiator, radius) ego network.
 CacheKey = Tuple[Vertex, int]
+#: Cache value: the extracted feasible graph and its compiled bitset form.
+CacheEntry = Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]
 
 
 @dataclass(frozen=True)
@@ -59,6 +63,10 @@ class ServiceStats:
     ``solve_seconds`` sums the wall-clock time spent inside the solvers
     (not queueing), so ``queries / solve_seconds`` is the per-worker solve
     rate while the ``solve_many`` wall-clock gives end-to-end throughput.
+
+    With the ``process`` backend the counters are accumulated inside each
+    worker and merged into the parent on every batch, so the aggregate view
+    is identical whichever backend answered the queries.
     """
 
     queries: int = 0
@@ -85,6 +93,18 @@ class ServiceStats:
             "nodes_expanded": self.nodes_expanded,
         }
 
+    def merge_dict(self, delta: Dict[str, float]) -> None:
+        """Accumulate a counter delta (as produced by ``as_dict`` diffs)."""
+        self.queries += int(delta.get("queries", 0))
+        self.sg_queries += int(delta.get("sg_queries", 0))
+        self.stg_queries += int(delta.get("stg_queries", 0))
+        self.feasible += int(delta.get("feasible", 0))
+        self.infeasible += int(delta.get("infeasible", 0))
+        self.cache_hits += int(delta.get("cache_hits", 0))
+        self.cache_misses += int(delta.get("cache_misses", 0))
+        self.solve_seconds += float(delta.get("solve_seconds", 0.0))
+        self.nodes_expanded += int(delta.get("nodes_expanded", 0))
+
 
 class QueryService:
     """Serve many SGQ/STGQ queries over one shared :class:`SocialGraph`.
@@ -101,19 +121,34 @@ class QueryService:
     cache_size:
         Maximum number of ``(initiator, radius)`` ego networks to keep
         (feasible graph + its compiled form).  Least-recently-used entries
-        are evicted beyond that.
+        are evicted beyond that.  The ``process`` backend splits this budget
+        evenly across its workers (keys partition by initiator).
     max_workers:
-        Thread-pool width for :meth:`solve_many`.  Defaults to
-        ``min(32, os.cpu_count() + 4)``.
+        Executor width for :meth:`solve_many`: threads for the ``thread``
+        backend, worker processes (= shards) for ``process``.  Defaults to
+        ``min(32, os.cpu_count() + 4)`` threads / ``os.cpu_count()``
+        processes.
+    backend:
+        Batch execution strategy — ``"serial"``, ``"thread"`` (default) or
+        ``"process"``, or a ready :class:`~repro.service.ExecutorBackend`
+        instance.  See :mod:`repro.service.backends` for the trade-offs:
+        ``thread`` shares this service's ego-network cache and wins on
+        cache-hot traffic; ``process`` shards initiators across worker
+        processes, each holding its own graph copy and cache, and scales the
+        GIL-bound compiled kernel across cores.
 
     Notes
     -----
-    Thread safety: the cache is guarded by a lock; the cached
-    :class:`FeasibleGraph` / :class:`CompiledFeasibleGraph` values are
-    immutable after construction, so concurrent searches share them without
-    synchronisation.  The underlying graph must not be mutated while the
-    service is live (mutating a served graph is a deployment error; build a
-    new service instead).
+    Thread safety: the cache is guarded by one lock and the stats counters
+    by another (finer-grained, so pool threads recording results never
+    contend with cache lookups).  The cached :class:`FeasibleGraph` /
+    :class:`CompiledFeasibleGraph` values are immutable after construction,
+    so concurrent searches share them without synchronisation.  The
+    underlying graph must not be mutated while the service is live (mutating
+    a served graph is a deployment error; build a new service instead).
+
+    The service is a context manager; ``close()`` (or leaving the ``with``
+    block) releases backend pools and worker processes.
     """
 
     def __init__(
@@ -123,84 +158,92 @@ class QueryService:
         parameters: Optional[SearchParameters] = None,
         cache_size: int = 128,
         max_workers: Optional[int] = None,
+        backend: Union[str, ExecutorBackend] = "thread",
     ) -> None:
         if cache_size < 1:
             raise QueryError(f"cache_size must be >= 1, got {cache_size}")
         self.graph = graph
         self.calendars = calendars
         self.parameters = parameters or SearchParameters()
-        self._cache_size = cache_size
-        self._cache: "OrderedDict[CacheKey, Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]]" = (
-            OrderedDict()
-        )
-        self._lock = threading.Lock()
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self._stats = ServiceStats()
-        self.max_workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
+        self._backend = make_backend(backend, max_workers)
+        self.max_workers = self._backend.workers
+
+    @property
+    def backend(self) -> ExecutorBackend:
+        """The executor backend answering this service's batches."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active backend (``serial`` / ``thread`` / ``process``)."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # feasible-graph cache
     # ------------------------------------------------------------------
-    def _lookup(self, initiator: Vertex, radius: int) -> Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]:
+    def _lookup(
+        self, initiator: Vertex, radius: int
+    ) -> Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]:
         """Return the (feasible, compiled) pair for an ego network, caching it."""
         key = (initiator, radius)
-        with self._lock:
+        with self._cache_lock:
             entry = self._cache.get(key)
             if entry is not None:
                 self._cache.move_to_end(key)
+        if entry is not None:
+            with self._stats_lock:
                 self._stats.cache_hits += 1
-                return entry
+            return entry
+        with self._stats_lock:
             self._stats.cache_misses += 1
-        # Build outside the lock: extraction can be expensive and two threads
+        # Build outside the locks: extraction can be expensive and two threads
         # racing on the same key simply do redundant work once.
         feasible = extract_feasible_graph(self.graph, initiator, radius)
         compiled = (
             compile_feasible_graph(feasible) if self.parameters.kernel == "compiled" else None
         )
-        with self._lock:
+        with self._cache_lock:
             self._cache[key] = (feasible, compiled)
             self._cache.move_to_end(key)
-            while len(self._cache) > self._cache_size:
+            while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
         return feasible, compiled
 
     def cache_info(self) -> CacheInfo:
-        """Snapshot of cache effectiveness."""
-        with self._lock:
-            return CacheInfo(
-                hits=self._stats.cache_hits,
-                misses=self._stats.cache_misses,
-                size=len(self._cache),
-                max_size=self._cache_size,
-            )
+        """Snapshot of cache effectiveness (aggregated across process workers)."""
+        with self._stats_lock:
+            hits = self._stats.cache_hits
+            misses = self._stats.cache_misses
+        size = self._backend.cache_entries()
+        if size is None:
+            with self._cache_lock:
+                size = len(self._cache)
+        return CacheInfo(hits=hits, misses=misses, size=size, max_size=self.cache_size)
 
     def clear_cache(self) -> None:
         """Drop every cached ego network (e.g. after the graph changed)."""
-        with self._lock:
+        with self._cache_lock:
             self._cache.clear()
 
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
-    def solve(self, query: Query) -> Result:
-        """Answer one query (SGQ or STGQ) and update the service stats."""
+    def _validate(self, query: Query) -> None:
+        """Reject malformed traffic before it reaches an executor."""
         if isinstance(query, STGQuery):
             if self.calendars is None:
                 raise QueryError("a CalendarStore is required for social-temporal queries")
-            feasible, compiled = self._lookup(query.initiator, query.radius)
-            result: Result = STGSelect(self.graph, self.calendars, self.parameters).solve(
-                query, feasible_graph=feasible, compiled_graph=compiled
-            )
-            is_stg = True
-        elif isinstance(query, SGQuery):
-            feasible, compiled = self._lookup(query.initiator, query.radius)
-            result = SGSelect(self.graph, self.parameters).solve(
-                query, feasible_graph=feasible, compiled_graph=compiled
-            )
-            is_stg = False
-        else:
+        elif not isinstance(query, SGQuery):
             raise QueryError(f"unsupported query type {type(query).__name__}")
 
-        with self._lock:
+    def _record(self, result: Result, is_stg: bool) -> None:
+        """Fold one result into the service counters (race-free)."""
+        with self._stats_lock:
             self._stats.queries += 1
             if is_stg:
                 self._stats.stg_queries += 1
@@ -212,7 +255,40 @@ class QueryService:
                 self._stats.infeasible += 1
             self._stats.solve_seconds += result.stats.elapsed_seconds
             self._stats.nodes_expanded += result.stats.nodes_expanded
+
+    def _merge_stats_delta(self, delta: Dict[str, float]) -> None:
+        """Merge a worker-produced counter delta (process backend)."""
+        with self._stats_lock:
+            self._stats.merge_dict(delta)
+
+    def _solve_local(self, query: Query) -> Result:
+        """Answer one query on the calling thread against the local cache.
+
+        Only reachable through :meth:`solve` / :meth:`solve_many`, which
+        validate the query first.
+        """
+        is_stg = isinstance(query, STGQuery)
+        feasible, compiled = self._lookup(query.initiator, query.radius)
+        if is_stg:
+            result: Result = STGSelect(self.graph, self.calendars, self.parameters).solve(
+                query, feasible_graph=feasible, compiled_graph=compiled
+            )
+        else:
+            result = SGSelect(self.graph, self.parameters).solve(
+                query, feasible_graph=feasible, compiled_graph=compiled
+            )
+        self._record(result, is_stg)
         return result
+
+    def solve(self, query: Query) -> Result:
+        """Answer one query (SGQ or STGQ) and update the service stats.
+
+        Routed through the backend, so with ``backend="process"`` even a
+        single query lands on the worker owning its initiator (keeping that
+        worker's cache hot).
+        """
+        self._validate(query)
+        return self._backend.solve_batch(self, [query])[0]
 
     def solve_many(
         self,
@@ -222,32 +298,74 @@ class QueryService:
         """Answer a batch of independent queries concurrently.
 
         Results are returned in the order of ``queries`` regardless of
-        completion order.  Queries are independent reads over the shared
-        graph, so fan-out across a thread pool is safe; with the compiled
-        kernel the per-query work is popcount-dominated, which keeps the
-        GIL contention tolerable and lets cache-warm batches overlap
-        extraction with search.
+        completion order.  Execution is delegated to the configured backend;
+        ``max_workers`` overrides the pool width for this call only on the
+        ``thread`` backend (kept for backward compatibility — process pools
+        are persistent and keep their shard count).
         """
         batch: Sequence[Query] = list(queries)
         if not batch:
             return []
-        workers = max_workers or self.max_workers
-        if workers <= 1 or len(batch) == 1:
-            return [self.solve(q) for q in batch]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.solve, batch))
+        for query in batch:
+            self._validate(query)
+        if max_workers is not None and self._backend.name == "thread":
+            override = ThreadBackend(max_workers)
+            try:
+                return override.solve_batch(self, batch)
+            finally:
+                override.close()
+        return self._backend.solve_batch(self, batch)
+
+    # ------------------------------------------------------------------
+    # async front-end
+    # ------------------------------------------------------------------
+    async def solve_async(self, query: Query) -> Result:
+        """Awaitable :meth:`solve`; runs on the event loop's default executor."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.solve, query)
+
+    async def solve_many_async(
+        self,
+        queries: Iterable[Query],
+        max_workers: Optional[int] = None,
+    ) -> List[Result]:
+        """Awaitable :meth:`solve_many` for pipelining batches.
+
+        The batch runs on the event loop's default executor, so an asyncio
+        front-end (e.g. the ``stgq serve --jsonl`` loop) can overlap reading
+        and writing one batch with solving the next.  With the ``process``
+        backend the heavy lifting happens outside the GIL entirely, so
+        several in-flight batches genuinely run in parallel.
+        """
+        batch: Sequence[Query] = list(queries)
+        loop = asyncio.get_running_loop()
+        call = functools.partial(self.solve_many, batch, max_workers)
+        return await loop.run_in_executor(None, call)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend pools and worker processes (idempotent)."""
+        self._backend.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
         """Copy of the aggregate service counters."""
-        with self._lock:
+        with self._stats_lock:
             return ServiceStats(**self._stats.as_dict())  # type: ignore[arg-type]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         info = self.cache_info()
         return (
-            f"QueryService(queries={self._stats.queries}, "
+            f"QueryService(backend={self._backend.name!r}, queries={self._stats.queries}, "
             f"cache={info.size}/{info.max_size}, hit_rate={info.hit_rate:.2f})"
         )

@@ -1,0 +1,76 @@
+"""Locality-aware routing of queries to executor workers.
+
+The process backend keeps one worker process — and therefore one ego-network
+cache — per shard.  Routing every query whose initiator maps to shard *i*
+onto worker *i* means an initiator's extracted (and bitset-compiled) ego
+network is built exactly once, inside one worker, and every later query from
+that initiator finds it hot.  This is the same locality-aware placement
+argument made for clustered query processors: work that touches the same
+data should land on the same node.
+
+:func:`stable_shard` intentionally avoids the built-in :func:`hash`: Python
+randomises string hashing per process (``PYTHONHASHSEED``), and the parent
+and its worker processes must agree on the placement of every initiator.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Sequence, Tuple, TypeVar
+
+from ..exceptions import QueryError
+from ..types import Vertex
+
+__all__ = ["ShardMap", "stable_shard"]
+
+Q = TypeVar("Q")
+
+
+def stable_shard(vertex: Vertex, n_shards: int) -> int:
+    """Map ``vertex`` to a shard id in ``[0, n_shards)``.
+
+    The mapping is deterministic across processes and Python invocations
+    (CRC32 of the vertex ``repr``), so a parent and its pool workers always
+    agree on which worker owns an initiator.  This requires vertex ids with
+    *value-based* reprs — ints, strings, tuples thereof (what every dataset
+    in this package uses).  Custom vertex objects that keep the default
+    identity repr (``<Person object at 0x...>``) would shard the same
+    logical initiator inconsistently between runs; give such classes a
+    stable ``__repr__`` before using the process backend.
+    """
+    if n_shards < 1:
+        raise QueryError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return 0
+    return zlib.crc32(repr(vertex).encode("utf-8")) % n_shards
+
+
+class ShardMap:
+    """Deterministic assignment of initiators to ``n_shards`` workers."""
+
+    __slots__ = ("n_shards",)
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise QueryError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+
+    def shard_of(self, initiator: Vertex) -> int:
+        """Shard id owning ``initiator``'s ego-network cache entries."""
+        return stable_shard(initiator, self.n_shards)
+
+    def partition(self, queries: Sequence[Q]) -> Dict[int, List[Tuple[int, Q]]]:
+        """Group ``queries`` by the shard owning their initiator.
+
+        Returns a dict mapping shard id to ``(original_index, query)`` pairs
+        in submission order, so callers can reassemble results positionally.
+        Only shards that received at least one query appear as keys.
+        """
+        parts: Dict[int, List[Tuple[int, Q]]] = {}
+        for index, query in enumerate(queries):
+            shard = self.shard_of(query.initiator)  # type: ignore[attr-defined]
+            parts.setdefault(shard, []).append((index, query))
+        return parts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardMap(n_shards={self.n_shards})"

@@ -11,7 +11,7 @@ calendar is.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..exceptions import ScheduleError
 from ..types import Vertex

@@ -11,12 +11,11 @@ iterates over pivot slots instead of over every possible start slot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Set
 
 from ..exceptions import ScheduleError
 from ..types import Vertex
 from .calendars import CalendarStore
-from .schedule import Schedule
 from .slots import SlotRange
 
 __all__ = ["PivotWindow", "pivot_slots", "pivot_window", "pivot_windows", "candidate_periods"]

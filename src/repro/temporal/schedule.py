@@ -14,8 +14,7 @@ the operations the STGQ algorithms rely on cheap:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Optional
 
 from ..exceptions import ScheduleError
 from .slots import SlotRange

@@ -1,13 +1,11 @@
 """Unit tests for the brute-force baseline solvers."""
 
-import math
 
 import pytest
 
 from tests.conftest import make_random_calendars, make_random_graph
 
 from repro.core import BaselineSGQ, BaselineSTGQ, SGQuery, STGQuery, baseline_sg, baseline_stg
-from repro.graph import SocialGraph
 from repro.temporal import CalendarStore, Schedule
 
 

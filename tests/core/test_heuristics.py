@@ -1,6 +1,5 @@
 """Unit tests for the greedy approximate solvers (library extension)."""
 
-import math
 
 import pytest
 
@@ -18,7 +17,6 @@ from repro.core import (
     greedy_sg,
     greedy_stg,
 )
-from repro.graph import SocialGraph
 from repro.temporal import CalendarStore, Schedule
 
 

@@ -4,14 +4,13 @@ import math
 
 import pytest
 
-from tests.conftest import make_random_calendars, make_random_graph
+from tests.conftest import make_random_graph
 
 from repro.core import IPSolver, SGQuery, STGQuery, SGSelect, STGSelect, solve_sgq_ip, solve_stgq_ip
 from repro.core.ip.branch_bound import solve_with_branch_bound
 from repro.core.ip.model import MILPModel, build_sgq_model, build_stgq_model
 from repro.core.ip.scipy_backend import solve_with_scipy
 from repro.exceptions import SolverError
-from repro.graph import SocialGraph
 
 
 class TestMILPModel:

@@ -1,7 +1,6 @@
 """Unit tests for the access-ordering measures U(VS), A(VS), X(VS) and the
 selection conditions (paper §3.2.2 and §4.2, Definitions 2, 3 and 5)."""
 
-import pytest
 
 from repro.core import (
     exterior_expansibility,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import PCArrange, STGQuery, STGSelect, check_stg_solution, pc_arrange
-from repro.graph import SocialGraph
 from repro.temporal import CalendarStore, Schedule
 
 

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core import acquaintance_pruning, availability_pruning, distance_pruning
 from repro.graph import SocialGraph

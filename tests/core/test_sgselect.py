@@ -7,7 +7,6 @@ import pytest
 from tests.conftest import make_random_graph
 from repro.core import BaselineSGQ, SGQuery, SGSelect, SearchParameters, check_sg_solution, sg_select
 from repro.exceptions import InfeasibleQueryError
-from repro.graph import SocialGraph
 
 
 class TestBasics:

@@ -1,6 +1,5 @@
 """Unit and cross-check tests for Algorithm STGSelect."""
 
-import math
 
 import pytest
 

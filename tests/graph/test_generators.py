@@ -8,7 +8,6 @@ from repro.exceptions import GraphError
 from repro.graph import (
     coauthorship_style_network,
     community_social_network,
-    connected_components,
     ensure_connected_to,
     erdos_renyi_network,
     interaction_to_distance,

@@ -1,0 +1,266 @@
+"""Executor-backend tests: equivalence, locality, lifecycle.
+
+The equivalence property test is the contract that makes backend selection a
+pure deployment decision: for any seeded workload, ``serial``, ``thread`` and
+``process`` must return identical results *and* identical aggregate search
+stats (wall-clock excluded).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SGQuery, STGQuery
+from repro.exceptions import QueryError
+from repro.experiments.workloads import workload
+from repro.service import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    QueryService,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+
+#: Deterministic counters that must match across backends (``solve_seconds``
+#: is wall-clock and legitimately differs).
+DETERMINISTIC_COUNTERS = (
+    "queries",
+    "sg_queries",
+    "stg_queries",
+    "feasible",
+    "infeasible",
+    "cache_hits",
+    "cache_misses",
+    "nodes_expanded",
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """Seeded 60-person workload shared by every test in this module."""
+    return workload(network_size=60, schedule_days=1, seed=7)
+
+
+def build_batch(dataset, seed: int, n_queries: int, n_initiators: int, stg_fraction: float):
+    """Seeded mixed SGQ/STGQ batch over a hot set of initiators."""
+    rng = random.Random(seed)
+    initiators = rng.sample(list(dataset.people), n_initiators)
+    batch = []
+    for _ in range(n_queries):
+        initiator = rng.choice(initiators)
+        group_size = rng.randint(3, 5)
+        if rng.random() < stg_fraction:
+            batch.append(
+                STGQuery(
+                    initiator=initiator,
+                    group_size=group_size,
+                    radius=1,
+                    acquaintance=2,
+                    activity_length=rng.randint(1, 3),
+                )
+            )
+        else:
+            batch.append(
+                SGQuery(
+                    initiator=initiator, group_size=group_size, radius=1, acquaintance=2
+                )
+            )
+    return batch
+
+
+def run_backend(dataset, backend, batch, workers=2):
+    """Solve ``batch`` on ``backend``; return (result keys, stats dict)."""
+    with QueryService(
+        dataset.graph, dataset.calendars, max_workers=workers, backend=backend
+    ) as service:
+        results = service.solve_many(batch)
+        stats = service.stats().as_dict()
+        info = service.cache_info()
+    keys = [
+        (
+            result.feasible,
+            result.members,
+            result.total_distance,
+            getattr(result, "period", None),
+        )
+        for result in results
+    ]
+    counters = {name: stats[name] for name in DETERMINISTIC_COUNTERS}
+    return keys, counters, info
+
+
+class TestBackendEquivalence:
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        n_queries=st.integers(min_value=4, max_value=24),
+        n_initiators=st.integers(min_value=2, max_value=8),
+        stg_fraction=st.sampled_from([0.0, 0.3, 1.0]),
+    )
+    def test_backends_agree_on_results_and_stats(
+        self, dataset, seed, n_queries, n_initiators, stg_fraction
+    ):
+        batch = build_batch(dataset, seed, n_queries, n_initiators, stg_fraction)
+        reference_keys, reference_counters, reference_info = run_backend(
+            dataset, "serial", batch
+        )
+        for backend in ("thread", "process"):
+            keys, counters, info = run_backend(dataset, backend, batch)
+            assert keys == reference_keys, f"{backend} results diverged"
+            assert counters == reference_counters, f"{backend} stats diverged"
+            # Cache aggregates match too: every distinct (initiator, radius)
+            # misses exactly once wherever it lives.
+            assert (info.hits, info.misses) == (reference_info.hits, reference_info.misses)
+            assert info.size == reference_info.size
+
+    def test_single_solve_agrees(self, dataset):
+        query = SGQuery(initiator=dataset.people[3], group_size=4, radius=2, acquaintance=1)
+        reference = QueryService(dataset.graph, dataset.calendars).solve(query)
+        for backend in BACKEND_NAMES:
+            with QueryService(
+                dataset.graph, dataset.calendars, max_workers=2, backend=backend
+            ) as service:
+                result = service.solve(query)
+            assert result.members == reference.members
+            assert result.total_distance == reference.total_distance
+
+
+class TestProcessBackend:
+    def test_locality_sharded_caches(self, dataset):
+        # With ample cache, the workers' caches together hold exactly one
+        # entry per distinct (initiator, radius) — no duplication, because
+        # each initiator is owned by exactly one worker.
+        batch = build_batch(dataset, seed=11, n_queries=30, n_initiators=6, stg_fraction=0.0)
+        distinct = {(query.initiator, query.radius) for query in batch}
+        with QueryService(
+            dataset.graph, dataset.calendars, max_workers=3, backend="process"
+        ) as service:
+            service.solve_many(batch)
+            service.solve_many(batch)  # second pass: all hits, no new entries
+            info = service.cache_info()
+        assert info.size == len(distinct)
+        assert info.misses == len(distinct)
+        assert info.hits == 2 * len(batch) - len(distinct)
+
+    def test_stats_merge_across_batches(self, dataset):
+        batch = build_batch(dataset, seed=3, n_queries=10, n_initiators=4, stg_fraction=0.5)
+        with QueryService(
+            dataset.graph, dataset.calendars, max_workers=2, backend="process"
+        ) as service:
+            service.solve_many(batch)
+            service.solve_many(batch)
+            stats = service.stats()
+        assert stats.queries == 2 * len(batch)
+        assert stats.sg_queries + stats.stg_queries == 2 * len(batch)
+        assert stats.feasible + stats.infeasible == 2 * len(batch)
+
+    def test_backend_restarts_after_close(self, dataset):
+        query = SGQuery(initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1)
+        service = QueryService(
+            dataset.graph, dataset.calendars, max_workers=2, backend="process"
+        )
+        first = service.solve(query)
+        service.close()
+        second = service.solve(query)  # pools restart lazily
+        service.close()
+        assert first.members == second.members
+
+    def test_backend_not_shared_between_services(self, dataset):
+        backend = ProcessBackend(workers=2)
+        query = SGQuery(initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1)
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as service:
+            service.solve(query)
+            other = QueryService(dataset.graph, dataset.calendars, backend=backend)
+            with pytest.raises(QueryError):
+                other.solve(query)
+
+    def test_stg_requires_calendars_before_submission(self, dataset):
+        with QueryService(dataset.graph, max_workers=2, backend="process") as service:
+            query = STGQuery(
+                initiator=dataset.people[0],
+                group_size=3,
+                radius=1,
+                acquaintance=1,
+                activity_length=2,
+            )
+            with pytest.raises(QueryError):
+                service.solve(query)
+            with pytest.raises(QueryError):
+                service.solve_many([query])
+
+
+class TestBackendConstruction:
+    def test_make_backend_names(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("thread", 3), ThreadBackend)
+        assert isinstance(make_backend("process", 2), ProcessBackend)
+
+    def test_make_backend_passthrough_instance(self):
+        backend = ThreadBackend(2)
+        assert make_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(QueryError):
+            make_backend("gpu")
+        with pytest.raises(QueryError):
+            make_backend("threads")
+
+    def test_service_rejects_unknown_backend(self, dataset):
+        with pytest.raises(QueryError):
+            QueryService(dataset.graph, dataset.calendars, backend="fork")
+
+    def test_worker_defaults(self):
+        assert SerialBackend().workers == 1
+        assert ThreadBackend(4).workers == 4
+        assert ProcessBackend(3).workers == 3
+
+    def test_service_exposes_backend(self, dataset):
+        with QueryService(dataset.graph, backend="serial") as service:
+            assert service.backend_name == "serial"
+            assert service.backend.workers == 1
+            assert service.max_workers == 1
+
+
+class TestLifecycleSafetyNets:
+    def test_thread_pool_released_without_close(self, dataset):
+        import gc
+        import threading
+        import time as time_mod
+
+        def pool_threads():
+            return [t for t in threading.enumerate() if t.name.startswith("stgq-worker")]
+
+        service = QueryService(dataset.graph, dataset.calendars, max_workers=2)
+        batch = build_batch(dataset, seed=5, n_queries=8, n_initiators=4, stg_fraction=0.0)
+        service.solve_many(batch)
+        assert pool_threads()  # persistent pool is live
+        del service
+        gc.collect()
+        deadline = time_mod.monotonic() + 5.0
+        while pool_threads() and time_mod.monotonic() < deadline:
+            time_mod.sleep(0.01)
+        assert not pool_threads()  # finalizer shut the pool down
+
+    def test_failed_batch_never_partially_counted(self, dataset):
+        # One query with an unknown initiator makes its shard raise; the
+        # whole batch must be invisible in the parent stats (all-or-nothing),
+        # not a partial merge of the shards that happened to succeed.
+        good = build_batch(dataset, seed=9, n_queries=8, n_initiators=4, stg_fraction=0.0)
+        bad = SGQuery(initiator=99999, group_size=3, radius=1, acquaintance=1)
+        with QueryService(
+            dataset.graph, dataset.calendars, max_workers=2, backend="process"
+        ) as service:
+            with pytest.raises(Exception):
+                service.solve_many(good + [bad])
+            assert service.stats().queries == 0
+            # The service still works after the failed batch.
+            results = service.solve_many(good)
+            assert service.stats().queries == len(good)
+        assert len(results) == len(good)

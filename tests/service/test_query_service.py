@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery, STGSelect
 from repro.exceptions import QueryError
-from repro.service import CacheInfo, QueryService, ServiceStats
+from repro.service import QueryService
 
 from ..conftest import make_random_calendars, make_random_graph
 

@@ -1,0 +1,98 @@
+"""Tests for initiator-to-shard routing (:mod:`repro.service.sharding`)."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+from repro.core import SGQuery
+from repro.exceptions import QueryError
+from repro.service import ShardMap, stable_shard
+
+
+class TestStableShard:
+    def test_in_range(self):
+        for n_shards in (1, 2, 3, 8):
+            for vertex in list(range(50)) + ["alice", "bob", ("compound", 3)]:
+                assert 0 <= stable_shard(vertex, n_shards) < n_shards
+
+    def test_deterministic_within_process(self):
+        assert stable_shard("alice", 4) == stable_shard("alice", 4)
+        assert stable_shard(17, 8) == stable_shard(17, 8)
+
+    def test_single_shard_short_circuits(self):
+        assert stable_shard("anything", 1) == 0
+
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(QueryError):
+            stable_shard(0, 0)
+
+    def test_spreads_initiators(self):
+        # 100 initiators over 4 shards: every shard should own someone.
+        shards = {stable_shard(v, 4) for v in range(100)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_stable_across_processes(self):
+        # The parent and its pool workers must agree on placement even under
+        # hash randomisation, so the mapping cannot depend on PYTHONHASHSEED.
+        code = (
+            "from repro.service import stable_shard; "
+            "print([stable_shard(v, 5) for v in [0, 41, 'alice', 'bob']])"
+        )
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        runs = set()
+        for seed in ("0", "1", "random"):
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONPATH": src_dir, "PYTHONHASHSEED": seed},
+            )
+            runs.add(out.stdout.strip())
+        assert len(runs) == 1
+        expected = repr([stable_shard(v, 5) for v in [0, 41, "alice", "bob"]])
+        assert runs.pop() == expected
+
+
+class TestShardMap:
+    def test_partition_preserves_indices_and_order(self):
+        shard_map = ShardMap(3)
+        queries = [
+            SGQuery(initiator=i % 7, group_size=3, radius=1, acquaintance=1) for i in range(20)
+        ]
+        parts = shard_map.partition(queries)
+        seen = sorted(index for entries in parts.values() for index, _ in entries)
+        assert seen == list(range(20))
+        for shard, entries in parts.items():
+            indices = [index for index, _ in entries]
+            assert indices == sorted(indices)  # submission order within a shard
+            for index, query in entries:
+                assert queries[index] is query
+                assert shard_map.shard_of(query.initiator) == shard
+
+    def test_partition_groups_initiators_together(self):
+        shard_map = ShardMap(4)
+        queries = [
+            SGQuery(initiator=initiator, group_size=3, radius=1, acquaintance=1)
+            for initiator in (5, 9, 5, 9, 5)
+        ]
+        parts = shard_map.partition(queries)
+        for entries in parts.values():
+            initiators = {query.initiator for _, query in entries}
+            for initiator in initiators:
+                # every query from this initiator landed on this one shard
+                shard = shard_map.shard_of(initiator)
+                assert all(
+                    shard_map.shard_of(q.initiator) == shard
+                    for _, q in entries
+                    if q.initiator == initiator
+                )
+
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(QueryError):
+            ShardMap(0)

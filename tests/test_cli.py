@@ -108,3 +108,43 @@ class TestCommands:
         assert code == 0
         assert "6 STGQ queries" in out
         assert "kernel=reference" in out
+
+    def test_serve_process_backend(self, capsys):
+        code = main(
+            ["serve", "--queries", "10", "--initiators", "4", "--people", "60",
+             "--seed", "3", "-p", "4", "-k", "2",
+             "--backend", "process", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=process" in out
+        assert "10 SGQ queries" in out
+
+    def test_serve_serial_backend(self, capsys):
+        code = main(
+            ["serve", "--queries", "6", "--initiators", "3", "--people", "60",
+             "--seed", "3", "-p", "4", "-k", "2", "--backend", "serial"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=serial" in out
+
+    def test_serve_jsonl_loop(self, capsys, monkeypatch):
+        import io
+        import json
+
+        requests = "\n".join(
+            json.dumps({"id": i, "initiator": i, "p": 3, "k": 1}) for i in range(4)
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests + "\n"))
+        code = main(["serve", "--people", "60", "--seed", "3", "--jsonl", "--batch-size", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["id"] for r in responses] == [0, 1, 2, 3]
+        assert all("feasible" in r or "error" in r for r in responses)
+        assert "served 4 requests" in captured.err
+
+    def test_serve_backend_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "gpu"])

@@ -1,6 +1,5 @@
 """Unit tests for the dataset builders."""
 
-import pytest
 
 from repro.datasets import (
     NETWORK_SIZE_SWEEP,
@@ -10,7 +9,6 @@ from repro.datasets import (
     load_movie_network,
     load_toy_example,
 )
-from repro.graph import connected_components
 
 
 class TestToyDatasets:

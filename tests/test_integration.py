@@ -5,7 +5,6 @@ dataset, plan activities through the public API, and verify every result
 independently — at a size small enough for the regular test run.
 """
 
-import math
 
 import pytest
 
@@ -18,7 +17,6 @@ from repro.core import (
     SGSelect,
     STGArrange,
     STGSelect,
-    observed_acquaintance,
 )
 from repro.datasets import generate_real_dataset
 from repro.experiments import pick_initiator

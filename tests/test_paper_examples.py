@@ -17,7 +17,7 @@ from repro.core import (
     STGSelect,
     observed_acquaintance,
 )
-from repro.datasets import MOVIE_INITIATOR, TOY_INITIATOR, load_movie_network, load_toy_example
+from repro.datasets import MOVIE_INITIATOR, TOY_INITIATOR
 from repro.temporal import SlotRange
 
 

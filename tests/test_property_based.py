@@ -18,7 +18,7 @@ from repro.core import (
     observed_acquaintance,
 )
 from repro.graph import SocialGraph, bounded_distances, extract_feasible_graph, is_kplex
-from repro.temporal import CalendarStore, Schedule, SlotRange, candidate_periods, pivot_slots
+from repro.temporal import CalendarStore, Schedule, candidate_periods, pivot_slots
 
 # ----------------------------------------------------------------------
 # strategies
