@@ -18,7 +18,14 @@ Three measurements back the compiled-kernel + QueryService work:
 
 ``--backend process`` (or ``serial``) measures the thread backend too and
 prints a comparison table, so one run demonstrates the scaling claim.
-``--json PATH`` writes the numbers for CI artifacts (``BENCH_service.json``).
+``--backend remote`` spawns a local TCP worker cluster (``--workers``
+processes via ``stgq worker``) and measures the network gateway next to the
+thread baseline — the cluster column of the comparison.  ``--skew ALPHA``
+swaps the uniform batches for the Zipfian mixed-radius workload generator
+(``repro.experiments.workloads.generate_query_workload``) and reports
+per-shard load balance, stressing LRU eviction and shard skew instead of
+the cache-flattering uniform draws.  ``--json PATH`` writes the numbers for
+CI artifacts (``BENCH_service.json``).
 
 Run directly (it is a script, not a pytest-benchmark module)::
 
@@ -43,12 +50,22 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery
-from repro.experiments.workloads import ego_size, pick_initiator, workload
-from repro.service import QueryService
+from repro.experiments.workloads import (
+    ego_size,
+    generate_query_workload,
+    pick_initiator,
+    workload,
+)
+from repro.service import QueryService, RemoteBackend, ShardMap
+from repro.service.net import start_local_workers
 
 SPEEDUP_FLOOR = 3.0
 FIG1A = dict(radius=1, acquaintance=2, group_sizes=(3, 4, 5, 6, 7))
 HEAVY = dict(radius=2, acquaintance=2, group_sizes=(5, 6, 7))
+#: Dataset shape shared by the gateway AND any spawned remote workers —
+#: both sides must load the identical seeded graph or results diverge.
+DATASET_PEOPLE = 194
+DATASET_DAYS = 1
 
 
 def _time_solve(solver: SGSelect, query: SGQuery, repeats: int) -> Tuple[float, object]:
@@ -104,21 +121,51 @@ def kernel_sweep(
     return tail_ref, tail_comp
 
 
-def build_batches(dataset, quick: bool, seed: int) -> Dict[str, List]:
-    """The two batch workloads: cache-hot SGQ and solver-bound STGQ."""
+def build_batches(dataset, quick: bool, seed: int, skew: Optional[float] = None) -> Dict[str, List]:
+    """The two batch workloads: cache-hot SGQ and solver-bound STGQ.
+
+    With ``skew`` set (``--skew``), both batches come from the Zipfian
+    mixed-radius generator instead of the uniform few-initiator draws: the
+    SGQ batch spreads over the whole population (more distinct initiators
+    than the default 128-entry cache, so the LRU eviction path is on the
+    measured path) and the STGQ batch skews across the 20 largest radius-2
+    ego networks, loading shards unevenly the way heavy users do.
+    """
     rng = random.Random(seed)
-    sgq_initiators = rng.sample(list(dataset.people), 16)
     n_sgq = 100 if quick else 400
-    sgq = [
-        SGQuery(initiator=rng.choice(sgq_initiators), group_size=5, radius=1, acquaintance=2)
-        for _ in range(n_sgq)
-    ]
+    n_stgq = 64 if quick else 200
     # STGQ at radius 2 from the people with the largest ego networks: tens of
     # milliseconds of kernel work per query, the regime where the GIL binds.
     # Twenty initiators keep the CRC32 shard assignment reasonably balanced
     # at the 4-worker width the CI smoke runs with.
     heavy_initiators = sorted(dataset.people, key=lambda v: -ego_size(dataset, v, 2))[:20]
-    n_stgq = 64 if quick else 200
+    if skew is not None:
+        sgq = generate_query_workload(
+            dataset,
+            n_sgq,
+            skew=skew,
+            radii=(1,),
+            group_sizes=(4, 5),
+            stg_fraction=0.0,
+            seed=seed,
+        )
+        stgq = generate_query_workload(
+            dataset,
+            n_stgq,
+            skew=skew,
+            initiators=heavy_initiators,
+            radii=(2,),
+            group_sizes=(5,),
+            stg_fraction=1.0,
+            activity_lengths=(4,),
+            seed=seed + 1,
+        )
+        return {"sgq": sgq, "stgq": stgq}
+    sgq_initiators = rng.sample(list(dataset.people), 16)
+    sgq = [
+        SGQuery(initiator=rng.choice(sgq_initiators), group_size=5, radius=1, acquaintance=2)
+        for _ in range(n_sgq)
+    ]
     stgq = [
         STGQuery(
             initiator=rng.choice(heavy_initiators),
@@ -133,9 +180,9 @@ def build_batches(dataset, quick: bool, seed: int) -> Dict[str, List]:
 
 
 def measure_backend(
-    dataset, batches: Dict[str, List], backend: str, workers: Optional[int]
+    dataset, batches: Dict[str, List], backend, workers: Optional[int]
 ) -> Dict[str, Dict[str, float]]:
-    """Warm-cache throughput of one backend on both batch workloads."""
+    """Warm-cache throughput of one backend (name or instance) on both workloads."""
     measured: Dict[str, Dict[str, float]] = {}
     with QueryService(
         dataset.graph, dataset.calendars, max_workers=workers, backend=backend
@@ -157,6 +204,9 @@ def measure_backend(
                 "qps": round(len(queries) / wall, 1),
                 "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
                 "feasible": sum(1 for r in results if r.feasible),
+                # Degraded requests (remote backend, dead worker) are NOT
+                # just infeasible: report them so CI can assert zero.
+                "errors": sum(1 for r in results if getattr(r, "error", None)),
             }
         measured["workers"] = service.max_workers
     return measured
@@ -186,16 +236,27 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
         "--backend",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "remote"],
         default="thread",
         help="backend to benchmark; 'thread' is always measured as the "
-        "comparison baseline (default thread)",
+        "comparison baseline. 'remote' spawns a local worker cluster "
+        "(--workers processes) and measures the network gateway (default thread)",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="executor width for the selected backend (default: auto)",
+        help="executor width for the selected backend; for --backend remote "
+        "this is the number of spawned TCP workers (default: auto / 2)",
+    )
+    parser.add_argument(
+        "--skew",
+        type=float,
+        default=None,
+        metavar="ALPHA",
+        help="use the Zipfian mixed-radius workload generator with this "
+        "exponent (e.g. 1.0) instead of uniform few-initiator batches; "
+        "also reports per-shard load balance",
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None, help="write results as JSON to PATH"
@@ -210,10 +271,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     repeats = 2 if args.quick else 3
-    dataset = workload(network_size=194, schedule_days=1, seed=args.seed)
+    dataset = workload(network_size=DATASET_PEOPLE, schedule_days=DATASET_DAYS, seed=args.seed)
     report = {
         "quick": args.quick,
         "seed": args.seed,
+        "skew": args.skew,
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
         "kernel": None,
@@ -252,15 +314,58 @@ def main(argv=None) -> int:
         )
         report["kernel"] = {"tail_speedup": round(speedup, 2), "floor": SPEEDUP_FLOOR}
 
-    batches = build_batches(dataset, args.quick, args.seed)
+    batches = build_batches(dataset, args.quick, args.seed, skew=args.skew)
     report["serial_cold"] = serial_cold(dataset, batches)
 
-    backends_to_measure = ["thread"]
-    if args.backend != "thread":
-        backends_to_measure.append(args.backend)
-    for backend in backends_to_measure:
-        workers = args.workers if backend == args.backend else None
-        report["backends"][backend] = measure_backend(dataset, batches, backend, workers)
+    cluster = None
+    try:
+        if args.backend == "remote":
+            n_remote_workers = args.workers or 2
+            print(f"\nspawning {n_remote_workers} local TCP workers for the remote backend ...")
+            cluster = start_local_workers(
+                n_remote_workers,
+                people=DATASET_PEOPLE,
+                days=DATASET_DAYS,
+                seed=args.seed,
+                backend="serial",
+            )
+            print(f"workers ready at {cluster.connect_spec()}")
+
+        backends_to_measure = ["thread"]
+        if args.backend != "thread":
+            backends_to_measure.append(args.backend)
+        for backend in backends_to_measure:
+            if backend == "remote":
+                instance = RemoteBackend(cluster.connect_spec())
+                report["backends"][backend] = measure_backend(dataset, batches, instance, None)
+            else:
+                workers = args.workers if backend == args.backend else None
+                report["backends"][backend] = measure_backend(dataset, batches, backend, workers)
+    finally:
+        if cluster is not None:
+            cluster.close()
+
+    if args.skew is not None:
+        # Report balance for the shard layout that was actually measured.
+        # Only the sharded backends route by initiator; for thread/serial
+        # the report is the hypothetical split a sharded deployment of the
+        # same width would see, and is labelled as such.
+        if args.backend in ("process", "remote"):
+            n_shards = report["backends"][args.backend]["workers"]
+            label = f"{args.backend} backend"
+        else:
+            n_shards = args.workers or 4
+            label = "hypothetical sharded deployment"
+        shards = ShardMap(n_shards)
+        print()
+        for kind, queries in batches.items():
+            counts = shards.load_report(queries)
+            report[f"shard_balance_{kind}"] = counts
+            print(
+                f"{kind} shard balance over {n_shards} shards "
+                f"({label}, skew={args.skew}): {counts} "
+                f"(max/mean {shards.imbalance(queries):.2f}x)"
+            )
 
     print(
         f"\n== warm batch throughput: {len(batches['sgq'])} cache-hot SGQ / "

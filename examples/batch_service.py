@@ -22,6 +22,9 @@ Scaling the service
   (`stgq serve --backend process --workers 4`), at the cost of process
   startup and per-batch IPC.
 * ``backend="serial"`` — the in-process loop, for debugging and baselines.
+* ``backend=RemoteBackend(...)`` — the multi-node shape: the same sharding
+  across ``stgq worker`` TCP processes.  See ``examples/cluster_quickstart.py``
+  and ``docs/service.md``.
 
 Whichever backend runs, ``stats()`` / ``cache_info()`` aggregate identically
 (worker counters merge into the parent), and ``solve_many_async`` lets an

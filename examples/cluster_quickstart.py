@@ -1,0 +1,101 @@
+"""Cluster quickstart: 2 TCP workers + a gateway on one laptop.
+
+The process backend scales the solver across cores; the **remote** backend
+scales it across boxes.  This demo boots the smallest real cluster —
+two ``stgq worker`` subprocesses on ephemeral localhost ports and a gateway
+:class:`~repro.service.QueryService` using
+:class:`~repro.service.net.RemoteBackend` — runs a seeded mixed SGQ/STGQ
+batch through it, and *proves* the deployment contract: the cluster returns
+byte-identical results and aggregate stats to a single-process serial
+service on the same dataset.
+
+CI runs this file as the cluster smoke test (it exits non-zero on any
+divergence), so it stays a working recipe.
+
+Run with::
+
+    PYTHONPATH=src python examples/cluster_quickstart.py
+"""
+
+import time
+
+from repro.experiments.workloads import generate_query_workload, workload
+from repro.service import QueryService, RemoteBackend
+from repro.service.net import start_local_workers
+
+N_WORKERS = 2
+N_QUERIES = 120
+SEED = 42
+
+#: Stats counters that must be identical whichever backend answered
+#: (solve_seconds is wall-clock and legitimately differs).
+DETERMINISTIC_COUNTERS = (
+    "queries",
+    "sg_queries",
+    "stg_queries",
+    "feasible",
+    "infeasible",
+    "cache_hits",
+    "cache_misses",
+    "nodes_expanded",
+)
+
+
+def main() -> None:
+    # 1. One seeded dataset.  Workers load the same dataset from the same
+    #    seed on startup — in a real deployment this is the shared graph
+    #    snapshot every node serves.
+    dataset = workload(network_size=194, schedule_days=1, seed=SEED)
+    print(f"dataset: {dataset.graph.vertex_count} people, seed {SEED}")
+
+    # 2. A skewed, mixed-radius workload: Zipfian initiators are what load
+    #    shards unevenly, so they make the better smoke traffic too.
+    batch = generate_query_workload(dataset, N_QUERIES, skew=0.8, seed=SEED)
+    n_stg = sum(1 for query in batch if hasattr(query, "activity_length"))
+    print(f"workload: {len(batch)} queries ({len(batch) - n_stg} SGQ + {n_stg} STGQ)")
+
+    # 3. The single-process reference answer.
+    with QueryService(dataset.graph, dataset.calendars, backend="serial") as reference:
+        reference_results = reference.solve_many(batch)
+        reference_stats = reference.stats().as_dict()
+
+    # 4. Boot the cluster: two worker subprocesses (ephemeral ports), then a
+    #    gateway whose RemoteBackend shards initiators across them with the
+    #    same CRC32 ShardMap the process backend uses.
+    print(f"\nbooting {N_WORKERS} workers ...")
+    with start_local_workers(N_WORKERS, people=194, days=1, seed=SEED) as cluster:
+        print(f"workers ready at {cluster.connect_spec()}")
+        backend = RemoteBackend(cluster.connect_spec())
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as gateway:
+            start = time.perf_counter()
+            results = gateway.solve_many(batch)
+            elapsed = time.perf_counter() - start
+            stats = gateway.stats().as_dict()
+            info = gateway.cache_info()
+
+        errors = [r for r in results if getattr(r, "error", None)]
+        print(
+            f"gateway answered {len(results)} queries in {elapsed:.2f}s "
+            f"({len(results) / elapsed:.0f} q/s), {len(errors)} errors, "
+            f"worker caches hold {info.size} ego networks"
+        )
+
+        # 5. The deployment contract: identical results AND identical merged
+        #    aggregate stats.  This is what makes `--backend remote` a pure
+        #    deployment decision rather than a semantics change.
+        assert not errors, f"cluster degraded {len(errors)} requests: {errors[0].error}"
+        for ours, theirs in zip(results, reference_results):
+            assert ours.feasible == theirs.feasible, "feasibility diverged"
+            assert ours.members == theirs.members, "group membership diverged"
+            assert ours.total_distance == theirs.total_distance, "distance diverged"
+        for counter in DETERMINISTIC_COUNTERS:
+            assert stats[counter] == reference_stats[counter], (
+                f"stats counter {counter} diverged: "
+                f"{stats[counter]} != {reference_stats[counter]}"
+            )
+        print("cluster results and merged stats are identical to the serial backend ✓")
+    print("workers terminated cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,9 +13,23 @@ Three sub-commands mirror how the library is typically used:
 
 ``stgq serve``
     Answer queries through the cached :class:`~repro.service.QueryService`
-    on a selectable executor backend (``--backend serial|thread|process``),
-    either as a generated benchmark batch or as a JSONL request loop over
-    stdin/stdout (``--jsonl``).
+    on a selectable executor backend
+    (``--backend serial|thread|process|remote``), either as a generated
+    benchmark batch or as a JSONL request loop over stdin/stdout
+    (``--jsonl``).  ``--backend remote --connect host:p1,host:p2`` turns the
+    process into a cluster gateway.
+
+``stgq worker``
+    Serve a local QueryService over the framed TCP protocol
+    (``--listen HOST:PORT``); the building block gateways connect to.
+
+``stgq cluster``
+    One-command local cluster: spawn N ``stgq worker`` subprocesses plus a
+    gateway connected to them (equivalent to ``serve --backend remote``).
+
+``serve``/``worker``/``cluster`` install SIGINT/SIGTERM handlers that close
+the service first (draining executor pools, worker processes and sockets),
+so Ctrl-C never leaks forkserver workers.
 
 Run ``python -m repro --help`` (or ``stgq --help`` once installed) for the
 full argument reference.
@@ -24,20 +38,30 @@ full argument reference.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import random
+import signal
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .core.planner import ActivityPlanner
 from .core.query import SearchParameters, SGQuery, STGQuery
 from .datasets.realistic import generate_real_dataset
+from .exceptions import QueryError
 from .experiments.ablation import format_ablation, run_sg_ablation, run_stg_ablation
 from .experiments.config import FIGURE_IDS, ExperimentScale
 from .experiments.figures import run_figure
 from .experiments.reporting import format_quality_table, format_table
 from .experiments.workloads import pick_initiator
-from .service import QueryService, serve_jsonl
+from .service import (
+    ALL_BACKEND_NAMES,
+    BACKEND_NAMES,
+    QueryService,
+    RemoteBackend,
+    serve_jsonl,
+)
+from .service.net import run_worker, start_local_workers
 
 __all__ = ["main", "build_parser"]
 
@@ -47,6 +71,44 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _listen_address(text: str) -> Tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {text!r}") from None
+    if not host or not 0 <= port < 65536:
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {text!r}")
+    return host, port
+
+
+@contextlib.contextmanager
+def _graceful_shutdown() -> Iterator[None]:
+    """Translate SIGINT/SIGTERM into ``SystemExit`` for the enclosing scope.
+
+    A raised ``SystemExit`` unwinds the ``with service:`` block, so executor
+    pools, forkserver workers and sockets are drained instead of leaked when
+    the operator hits Ctrl-C or an orchestrator sends SIGTERM.  The previous
+    handlers are restored on exit (the CLI commands are the outermost layer,
+    so nesting is not a concern).
+    """
+
+    def _raise(signum: int, frame: object) -> None:
+        raise SystemExit(128 + signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _raise)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +160,53 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("-k", "--acquaintance", type=int, default=2)
     ablation.add_argument("-m", "--activity-length", type=int, default=None)
 
+    def add_dataset_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--people", type=int, default=194, help="population size (default 194)")
+        sub.add_argument("--days", type=int, default=1, help="schedule length in days (default 1)")
+        sub.add_argument("--seed", type=int, default=42, help="dataset/batch seed (default 42)")
+
+    def add_service_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-size", type=_positive_int, default=128, help="feasible-graph cache entries"
+        )
+        sub.add_argument(
+            "--kernel",
+            choices=["compiled", "reference"],
+            default="compiled",
+            help="branch-and-bound kernel (default compiled)",
+        )
+
+    def add_traffic_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--queries", type=int, default=100, help="batch size (default 100)")
+        sub.add_argument(
+            "--initiators",
+            type=_positive_int,
+            default=16,
+            help="number of distinct initiators to draw queries from (default 16)",
+        )
+        sub.add_argument(
+            "--jsonl",
+            action="store_true",
+            help="serve JSONL requests from stdin to stdout until EOF instead of "
+            "generating a batch (stats summary goes to stderr)",
+        )
+        sub.add_argument(
+            "--batch-size",
+            type=_positive_int,
+            default=64,
+            help="pipelining batch size for --jsonl (default 64)",
+        )
+        sub.add_argument("-p", "--group-size", type=int, default=5)
+        sub.add_argument("-s", "--radius", type=int, default=1)
+        sub.add_argument("-k", "--acquaintance", type=int, default=2)
+        sub.add_argument(
+            "-m",
+            "--activity-length",
+            type=int,
+            default=None,
+            help="activity length in slots; omit for a purely social (SGQ) batch",
+        )
+
     serve = subparsers.add_parser(
         "serve",
         help="answer queries through the cached QueryService (selectable executor backend)",
@@ -110,29 +219,24 @@ def build_parser() -> argparse.ArgumentParser:
             "holding its own graph copy and ego-network LRU cache; queries always "
             "route to the worker owning their initiator, so caches stay hot and "
             "popcount-heavy batches scale across cores. --backend serial is the "
-            "single-threaded baseline. With --jsonl the command turns into a "
-            "stdin/stdout JSONL request loop (one request per line, responses in "
-            "request order) instead of generating a synthetic batch."
+            "single-threaded baseline. --backend remote --connect host:p1,host:p2 "
+            "shards the same way across stgq worker processes over TCP — the "
+            "cluster gateway. With --jsonl the command turns into a stdin/stdout "
+            "JSONL request loop (one request per line, responses in request "
+            "order) instead of generating a synthetic batch."
         ),
     )
-    serve.add_argument("--people", type=int, default=194, help="population size (default 194)")
-    serve.add_argument("--days", type=int, default=1, help="schedule length in days (default 1)")
-    serve.add_argument("--seed", type=int, default=42, help="dataset/batch seed (default 42)")
-    serve.add_argument("--queries", type=int, default=100, help="batch size (default 100)")
-    serve.add_argument(
-        "--initiators",
-        type=_positive_int,
-        default=16,
-        help="number of distinct initiators to draw queries from (default 16)",
-    )
+    add_dataset_arguments(serve)
+    add_traffic_arguments(serve)
     serve.add_argument(
         "--backend",
-        choices=["serial", "thread", "process"],
+        choices=list(ALL_BACKEND_NAMES),
         default="thread",
         help=(
             "executor backend: 'serial' (in-process loop), 'thread' (shared-cache "
             "pool; GIL-bound), 'process' (initiator-sharded worker processes, one "
-            "graph copy + ego cache each; scales across cores) (default thread)"
+            "graph copy + ego cache each; scales across cores), 'remote' "
+            "(initiator-sharded TCP workers; needs --connect) (default thread)"
         ),
     )
     serve.add_argument(
@@ -143,36 +247,85 @@ def build_parser() -> argparse.ArgumentParser:
         "(= shards) for --backend process (default: auto)",
     )
     serve.add_argument(
-        "--jsonl",
-        action="store_true",
-        help="serve JSONL requests from stdin to stdout until EOF instead of "
-        "generating a batch (stats summary goes to stderr)",
-    )
-    serve.add_argument(
-        "--batch-size",
-        type=_positive_int,
-        default=64,
-        help="pipelining batch size for --jsonl (default 64)",
-    )
-    serve.add_argument(
-        "--cache-size", type=_positive_int, default=128, help="feasible-graph cache entries"
-    )
-    serve.add_argument("-p", "--group-size", type=int, default=5)
-    serve.add_argument("-s", "--radius", type=int, default=1)
-    serve.add_argument("-k", "--acquaintance", type=int, default=2)
-    serve.add_argument(
-        "-m",
-        "--activity-length",
-        type=int,
+        "--connect",
         default=None,
-        help="activity length in slots; omit for a purely social (SGQ) batch",
+        help="worker addresses for --backend remote, e.g. "
+        "'127.0.0.1:9001,127.0.0.1:9002' (shard count = address count)",
     )
     serve.add_argument(
-        "--kernel",
-        choices=["compiled", "reference"],
-        default="compiled",
-        help="branch-and-bound kernel (default compiled)",
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds for --backend remote (default 30)",
     )
+    add_service_arguments(serve)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="serve a QueryService over the framed TCP protocol (cluster building block)",
+        description=(
+            "Run one cluster worker: a QueryService on the seeded dataset behind "
+            "an asyncio TCP server speaking the length-framed stgq protocol "
+            "(hello/ping/stats control frames + batch query frames). Gateways "
+            "(stgq serve --backend remote) route each initiator's queries to the "
+            "worker owning its shard, so this worker's ego-network cache stays "
+            "hot for its share of users. Prints 'STGQ-WORKER-READY host port' "
+            "once listening (port 0 picks an ephemeral port)."
+        ),
+    )
+    worker.add_argument(
+        "--listen",
+        type=_listen_address,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="address to bind (default 127.0.0.1:0 = ephemeral port)",
+    )
+    add_dataset_arguments(worker)
+    worker.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="executor backend of this worker's local service (default serial)",
+    )
+    worker.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="executor width of the local backend (default: auto)",
+    )
+    add_service_arguments(worker)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="one-command local cluster: N worker subprocesses + a gateway",
+        description=(
+            "Spawn N stgq worker subprocesses on ephemeral localhost ports, then "
+            "run a gateway (the equivalent of stgq serve --backend remote "
+            "--connect ...) against them. Workers are terminated when the "
+            "gateway exits, including on SIGINT/SIGTERM."
+        ),
+    )
+    cluster.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="number of worker subprocesses (= shards) (default 2)",
+    )
+    cluster.add_argument(
+        "--worker-backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="executor backend inside each worker (default serial)",
+    )
+    cluster.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="gateway per-request timeout in seconds (default 30)",
+    )
+    add_dataset_arguments(cluster)
+    add_traffic_arguments(cluster)
+    add_service_arguments(cluster)
 
     return parser
 
@@ -259,18 +412,8 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(args: argparse.Namespace) -> int:
-    dataset = generate_real_dataset(
-        n_people=args.people, schedule_days=args.days, seed=args.seed
-    )
-    service = QueryService(
-        dataset.graph,
-        dataset.calendars,
-        parameters=SearchParameters(kernel=args.kernel),
-        cache_size=args.cache_size,
-        max_workers=args.workers,
-        backend=args.backend,
-    )
+def _service_session(args: argparse.Namespace, dataset, service: QueryService) -> int:
+    """The serve/cluster gateway body: JSONL loop or a generated batch."""
     with service:
         if args.jsonl:
             served = serve_jsonl(service, sys.stdin, sys.stdout, batch_size=args.batch_size)
@@ -318,16 +461,125 @@ def _command_serve(args: argparse.Namespace) -> int:
         stats = service.stats()
         info = service.cache_info()
     feasible = sum(1 for r in results if r.feasible)
+    errors = sum(1 for r in results if getattr(r, "error", None))
     kind = "SGQ" if args.activity_length is None else "STGQ"
     print(f"batch: {len(results)} {kind} queries over {args.people} people "
           f"({len(initiators)} initiators, kernel={args.kernel})")
-    print(f"feasible: {feasible}/{len(results)}")
+    print(f"feasible: {feasible}/{len(results)}" + (f"  (errors: {errors})" if errors else ""))
     print(f"wall clock: {elapsed:.3f} s  ({len(results) / elapsed:.1f} queries/s, "
           f"backend={service.backend_name}, workers={service.max_workers})")
     print(f"solver time: {stats.solve_seconds:.3f} s across {stats.nodes_expanded} nodes")
     print(f"cache: {info.hits} hits / {info.misses} misses "
           f"(hit rate {info.hit_rate:.0%}, {info.size}/{info.max_size} entries)")
     return 0
+
+
+def _build_gateway_service(args: argparse.Namespace, dataset, backend) -> QueryService:
+    return QueryService(
+        dataset.graph,
+        dataset.calendars,
+        parameters=SearchParameters(kernel=args.kernel),
+        cache_size=args.cache_size,
+        max_workers=getattr(args, "workers", None),
+        backend=backend,
+    )
+
+
+def _shutdown_code(exc: SystemExit) -> int:
+    print("signal received; service closed cleanly", file=sys.stderr)
+    return exc.code if isinstance(exc.code, int) else 130
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.backend == "remote":
+        # Usage mistakes (missing/malformed --connect, bad --timeout) are
+        # answered like argparse does (stderr + exit 2), not a traceback.
+        if not args.connect:
+            print(
+                "error: --backend remote requires --connect host:port[,host:port...]",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            backend = RemoteBackend(args.connect, timeout=args.timeout)
+        except QueryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        backend = args.backend
+    dataset = generate_real_dataset(
+        n_people=args.people, schedule_days=args.days, seed=args.seed
+    )
+    with _graceful_shutdown():
+        try:
+            return _service_session(args, dataset, _build_gateway_service(args, dataset, backend))
+        except SystemExit as exc:
+            return _shutdown_code(exc)
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    dataset = generate_real_dataset(
+        n_people=args.people, schedule_days=args.days, seed=args.seed
+    )
+    host, port = args.listen
+    service = QueryService(
+        dataset.graph,
+        dataset.calendars,
+        parameters=SearchParameters(kernel=args.kernel),
+        cache_size=args.cache_size,
+        max_workers=args.workers,
+        backend=args.backend,
+    )
+    with service:
+        code = run_worker(service, host, port, announce=sys.stdout)
+        stats = service.stats()
+        info = service.cache_info()
+        print(
+            f"worker stopping (backend={service.backend_name}); answered "
+            f"{stats.queries} queries, solver time {stats.solve_seconds:.3f} s, "
+            f"cache hit rate {info.hit_rate:.0%}",
+            file=sys.stderr,
+        )
+    return code
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    dataset = generate_real_dataset(
+        n_people=args.people, schedule_days=args.days, seed=args.seed
+    )
+    with _graceful_shutdown():
+        cluster = start_local_workers(
+            args.workers,
+            people=args.people,
+            days=args.days,
+            seed=args.seed,
+            backend=args.worker_backend,
+            cache_size=args.cache_size,
+            kernel=args.kernel,
+        )
+        try:
+            print(
+                f"cluster up: {args.workers} workers at {cluster.connect_spec()}",
+                file=sys.stderr,
+            )
+            try:
+                backend = RemoteBackend(cluster.connect_spec(), timeout=args.timeout)
+            except QueryError as exc:  # e.g. --timeout 0: usage error, not a traceback
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            service = QueryService(
+                dataset.graph,
+                dataset.calendars,
+                parameters=SearchParameters(kernel=args.kernel),
+                cache_size=args.cache_size,
+                backend=backend,
+            )
+            return _service_session(args, dataset, service)
+        except SystemExit as exc:
+            return _shutdown_code(exc)
+        finally:
+            cluster.close()
+            print("cluster workers terminated", file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -342,6 +594,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_ablation(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "worker":
+        return _command_worker(args)
+    if args.command == "cluster":
+        return _command_cluster(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

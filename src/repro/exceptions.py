@@ -65,5 +65,24 @@ class SolverError(ReproError):
     """Raised when an optimisation backend fails (e.g. MILP solver errors)."""
 
 
+class ProtocolError(ReproError):
+    """Raised when a network peer violates the stgq wire protocol.
+
+    Covers malformed or oversized frames, unexpected frame types and
+    protocol-version mismatches on the socket path
+    (:mod:`repro.service.net.protocol`).
+    """
+
+
+class WorkerUnavailableError(ReproError):
+    """Raised when a remote worker cannot be reached or answer in time.
+
+    The :class:`~repro.service.net.RemoteBackend` catches this per shard and
+    degrades the affected requests to error results instead of failing the
+    whole batch; it is only visible to callers using the connection layer
+    directly.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated or loaded."""

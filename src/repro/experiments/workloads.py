@@ -9,16 +9,26 @@ single instance within a process).
 
 from __future__ import annotations
 
+import itertools
+import random
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+from ..core.query import SGQuery, STGQuery
 from ..datasets.base import Dataset
 from ..datasets.coauthorship import generate_coauthorship_dataset
 from ..datasets.realistic import generate_real_dataset
+from ..exceptions import QueryError
 from ..graph.extraction import extract_feasible_graph
 from ..types import Vertex
 
-__all__ = ["workload", "pick_initiator", "ego_size"]
+__all__ = [
+    "workload",
+    "pick_initiator",
+    "ego_size",
+    "zipfian_weights",
+    "generate_query_workload",
+]
 
 
 @lru_cache(maxsize=16)
@@ -78,3 +88,98 @@ def pick_initiator(
         return best[1]
     # Nothing fits both bounds: fall back to the person with the most friends.
     return max(dataset.people, key=lambda v: ego_size(dataset, v, radius))
+
+
+def zipfian_weights(n: int, skew: float) -> List[float]:
+    """Zipf-Mandelbrot rank weights ``1 / rank**skew`` for ranks ``1..n``.
+
+    ``skew = 0`` degenerates to the uniform distribution; ``skew`` around
+    0.8–1.2 matches the initiator-popularity skew reported for social
+    production workloads (a few heavy users issue most of the traffic).
+    """
+    if n < 1:
+        raise QueryError(f"need at least one rank, got {n}")
+    if skew < 0:
+        raise QueryError(f"skew must be >= 0, got {skew}")
+    return [1.0 / (rank**skew) for rank in range(1, n + 1)]
+
+
+def generate_query_workload(
+    dataset: Dataset,
+    n_queries: int,
+    skew: float = 0.0,
+    initiators: Optional[Sequence[Vertex]] = None,
+    n_initiators: Optional[int] = None,
+    radii: Sequence[int] = (1, 2),
+    group_sizes: Sequence[int] = (3, 4, 5),
+    stg_fraction: float = 0.3,
+    activity_lengths: Sequence[int] = (2, 4),
+    seed: int = 0,
+) -> List[Union[SGQuery, STGQuery]]:
+    """Seeded service workload: Zipfian initiators, mixed radii and kinds.
+
+    The uniform, few-initiator batches the earlier benchmarks used flatter
+    the service: every shard gets equal load and the ego-network cache never
+    evicts.  Production traffic is skewed — this generator draws each
+    query's initiator from a Zipf(``skew``) distribution over a (shuffled)
+    pool, mixes social radii (radius-2 queries are the solver-bound ones)
+    and intersperses SGQ/STGQ traffic, which is what actually stresses
+    shard balance and LRU eviction.
+
+    Parameters
+    ----------
+    skew:
+        Zipf exponent for initiator popularity (0 = uniform).
+    initiators:
+        Explicit initiator pool in rank order (heaviest first).  When
+        omitted, a pool of ``n_initiators`` (default: everyone) is sampled
+        and shuffled, so popularity rank is independent of vertex ids.
+    radii / group_sizes / activity_lengths:
+        Choice sets sampled uniformly per query.
+    stg_fraction:
+        Fraction of queries that are social-temporal (need calendars).
+    """
+    if n_queries < 0:
+        raise QueryError(f"n_queries must be >= 0, got {n_queries}")
+    if not 0.0 <= stg_fraction <= 1.0:
+        raise QueryError(f"stg_fraction must be in [0, 1], got {stg_fraction}")
+    rng = random.Random(seed)
+    if initiators is not None:
+        pool = list(initiators)
+    else:
+        people = list(dataset.people)
+        size = len(people) if n_initiators is None else min(n_initiators, len(people))
+        pool = rng.sample(people, size)
+    if not pool:
+        raise QueryError("initiator pool is empty")
+    # random.choices rebuilds the cumulative table per call; accumulate
+    # once so sampling stays O(log n) per query at any population size.
+    cum_weights = list(itertools.accumulate(zipfian_weights(len(pool), skew)))
+    group_size_choices = list(group_sizes)
+    radius_choices = list(radii)
+    length_choices = list(activity_lengths)
+    queries: List[Union[SGQuery, STGQuery]] = []
+    for _ in range(n_queries):
+        initiator = rng.choices(pool, cum_weights=cum_weights, k=1)[0]
+        group_size = rng.choice(group_size_choices)
+        radius = rng.choice(radius_choices)
+        if rng.random() < stg_fraction:
+            queries.append(
+                STGQuery(
+                    initiator=initiator,
+                    group_size=group_size,
+                    radius=radius,
+                    acquaintance=2,
+                    activity_length=rng.choice(length_choices),
+                )
+            )
+        else:
+            queries.append(
+                SGQuery(
+                    initiator=initiator,
+                    group_size=group_size,
+                    radius=radius,
+                    acquaintance=2,
+                )
+            )
+    return queries

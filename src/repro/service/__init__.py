@@ -23,6 +23,13 @@ the solvers into that shape:
 * **Async front-end** — ``solve_many_async`` lets an asyncio caller pipeline
   batches; ``stgq serve --jsonl`` exposes the same thing as a line-oriented
   stdin/stdout protocol (:mod:`repro.service.jsonl`).
+* **Network cluster** — :mod:`repro.service.net` takes the service past one
+  box: ``stgq worker`` serves a local ``QueryService`` over a length-framed
+  TCP protocol, :class:`~repro.service.net.RemoteBackend` is the drop-in
+  executor backend that shards initiators across those workers (same CRC32
+  routing, per-request failure containment), and ``stgq cluster`` boots a
+  local N-worker cluster plus gateway in one command.  See
+  ``docs/service.md`` for the architecture page and wire-protocol spec.
 * **Observability** — ``stats()`` and ``cache_info()`` expose query counts,
   feasibility ratios, solver time and cache hit rates, the numbers a
   capacity planner needs — aggregated across workers whichever backend runs.
@@ -51,6 +58,7 @@ See ``examples/batch_service.py`` for a narrated end-to-end demo.
 """
 
 from .backends import (
+    ALL_BACKEND_NAMES,
     BACKEND_NAMES,
     ExecutorBackend,
     ProcessBackend,
@@ -58,21 +66,38 @@ from .backends import (
     ThreadBackend,
     make_backend,
 )
+from .codec import ErrorResult, query_from_request, response_for
 from .jsonl import serve_jsonl
+from .net import (
+    LocalWorkerCluster,
+    RemoteBackend,
+    WorkerServer,
+    run_worker,
+    start_local_workers,
+)
 from .query_service import CacheInfo, QueryService, ServiceStats
 from .sharding import ShardMap, stable_shard
 
 __all__ = [
+    "ALL_BACKEND_NAMES",
     "BACKEND_NAMES",
     "CacheInfo",
+    "ErrorResult",
     "ExecutorBackend",
+    "LocalWorkerCluster",
     "ProcessBackend",
     "QueryService",
+    "RemoteBackend",
     "SerialBackend",
     "ServiceStats",
     "ShardMap",
     "ThreadBackend",
+    "WorkerServer",
     "make_backend",
+    "query_from_request",
+    "response_for",
+    "run_worker",
     "serve_jsonl",
     "stable_shard",
+    "start_local_workers",
 ]

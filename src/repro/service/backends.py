@@ -20,8 +20,15 @@ The service's batch path is a strategy object implementing
     ego-network LRU cache, and a query always routes to the worker owning its
     initiator (see :mod:`repro.service.sharding`), so caches stay hot without
     any cross-process invalidation.  This is the backend that scales the
-    GIL-bound kernel across cores, and the shape a future multi-node
-    deployment drops into (replace the pool with a remote worker).
+    GIL-bound kernel across cores on one box.
+
+``remote``
+    The multi-node shape of ``process``: the same :class:`ShardMap` routing,
+    but each shard is a TCP worker (``stgq worker``) behind a persistent
+    framed connection instead of a local pool.  Lives in
+    :mod:`repro.service.net.remote`; needs worker addresses, so build it as
+    ``make_backend("remote", connect="host:p1,host:p2")`` or construct a
+    :class:`~repro.service.net.RemoteBackend` directly.
 
 Workers report per-batch :class:`~repro.service.query_service.ServiceStats`
 deltas which the parent service merges, so ``service.stats()`` and
@@ -45,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .query_service import Query, QueryService, Result
 
 __all__ = [
+    "ALL_BACKEND_NAMES",
     "BACKEND_NAMES",
     "ExecutorBackend",
     "ProcessBackend",
@@ -53,7 +61,12 @@ __all__ = [
     "make_backend",
 ]
 
+#: In-process backends constructible from a bare name; ``remote`` also
+#: exists but needs worker addresses (see :func:`make_backend`).
 BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Every backend name, for CLI choices and documentation.
+ALL_BACKEND_NAMES = BACKEND_NAMES + ("remote",)
 
 
 class ExecutorBackend(Protocol):
@@ -306,11 +319,15 @@ class ProcessBackend:
 def make_backend(
     backend: Union[str, "ExecutorBackend"],
     workers: Optional[int] = None,
+    connect: Optional[str] = None,
+    timeout: Optional[float] = None,
 ) -> "ExecutorBackend":
     """Resolve a backend spec (name or ready instance) to an instance.
 
     ``workers`` only applies when ``backend`` is a name; a ready instance
-    keeps its own configuration.
+    keeps its own configuration.  ``connect`` (worker addresses,
+    ``"host:port,host:port"``) and ``timeout`` only apply to
+    ``backend="remote"``, whose shard count comes from the address list.
     """
     if not isinstance(backend, str):
         return backend
@@ -320,4 +337,19 @@ def make_backend(
         return ThreadBackend(workers)
     if backend == "process":
         return ProcessBackend(workers)
-    raise QueryError(f"unknown backend {backend!r}; expected one of {', '.join(BACKEND_NAMES)}")
+    if backend == "remote":
+        if connect is None:
+            raise QueryError(
+                "backend 'remote' needs worker addresses: "
+                "make_backend('remote', connect='host:port,host:port')"
+            )
+        # Deferred import: a top-level one would be circular (importing
+        # .net runs net.worker, which imports query_service, which imports
+        # this module before it finishes defining the backend classes).
+        from .net.remote import RemoteBackend
+
+        if timeout is not None:
+            return RemoteBackend(connect, timeout=timeout)
+        return RemoteBackend(connect)
+    names = ", ".join(ALL_BACKEND_NAMES)
+    raise QueryError(f"unknown backend {backend!r}; expected one of {names}")

@@ -1,26 +1,15 @@
 """JSONL request loop: the stdin/stdout wire protocol of ``stgq serve --jsonl``.
 
-One request per line, one response per line, responses in request order:
+One request per line, one response per line, responses in request order.
+The request/response payloads are shared with the socket path and documented
+in :mod:`repro.service.codec` (``query_from_request`` / ``response_for`` are
+re-exported here for backward compatibility).
 
-Request::
-
-    {"id": 7, "initiator": 12, "group_size": 5, "radius": 1,
-     "acquaintance": 2, "activity_length": 4}
-
-``id`` is optional and echoed back verbatim.  The paper's short parameter
-names are accepted as aliases (``p`` = group_size, ``s`` = radius,
-``k`` = acquaintance, ``m`` = activity_length); omitting
-``activity_length``/``m`` makes the request a purely social SGQ.
-
-Response::
-
-    {"id": 7, "feasible": true, "members": [3, 9, 12, 17, 20],
-     "total_distance": 6.5, "period": [10, 13], "solver": "STGSelect"}
-
-Malformed lines, invalid parameters and solver-time library errors (e.g. an
-initiator not in the graph) produce ``{"id": ..., "error": "..."}`` in place
-of a result; the loop keeps serving.  ``total_distance`` is ``null`` for
-infeasible results (JSON has no ``Infinity``).
+Malformed lines, oversized lines (> ``codec.MAX_REQUEST_BYTES``), invalid
+parameters and solver-time library errors (e.g. an initiator not in the
+graph) produce ``{"id": ..., "error": "..."}`` in place of a result; the
+loop keeps serving.  ``total_distance`` is ``null`` for infeasible results
+(JSON has no ``Infinity``).
 
 The loop is pipelined: requests are read in batches and each batch is solved
 through :meth:`~repro.service.QueryService.solve_many_async` while the next
@@ -40,60 +29,11 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
-from ..core.query import SGQuery, STGQuery
-from ..core.result import STGroupResult
-from ..exceptions import QueryError
+from ..exceptions import QueryError, ReproError
+from .codec import MAX_REQUEST_BYTES, query_from_request, response_for
 from .query_service import Query, QueryService, Result
 
 __all__ = ["serve_jsonl", "query_from_request", "response_for"]
-
-#: Paper-style aliases accepted in requests.
-_ALIASES = {"p": "group_size", "s": "radius", "k": "acquaintance", "m": "activity_length"}
-_FIELDS = ("initiator", "group_size", "radius", "acquaintance", "activity_length")
-
-
-def query_from_request(payload: Dict[str, Any]) -> Query:
-    """Build an :class:`SGQuery`/:class:`STGQuery` from one decoded request.
-
-    Raises :class:`~repro.exceptions.QueryError` on missing or invalid
-    fields, which the serve loop turns into an error response.
-    """
-    if not isinstance(payload, dict):
-        raise QueryError(f"request must be a JSON object, got {type(payload).__name__}")
-    fields: Dict[str, Any] = {}
-    for key, value in payload.items():
-        name = _ALIASES.get(key, key)
-        if name in _FIELDS:
-            if name in fields:
-                raise QueryError(f"duplicate field {name!r} (alias collision)")
-            fields[name] = value
-    if "initiator" not in fields:
-        raise QueryError("request is missing 'initiator'")
-    if "group_size" not in fields:
-        raise QueryError("request is missing 'group_size' (alias 'p')")
-    fields.setdefault("radius", 1)
-    fields.setdefault("acquaintance", 1)
-    activity_length = fields.pop("activity_length", None)
-    try:
-        if activity_length is None:
-            return SGQuery(**fields)
-        return STGQuery(activity_length=activity_length, **fields)
-    except TypeError as exc:  # non-numeric parameters and the like
-        raise QueryError(f"invalid request parameters: {exc}") from exc
-
-
-def response_for(request_id: Any, result: Result) -> Dict[str, Any]:
-    """Encode one solver result as a JSON-safe response object."""
-    response: Dict[str, Any] = {
-        "id": request_id,
-        "feasible": result.feasible,
-        "members": result.sorted_members(),
-        "total_distance": result.total_distance if result.feasible else None,
-        "solver": result.solver,
-    }
-    if isinstance(result, STGroupResult):
-        response["period"] = list(result.period.as_tuple()) if result.period else None
-    return response
 
 
 @dataclass
@@ -109,6 +49,13 @@ def _parse_line(line: str) -> Optional[_Entry]:
     text = line.strip()
     if not text:
         return None
+    if len(text) > MAX_REQUEST_BYTES or len(text.encode("utf-8")) > MAX_REQUEST_BYTES:
+        # Refuse to json-parse a runaway line (a well-formed request is a
+        # couple hundred bytes); answer with an error instead of ballooning.
+        return _Entry(
+            request_id=None,
+            error=f"request line exceeds {MAX_REQUEST_BYTES} bytes",
+        )
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -144,7 +91,25 @@ class _RequestReader:
         self._thread.start()
 
     def _pump(self, stream: TextIO) -> None:
-        for line in iter(stream.readline, ""):
+        while True:
+            # Bound every read: an unbounded readline would buffer a whole
+            # runaway line (gigabytes, no newline) into memory before the
+            # size guard could ever reject it.
+            line = stream.readline(MAX_REQUEST_BYTES + 1)
+            if line == "":
+                break
+            if len(line) > MAX_REQUEST_BYTES and not line.endswith("\n"):
+                self._queue.put(
+                    _Entry(
+                        request_id=None,
+                        error=f"request line exceeds {MAX_REQUEST_BYTES} bytes",
+                    )
+                )
+                while True:  # discard the rest of the line, bounded reads
+                    chunk = stream.readline(MAX_REQUEST_BYTES)
+                    if chunk == "" or chunk.endswith("\n"):
+                        break
+                continue
             entry = _parse_line(line)
             if entry is not None:
                 self._queue.put(entry)
@@ -184,16 +149,19 @@ class _RequestReader:
 async def _solve_entries(service: QueryService, entries: List[_Entry]) -> List[Union[Result, str]]:
     """Solve one batch's parsed queries, turning library errors into strings.
 
-    Requests whose initiator is not in the graph are rejected up front (the
-    one solver-time failure reachable with well-formed input), so the batch
+    Requests that fail the service's own validation (unknown initiator,
+    STGQ without calendars) are rejected up front per entry, so the batch
     fast path stays exception-free and service stats count each query
     exactly once on every backend.  Any remaining library error downgrades
     the whole batch to error responses rather than killing the loop.
     """
     for entry in entries:
-        if entry.query is not None and entry.query.initiator not in service.graph:
-            entry.error = f"vertex {entry.query.initiator!r} is not in the graph"
-            entry.query = None
+        if entry.query is not None:
+            try:
+                service._validate(entry.query)
+            except ReproError as exc:
+                entry.error = str(exc)
+                entry.query = None
     queries = [entry.query for entry in entries if entry.query is not None]
     if not queries:
         return []

@@ -1,0 +1,37 @@
+"""repro.service.net — the socket-level cluster subsystem.
+
+This package scales the service layer past one box, the step the
+:class:`~repro.service.ExecutorBackend` protocol was designed for:
+
+* :mod:`~repro.service.net.protocol` — length-framed JSON frames, a
+  versioned superset of the JSONL payloads (adds ``hello``/``ping``/
+  ``stats`` control frames next to ``batch`` query frames).
+* :mod:`~repro.service.net.worker` — an asyncio TCP server wrapping one
+  local :class:`~repro.service.QueryService` (``stgq worker --listen``).
+* :mod:`~repro.service.net.remote` — :class:`RemoteBackend`, the drop-in
+  executor backend that shards initiators across persistent worker
+  connections through the same CRC32 :class:`~repro.service.ShardMap` the
+  process backend uses, and degrades dead workers to per-request error
+  results instead of failed batches.
+* :mod:`~repro.service.net.cluster` — a launcher for one-command local
+  clusters (``stgq cluster --workers N``): worker subprocesses plus a
+  gateway service connected to them.
+
+See ``docs/service.md`` for the full architecture page and wire-protocol
+specification.
+"""
+
+from .cluster import LocalWorkerCluster, start_local_workers
+from .protocol import PROTOCOL_VERSION
+from .remote import RemoteBackend, parse_addresses
+from .worker import WorkerServer, run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "LocalWorkerCluster",
+    "RemoteBackend",
+    "WorkerServer",
+    "parse_addresses",
+    "run_worker",
+    "start_local_workers",
+]

@@ -1,0 +1,151 @@
+"""Length-framed JSON frames: the gateway/worker wire format.
+
+Framing
+-------
+Every frame is a 4-byte big-endian unsigned length ``N`` followed by ``N``
+bytes of UTF-8 JSON encoding one object.  Frames larger than
+:data:`MAX_FRAME_BYTES` are rejected before any payload is read, so a
+corrupt length prefix cannot make a peer allocate gigabytes.
+
+Frame types
+-----------
+All frames are JSON objects with a ``"type"`` key:
+
+``{"type": "hello", "v": 1}``
+    Connection handshake, sent by the client first.  The worker answers
+    with its own ``hello`` carrying the protocol version it speaks plus
+    deployment facts (backend name, worker width, graph size).  A version
+    mismatch is answered with an ``error`` frame and the connection closes.
+
+``{"type": "ping", "id": ...}`` / ``{"type": "pong", "id": ...}``
+    Liveness probe; ``id`` is echoed verbatim.
+
+``{"type": "stats"}``
+    Snapshot of the worker's service counters and cache info.
+
+``{"type": "batch", "id": ..., "requests": [...]}``
+    A batch of query requests (payloads per :mod:`repro.service.codec`).
+    Answered by ``{"type": "batch_result", "id": ..., "results": [...],
+    "stats_delta": {...}, "cache_size": N}`` where each result is either a
+    full-fidelity :func:`~repro.service.codec.encode_result` object or
+    ``{"error": "..."}`` for that request alone.
+
+``{"type": "error", "error": "..."}``
+    Sent by the worker for protocol violations (unknown frame types keep
+    the connection open; framing or handshake violations close it).
+
+Both an asyncio flavour (:func:`read_frame`/:func:`write_frame`, used by
+the worker server) and a blocking-socket flavour (:func:`recv_frame`/
+:func:`send_frame`, used by the gateway's worker links) are provided so
+neither side has to adapt its concurrency model to the other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import time
+from typing import Any, Dict, Optional
+
+from ...exceptions import ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+    "encode_frame",
+]
+
+#: Version of the wire protocol; bumped on incompatible frame changes.
+#: Both sides send it in ``hello`` and refuse mismatched peers.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame (a batch of ~10k requests is still < 2 MiB).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialise one frame (length prefix + UTF-8 JSON body)."""
+    body = json.dumps(payload, separators=(",", ":"), allow_nan=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame must encode a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced a {length}-byte frame (max {MAX_FRAME_BYTES})")
+
+
+# ----------------------------------------------------------------------
+# asyncio flavour (worker server side)
+# ----------------------------------------------------------------------
+async def read_frame(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one frame; raises ``IncompleteReadError`` at EOF."""
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length)
+    return _decode_body(await reader.readexactly(length))
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Dict[str, Any]) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# blocking-socket flavour (gateway worker-link side)
+# ----------------------------------------------------------------------
+def _recv_exactly(sock: socket.socket, n: int, deadline: Optional[float] = None) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        if deadline is not None:
+            # The socket timeout alone is per-recv and resets on every
+            # chunk, so a peer dribbling bytes could stall forever; the
+            # deadline bounds the whole frame.
+            left = deadline - time.monotonic()
+            if left <= 0:
+                raise socket.timeout("frame read deadline exceeded")
+            sock.settimeout(left)
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError(f"connection closed mid-frame ({n - remaining}/{n} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, deadline: Optional[float] = None) -> Dict[str, Any]:
+    """Read one frame from a blocking socket.
+
+    Honours the socket's timeout per ``recv``; pass ``deadline`` (a
+    ``time.monotonic()`` instant) to additionally bound the *whole* frame,
+    raising ``socket.timeout`` once it passes.
+    """
+    (length,) = _LENGTH.unpack(_recv_exactly(sock, _LENGTH.size, deadline))
+    _check_length(length)
+    return _decode_body(_recv_exactly(sock, length, deadline))
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(payload))

@@ -1,0 +1,402 @@
+"""RemoteBackend: the executor backend that runs batches on remote workers.
+
+Drop-in implementation of the :class:`~repro.service.ExecutorBackend`
+protocol — a :class:`~repro.service.QueryService` built with
+``backend=RemoteBackend("host:a,host:b")`` behaves like one built with
+``backend="process"``, except the shards live behind sockets instead of
+``ProcessPoolExecutor``\\ s:
+
+* **Routing** — each query's initiator maps to a worker through the same
+  CRC32 :class:`~repro.service.ShardMap` the process backend uses, so a
+  worker's ego-network cache stays hot for its shard of users and a gateway
+  restart lands every initiator on the same worker again.
+* **Pipelining** — one persistent connection per worker; a batch is split
+  into per-shard sub-batches that are dispatched concurrently, so every
+  worker solves its slice while the others solve theirs.
+* **Stats invariance** — each ``batch_result`` carries the stats *delta*
+  the sub-batch produced inside the worker; deltas are merged into the
+  gateway service only after every shard resolved (all-or-nothing, exactly
+  like the process backend), so ``stats()``/``cache_info()`` report the
+  same numbers whichever backend answered.
+* **Failure containment** — a dead or timed-out worker degrades to
+  :class:`~repro.service.codec.ErrorResult` entries for the requests routed
+  to it; the rest of the batch succeeds.  Reconnection uses exponential
+  backoff with a fail-fast window, so a flapping worker cannot stall every
+  batch, and a restarted worker is picked up automatically on the next
+  attempt after the window expires.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ...exceptions import ProtocolError, QueryError, WorkerUnavailableError
+from ..codec import ErrorResult, decode_result, request_for
+from ..sharding import ShardMap
+from .protocol import PROTOCOL_VERSION, encode_frame, recv_frame, send_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..query_service import Query, QueryService, Result
+
+__all__ = ["RemoteBackend", "parse_addresses"]
+
+Address = Tuple[str, int]
+
+
+def parse_addresses(connect: Union[str, Iterable[Union[str, Address]]]) -> List[Address]:
+    """Normalise a ``--connect`` spec to a list of ``(host, port)`` pairs.
+
+    Accepts ``"host:port,host:port"`` strings (what the CLI passes) or any
+    iterable of ``"host:port"`` strings / ready pairs.
+    """
+    if isinstance(connect, str):
+        parts: List[Union[str, Address]] = [p for p in connect.split(",") if p.strip()]
+    else:
+        parts = list(connect)
+    if not parts:
+        raise QueryError("remote backend needs at least one worker address")
+    addresses: List[Address] = []
+    for part in parts:
+        if isinstance(part, tuple):
+            host, port = part
+        else:
+            host, _, port_text = part.strip().rpartition(":")
+            if not host:
+                raise QueryError(f"worker address {part!r} is not 'host:port'")
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise QueryError(f"worker address {part!r} has a non-numeric port") from None
+        if not 0 < int(port) < 65536:
+            raise QueryError(f"worker address has out-of-range port {port}")
+        addresses.append((str(host), int(port)))
+    return addresses
+
+
+class _WorkerLink:
+    """One persistent, lazily-(re)connected framed connection to a worker.
+
+    A lock serialises request/response pairs on the connection; concurrent
+    batches to *different* workers proceed in parallel (the backend fans
+    out over a thread pool).  Connection failures open a fail-fast window
+    that grows exponentially (``backoff_base * 2**failures``, capped), so
+    while a worker is down its shard's requests error out immediately
+    instead of each paying a connect timeout.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: float,
+        connect_timeout: float,
+        backoff_base: float,
+        backoff_cap: float,
+        max_batch_timeout: float,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_batch_timeout = max_batch_timeout
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._retry_at = 0.0
+
+    @property
+    def label(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+    def _register_failure(self) -> None:
+        self._failures += 1
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** (self._failures - 1)))
+        self._retry_at = time.monotonic() + delay
+
+    def _drop_locked(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+
+    def _connect_locked(self) -> None:
+        remaining = self._retry_at - time.monotonic()
+        if remaining > 0:
+            raise WorkerUnavailableError(
+                f"worker {self.label} unavailable (reconnect backoff, {remaining:.2f}s left)"
+            )
+        try:
+            sock = socket.create_connection(self.address, timeout=self.connect_timeout)
+        except OSError as exc:
+            self._register_failure()
+            raise WorkerUnavailableError(f"cannot connect to worker {self.label}: {exc}") from exc
+        sock.settimeout(self.timeout)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            reply = recv_frame(sock, deadline=time.monotonic() + self.timeout)
+        except (OSError, ProtocolError) as exc:
+            sock.close()
+            self._register_failure()
+            raise WorkerUnavailableError(
+                f"handshake with worker {self.label} failed: {exc}"
+            ) from exc
+        if reply.get("type") == "error":
+            sock.close()
+            self._register_failure()
+            raise WorkerUnavailableError(
+                f"worker {self.label} rejected the handshake: {reply.get('error')}"
+            )
+        if reply.get("type") != "hello" or reply.get("v") != PROTOCOL_VERSION:
+            sock.close()
+            self._register_failure()
+            raise WorkerUnavailableError(
+                f"worker {self.label} answered the handshake with "
+                f"type={reply.get('type')!r} v={reply.get('v')!r} "
+                f"(expected hello v{PROTOCOL_VERSION})"
+            )
+        self._sock = sock
+        self._failures = 0
+        self._retry_at = 0.0
+
+    def request(self, frame: Dict, budget: int = 1) -> Dict:
+        """One request/response round trip; raises ``WorkerUnavailableError``.
+
+        Any transport failure (refused connect, send/recv error, timeout,
+        broken framing) drops the connection — the next request attempts a
+        reconnect once its backoff window has passed.  The round trip is
+        bounded by a deadline of ``timeout * budget`` seconds (``budget`` =
+        number of requests in the frame), so the per-request budget holds
+        for any sub-batch size while a dribbling worker still cannot stall
+        a batch past its deadline.  A frame too large to encode raises
+        :class:`ProtocolError` *before* touching the connection: a
+        client-side mistake must not penalise a healthy worker with a
+        dropped socket and backoff.
+        """
+        data = encode_frame(frame)
+        # Scale with the sub-batch so large healthy batches are never
+        # spuriously degraded, but cap the total: a wedged worker must not
+        # stall a batch for timeout * N seconds (hours at defaults).
+        cap = max(self.timeout, self.max_batch_timeout)
+        budget_seconds = min(self.timeout * max(1, budget), cap)
+        with self._lock:
+            if self._sock is None:
+                self._connect_locked()
+            deadline = time.monotonic() + budget_seconds
+            try:
+                self._sock.settimeout(self.timeout)
+                self._sock.sendall(data)
+                reply = recv_frame(self._sock, deadline=deadline)
+            except socket.timeout as exc:
+                self._drop_locked()
+                self._register_failure()
+                raise WorkerUnavailableError(
+                    f"worker {self.label} timed out after {budget_seconds}s"
+                ) from exc
+            except (OSError, ProtocolError) as exc:
+                self._drop_locked()
+                self._register_failure()
+                raise WorkerUnavailableError(f"worker {self.label} failed: {exc}") from exc
+            if reply.get("type") == "error":
+                # In-protocol refusal (e.g. malformed batch): connection is
+                # healthy, but this request cannot be served.
+                raise WorkerUnavailableError(
+                    f"worker {self.label} rejected the request: {reply.get('error')}"
+                )
+            return reply
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_locked()
+
+
+class RemoteBackend:
+    """Shard initiators across remote workers over persistent connections.
+
+    Parameters
+    ----------
+    connect:
+        Worker addresses: ``"host:port,host:port"`` or an iterable of
+        ``"host:port"`` strings / ``(host, port)`` pairs.  The number of
+        addresses fixes the shard count; list the same workers in the same
+        order on every gateway or the shard → worker mapping diverges.
+    timeout:
+        Per-request time budget in seconds: a sub-batch round trip to one
+        worker is bounded by ``timeout * len(sub-batch)`` (control frames
+        by ``timeout``), so large healthy batches are never spuriously
+        degraded while a stalled worker is still cut off deterministically.
+        On expiry the sub-batch yields error results and the connection is
+        dropped (re-established on a later batch).
+    max_batch_timeout:
+        Absolute cap on one sub-batch round trip, whatever its size
+        (default 300 s) — a wedged worker must not hold a huge batch
+        hostage for ``timeout * N`` seconds.
+    connect_timeout:
+        TCP connect + handshake timeout.
+    backoff_base / backoff_cap:
+        Exponential reconnect backoff: after ``n`` consecutive failures a
+        link fails fast for ``min(cap, base * 2**(n-1))`` seconds.
+
+    Notes
+    -----
+    The workers must serve the *same* graph/calendars as the gateway
+    service, or results will be inconsistent — the launcher and the docs
+    make both sides load the same seeded dataset.  Vertex ids must survive
+    a JSON round trip (ints or strings).
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        connect: Union[str, Iterable[Union[str, Address]]],
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        max_batch_timeout: float = 300.0,
+    ) -> None:
+        if timeout <= 0 or connect_timeout <= 0 or max_batch_timeout <= 0:
+            raise QueryError("timeouts must be positive")
+        self.addresses = parse_addresses(connect)
+        self.workers = len(self.addresses)
+        self._shards = ShardMap(self.workers)
+        self._links = [
+            _WorkerLink(
+                address, timeout, connect_timeout, backoff_base, backoff_cap, max_batch_timeout
+            )
+            for address in self.addresses
+        ]
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._cache_sizes: Dict[int, int] = {}
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="stgq-remote"
+                )
+            return self._pool
+
+    def _request_shard(
+        self, shard: int, queries: Sequence["Query"]
+    ) -> Tuple[List["Result"], Dict[str, float], int]:
+        """Round-trip one shard's sub-batch; returns (results, delta, cache)."""
+        link = self._links[shard]
+        frame = {
+            "type": "batch",
+            "id": shard,
+            "requests": [request_for(query) for query in queries],
+        }
+        reply = link.request(frame, budget=len(queries))
+        if reply.get("type") != "batch_result":
+            raise WorkerUnavailableError(
+                f"worker {link.label} answered a batch with {reply.get('type')!r}"
+            )
+        payloads = reply.get("results")
+        if not isinstance(payloads, list) or len(payloads) != len(queries):
+            count = len(payloads) if isinstance(payloads, list) else "no"
+            raise WorkerUnavailableError(
+                f"worker {link.label} returned {count} results "
+                f"for a {len(queries)}-request batch"
+            )
+        results: List["Result"] = []
+        for payload in payloads:
+            if isinstance(payload, dict) and "error" in payload:
+                results.append(ErrorResult(error=str(payload["error"]), solver="remote"))
+            else:
+                try:
+                    results.append(decode_result(payload))
+                except QueryError as exc:
+                    raise WorkerUnavailableError(
+                        f"worker {link.label} sent an undecodable result: {exc}"
+                    ) from exc
+        # Metadata is untrusted worker output too: malformed values must
+        # degrade this shard, not escape the pool future and crash the
+        # whole batch past the per-shard containment.
+        delta = reply.get("stats_delta")
+        if not isinstance(delta, dict):
+            raise WorkerUnavailableError(
+                f"worker {link.label} sent no stats delta with its results"
+            )
+        if not all(isinstance(value, (int, float)) for value in delta.values()):
+            raise WorkerUnavailableError(f"worker {link.label} sent a non-numeric stats delta")
+        try:
+            cache_size = int(reply.get("cache_size", 0))
+        except (TypeError, ValueError) as exc:
+            raise WorkerUnavailableError(
+                f"worker {link.label} sent an invalid cache size: {exc}"
+            ) from exc
+        return results, delta, cache_size
+
+    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
+        parts = self._shards.partition(queries)
+        pool = self._ensure_pool()
+        futures = {
+            shard: pool.submit(self._request_shard, shard, [query for _, query in entries])
+            for shard, entries in parts.items()
+        }
+        # Collect every shard before merging any stats, so the aggregate
+        # view stays all-or-nothing per shard: a sub-batch either lands
+        # fully (results + its delta) or degrades fully to error results.
+        outcomes: Dict[int, Tuple[List["Result"], Dict[str, float], int]] = {}
+        failures: Dict[int, str] = {}
+        for shard, future in futures.items():
+            try:
+                outcomes[shard] = future.result()
+            except WorkerUnavailableError as exc:
+                failures[shard] = str(exc)
+            except ProtocolError as exc:
+                # Client-side encoding failure (e.g. a sub-batch too large
+                # for one frame): degrade this shard's requests without
+                # having touched — or penalised — the worker connection.
+                failures[shard] = f"sub-batch could not be encoded: {exc}"
+        results: List[Optional["Result"]] = [None] * len(queries)
+        cache_updates: Dict[int, int] = {}
+        for shard, entries in parts.items():
+            if shard in failures:
+                for index, _ in entries:
+                    results[index] = ErrorResult(error=failures[shard], solver="remote")
+                continue
+            shard_results, delta, cache_size = outcomes[shard]
+            for (index, _), result in zip(entries, shard_results):
+                results[index] = result
+            service._merge_stats_delta(delta)
+            cache_updates[shard] = cache_size
+        if cache_updates:
+            # Replace wholesale (readers iterate their own snapshot, never
+            # a resizing dict) and merge under the lock (two concurrent
+            # batches must not lose each other's shard entries).
+            with self._pool_lock:
+                self._cache_sizes = {**self._cache_sizes, **cache_updates}
+        return results  # type: ignore[return-value]
+
+    def worker_stats(self) -> List[Optional[Dict]]:
+        """Per-worker ``stats`` control-frame snapshots (``None`` when down)."""
+        snapshots: List[Optional[Dict]] = []
+        for link in self._links:
+            try:
+                snapshots.append(link.request({"type": "stats"}))
+            except WorkerUnavailableError:
+                snapshots.append(None)
+        return snapshots
+
+    def cache_entries(self) -> Optional[int]:
+        sizes = self._cache_sizes  # snapshot ref: solve_batch replaces, never mutates
+        return sum(sizes.values())
+
+    def close(self) -> None:
+        """Close connections and the fan-out pool (workers keep running)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for link in self._links:
+            link.close()
+        self._cache_sizes = {}

@@ -1,0 +1,268 @@
+"""Asyncio TCP worker: one :class:`~repro.service.QueryService` behind a socket.
+
+``stgq worker --listen HOST:PORT`` builds a dataset-backed service and runs
+:func:`run_worker`; a gateway's :class:`~repro.service.net.RemoteBackend`
+connects, handshakes and streams ``batch`` frames at it (see
+:mod:`repro.service.net.protocol` for the wire format).
+
+Batch frames are answered with full-fidelity results *plus* the stats
+*delta* that batch produced, computed under a per-worker lock so concurrent
+connections can never smear each other's deltas — the same
+before/after-diff contract the process backend's pool workers use, which is
+what keeps ``stats()``/``cache_info()`` backend-invariant on the gateway.
+Pipelining still overlaps useful work: while one batch solves on the
+service's executor, the event loop keeps reading, ping-ing and answering
+control frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import Any, Dict, List, Optional, Set, TextIO, Tuple
+
+from ...exceptions import ProtocolError, ReproError
+from ..codec import encode_result, query_from_request
+from ..query_service import Query, QueryService
+from .protocol import PROTOCOL_VERSION, read_frame, write_frame
+
+__all__ = ["WorkerServer", "run_worker", "READY_MARKER"]
+
+#: First token of the line a worker prints once it is accepting connections;
+#: the cluster launcher parses ``READY_MARKER <host> <port>`` from stdout.
+READY_MARKER = "STGQ-WORKER-READY"
+
+
+class WorkerServer:
+    """Serve one local :class:`QueryService` over the framed TCP protocol.
+
+    The server binds lazily in :meth:`start` (``port=0`` picks an ephemeral
+    port; the bound address is available afterwards via ``host``/``port``).
+    It does not own the service's lifecycle — callers close both, typically
+    via :func:`run_worker`.
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._solve_lock = asyncio.Lock()
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` string clients connect to (valid after start)."""
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled or :meth:`aclose`."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop live connections (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # client hung up
+                except ProtocolError as exc:
+                    # Framing is broken: answer once, then drop the peer —
+                    # the byte stream can no longer be trusted.
+                    await write_frame(writer, {"type": "error", "error": str(exc)})
+                    break
+                reply, keep_open = await self._dispatch(frame)
+                await write_frame(writer, reply)
+                if not keep_open:
+                    break
+        except (ConnectionError, ProtocolError):  # peer died mid-write
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _dispatch(self, frame: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        """Answer one frame; returns (reply, keep_connection_open)."""
+        ftype = frame.get("type")
+        if ftype == "hello":
+            version = frame.get("v")
+            if version != PROTOCOL_VERSION:
+                reply = {
+                    "type": "error",
+                    "error": (
+                        f"unsupported protocol version {version!r} "
+                        f"(this worker speaks v{PROTOCOL_VERSION})"
+                    ),
+                }
+                return reply, False
+            reply = {
+                "type": "hello",
+                "v": PROTOCOL_VERSION,
+                "server": "stgq-worker",
+                "backend": self.service.backend_name,
+                "workers": self.service.max_workers,
+                "graph_size": self.service.graph.vertex_count,
+            }
+            return reply, True
+        if ftype == "ping":
+            return {"type": "pong", "id": frame.get("id")}, True
+        if ftype == "stats":
+            info = self.service.cache_info()
+            reply = {
+                "type": "stats",
+                "stats": self.service.stats().as_dict(),
+                "cache": {
+                    "hits": info.hits,
+                    "misses": info.misses,
+                    "size": info.size,
+                    "max_size": info.max_size,
+                },
+            }
+            return reply, True
+        if ftype == "batch":
+            return await self._handle_batch(frame), True
+        reply = {"type": "error", "error": f"unknown frame type {ftype!r}", "id": frame.get("id")}
+        return reply, True
+
+    def _parse_request(self, payload: Any) -> Query:
+        query = query_from_request(payload)
+        # One authoritative precondition check (initiator in graph,
+        # calendars present for STGQ, ...): the service's own validation,
+        # so worker-side rejections match the local backends exactly.
+        self.service._validate(query)
+        return query
+
+    async def _handle_batch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        requests = frame.get("requests")
+        if not isinstance(requests, list):
+            return {
+                "type": "error",
+                "error": "batch frame must carry a 'requests' array",
+                "id": frame.get("id"),
+            }
+        entries: List[Tuple[Optional[Query], Optional[str]]] = []
+        queries: List[Query] = []
+        for payload in requests:
+            try:
+                query = self._parse_request(payload)
+            except ReproError as exc:
+                entries.append((None, str(exc)))
+            else:
+                entries.append((query, None))
+                queries.append(query)
+        solve_error: Optional[str] = None
+        results: List[Any] = []
+        # The lock makes the before/after stats diff exact when several
+        # gateways pipeline batches concurrently; the solve itself runs on
+        # the service's executor, so the event loop stays responsive to
+        # control frames.  Known trade-off: batches from different
+        # connections serialize at this worker (cache hit/miss counters
+        # cannot be derived per-batch from results alone) — the intended
+        # deployment is one gateway per worker fleet, where pipelining
+        # within the connection keeps the executor busy.
+        async with self._solve_lock:
+            before = self.service.stats().as_dict()
+            if queries:
+                try:
+                    results = list(await self.service.solve_many_async(queries))
+                except Exception as exc:  # e.g. a broken executor pool
+                    solve_error = str(exc) or type(exc).__name__
+            after = self.service.stats().as_dict()
+        if solve_error is not None:
+            # Every request is being answered with an error: ship no delta,
+            # so the gateway never counts queries whose callers only saw
+            # ErrorResults (worker-local stats may still have advanced; only
+            # the gateway's merged view honours the contract).
+            delta: Dict[str, float] = {}
+        else:
+            delta = {key: after[key] - before[key] for key in after}
+        cursor = iter(results)
+        encoded: List[Dict[str, Any]] = []
+        for query, error in entries:
+            if error is not None:
+                encoded.append({"error": error})
+            elif solve_error is not None:
+                encoded.append({"error": solve_error})
+            else:
+                encoded.append(encode_result(next(cursor)))
+        return {
+            "type": "batch_result",
+            "id": frame.get("id"),
+            "results": encoded,
+            "stats_delta": delta,
+            "cache_size": self.service.cache_info().size,
+        }
+
+
+def run_worker(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    announce: Optional[TextIO] = None,
+) -> int:
+    """Run a worker server until SIGINT/SIGTERM; returns an exit code.
+
+    Once listening, writes ``STGQ-WORKER-READY <host> <port>`` to
+    ``announce`` (the cluster launcher reads this off the subprocess's
+    stdout to learn the ephemeral port).  Signals stop the loop cleanly:
+    the server closes its connections and the caller is expected to close
+    the service (``stgq worker`` holds it in a ``with`` block), so no
+    forkserver workers leak on Ctrl-C.
+    """
+
+    async def _run() -> None:
+        server = WorkerServer(service, host, port)
+        await server.start()
+        if announce is not None:
+            announce.write(f"{READY_MARKER} {server.host} {server.port}\n")
+            announce.flush()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - Windows
+                pass
+        try:
+            await stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await server.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler not installable
+        print("worker interrupted; shutting down", file=sys.stderr)
+        return 130
+    return 0

@@ -21,7 +21,7 @@ from ..core.query import SearchParameters, SGQuery, STGQuery
 from ..core.result import GroupResult, STGroupResult
 from ..core.sgselect import SGSelect
 from ..core.stgselect import STGSelect
-from ..exceptions import QueryError
+from ..exceptions import QueryError, VertexNotFoundError
 from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
 from ..graph.extraction import FeasibleGraph, extract_feasible_graph
 from ..graph.social_graph import SocialGraph
@@ -234,12 +234,20 @@ class QueryService:
     # solving
     # ------------------------------------------------------------------
     def _validate(self, query: Query) -> None:
-        """Reject malformed traffic before it reaches an executor."""
+        """Reject malformed traffic before it reaches an executor.
+
+        Unknown initiators are rejected here rather than deep inside the
+        extraction so every backend fails identically — the remote backend
+        would otherwise degrade them to in-band error results while the
+        local backends raise.
+        """
         if isinstance(query, STGQuery):
             if self.calendars is None:
                 raise QueryError("a CalendarStore is required for social-temporal queries")
         elif not isinstance(query, SGQuery):
             raise QueryError(f"unsupported query type {type(query).__name__}")
+        if query.initiator not in self.graph:
+            raise VertexNotFoundError(query.initiator)
 
     def _record(self, result: Result, is_stg: bool) -> None:
         """Fold one result into the service counters (race-free)."""

@@ -72,5 +72,31 @@ class ShardMap:
             parts.setdefault(shard, []).append((index, query))
         return parts
 
+    def load_report(self, queries: Sequence[Q]) -> List[int]:
+        """Per-shard query counts for ``queries`` (zeros for idle shards).
+
+        The balance diagnostic behind ``bench_service.py --skew``: CRC32
+        placement is uniform over *initiators*, so a Zipfian workload —
+        where a few heavy users dominate — can still load shards unevenly.
+        A capacity planner reads this to size the worker fleet.
+        """
+        counts = [0] * self.n_shards
+        for query in queries:
+            counts[self.shard_of(query.initiator)] += 1  # type: ignore[attr-defined]
+        return counts
+
+    def imbalance(self, queries: Sequence[Q]) -> float:
+        """Max/mean shard-load ratio (1.0 = perfectly balanced, 0.0 = empty).
+
+        The hottest shard bounds cluster throughput, so this ratio is the
+        headline number of the skewed-workload benchmark.
+        """
+        counts = self.load_report(queries)
+        total = sum(counts)
+        if not total:
+            return 0.0
+        mean = total / self.n_shards
+        return max(counts) / mean
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShardMap(n_shards={self.n_shards})"

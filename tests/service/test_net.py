@@ -1,0 +1,586 @@
+"""Network cluster subsystem tests: protocol, worker server, RemoteBackend.
+
+The property test mirrors ``test_backends.py``: for any seeded workload the
+``remote`` backend must return identical results *and* identical merged
+aggregate stats to ``serial`` — the contract that makes going multi-node a
+pure deployment decision.  Failure containment is covered by a worker-kill
+test: requests routed to a dead worker degrade to per-request error
+results, and the shard recovers once the worker is back.
+"""
+
+import asyncio
+import math
+import socket
+import struct
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SGQuery, STGQuery
+from repro.core.result import GroupResult, SearchStats, STGroupResult
+from repro.exceptions import ProtocolError, QueryError, WorkerUnavailableError
+from repro.experiments.workloads import workload
+from repro.service import ErrorResult, QueryService, RemoteBackend, make_backend
+from repro.service.codec import (
+    decode_result,
+    encode_result,
+    query_from_request,
+    request_for,
+    response_for,
+)
+from repro.service.net import WorkerServer, parse_addresses
+from repro.service.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.service.sharding import stable_shard
+from repro.temporal.slots import SlotRange
+
+from .test_backends import DETERMINISTIC_COUNTERS, build_batch, run_backend
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """Seeded 60-person workload shared by every test in this module."""
+    return workload(network_size=60, schedule_days=1, seed=7)
+
+
+# ----------------------------------------------------------------------
+# in-process worker harness (one asyncio loop per worker, on a thread)
+# ----------------------------------------------------------------------
+class WorkerHarness:
+    """A real WorkerServer + QueryService running on a background thread."""
+
+    def __init__(self, dataset, port: int = 0, backend: str = "serial") -> None:
+        self.service = QueryService(dataset.graph, dataset.calendars, backend=backend)
+        self.loop = asyncio.new_event_loop()
+        self.server = WorkerServer(self.service, "127.0.0.1", port)
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._started.set()
+        self.loop.run_forever()
+        self.loop.close()
+
+    def start(self) -> "WorkerHarness":
+        self._thread.start()
+        assert self._started.wait(10), "worker server failed to start"
+        return self
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.aclose(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(10)
+        self.service.close()
+
+
+@pytest.fixture
+def worker_pair(dataset):
+    workers = [WorkerHarness(dataset).start() for _ in range(2)]
+    yield workers
+    for worker in workers:
+        try:
+            worker.stop()
+        except Exception:
+            pass
+
+
+def _client_socket(address: str, timeout: float = 5.0) -> socket.socket:
+    host, _, port = address.rpartition(":")
+    sock = socket.create_connection((host, int(port)), timeout=timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
+# ----------------------------------------------------------------------
+# framing + codec units
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_announced_oversized_frame_rejected_before_read(self, worker_pair):
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert "byte" in reply["error"]
+        finally:
+            sock.close()
+
+    def test_non_object_frame_rejected(self, worker_pair):
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            body = b"[1,2,3]"
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+        finally:
+            sock.close()
+
+
+class TestResultCodec:
+    def test_sg_roundtrip(self):
+        result = GroupResult(
+            feasible=True,
+            members=frozenset([1, 5, 9]),
+            total_distance=4.5,
+            solver="SGSelect",
+            stats=SearchStats(nodes_expanded=17, elapsed_seconds=0.25),
+        )
+        decoded = decode_result(encode_result(result))
+        assert decoded == result
+
+    def test_stg_roundtrip_with_period(self):
+        result = STGroupResult(
+            feasible=True,
+            members=frozenset([2, 3]),
+            total_distance=1.0,
+            period=SlotRange(4, 7),
+            pivot=4,
+            shared_slots=SlotRange(2, 9),
+            solver="STGSelect",
+            stats=SearchStats(pivots_processed=3),
+        )
+        decoded = decode_result(encode_result(result))
+        assert decoded == result
+
+    def test_infeasible_inf_distance_roundtrip(self):
+        result = GroupResult.infeasible(solver="SGSelect")
+        payload = encode_result(result)
+        assert payload["total_distance"] is None  # JSON has no Infinity
+        decoded = decode_result(payload)
+        assert decoded.total_distance == math.inf
+        assert decoded == result
+
+    def test_query_request_roundtrip(self):
+        sgq = SGQuery(initiator=9, group_size=4, radius=2, acquaintance=1)
+        stgq = STGQuery(initiator=9, group_size=4, radius=2, acquaintance=1, activity_length=3)
+        assert query_from_request(request_for(sgq)) == sgq
+        assert query_from_request(request_for(stgq)) == stgq
+
+    def test_error_result_renders_as_error_response(self):
+        payload = response_for(7, ErrorResult(error="worker down"))
+        assert payload == {"id": 7, "error": "worker down"}
+
+    def test_malformed_result_payload_rejected(self):
+        with pytest.raises(QueryError):
+            decode_result({"kind": "nope"})
+        with pytest.raises(QueryError):
+            decode_result([1, 2])
+        with pytest.raises(QueryError):
+            decode_result({"kind": "sg", "feasible": True})  # missing fields
+
+
+class TestAddressParsing:
+    def test_spec_string(self):
+        assert parse_addresses("a:1,b:2") == [("a", 1), ("b", 2)]
+
+    def test_iterables_and_pairs(self):
+        assert parse_addresses([("h", 9), "x:3"]) == [("h", 9), ("x", 3)]
+
+    def test_rejects_bad_specs(self):
+        for spec in ("", "no-port", "h:notaport", "h:0", "h:70000"):
+            with pytest.raises(QueryError):
+                parse_addresses(spec)
+
+    def test_make_backend_remote(self):
+        backend = make_backend("remote", connect="127.0.0.1:9001,127.0.0.1:9002")
+        assert isinstance(backend, RemoteBackend)
+        assert backend.workers == 2
+        with pytest.raises(QueryError):
+            make_backend("remote")  # no addresses
+
+
+# ----------------------------------------------------------------------
+# control frames against a live worker
+# ----------------------------------------------------------------------
+class TestControlFrames:
+    def test_hello_ping_stats(self, worker_pair, dataset):
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            hello = recv_frame(sock)
+            assert hello["type"] == "hello"
+            assert hello["v"] == PROTOCOL_VERSION
+            assert hello["backend"] == "serial"
+            assert hello["graph_size"] == dataset.graph.vertex_count
+
+            send_frame(sock, {"type": "ping", "id": "abc"})
+            pong = recv_frame(sock)
+            assert pong == {"type": "pong", "id": "abc"}
+
+            send_frame(sock, {"type": "stats"})
+            stats = recv_frame(sock)
+            assert stats["type"] == "stats"
+            assert set(DETERMINISTIC_COUNTERS) <= set(stats["stats"])
+            assert {"hits", "misses", "size", "max_size"} <= set(stats["cache"])
+        finally:
+            sock.close()
+
+    def test_version_mismatch_refused(self, worker_pair):
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION + 1})
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert "version" in reply["error"]
+        finally:
+            sock.close()
+
+    def test_unknown_frame_type_keeps_connection(self, worker_pair):
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            send_frame(sock, {"type": "teleport", "id": 3})
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert reply["id"] == 3
+            send_frame(sock, {"type": "ping", "id": 4})  # still served
+            assert recv_frame(sock)["type"] == "pong"
+        finally:
+            sock.close()
+
+    def test_batch_with_bad_request_entries(self, worker_pair, dataset):
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            recv_frame(sock)
+            requests = [
+                request_for(SGQuery(initiator=dataset.people[0], group_size=3, radius=1,
+                                    acquaintance=1)),
+                {"group_size": 4},  # missing initiator
+                {"initiator": 999999, "group_size": 3},  # not in graph
+            ]
+            send_frame(sock, {"type": "batch", "id": 1, "requests": requests})
+            reply = recv_frame(sock)
+            assert reply["type"] == "batch_result"
+            results = reply["results"]
+            assert "kind" in results[0]
+            assert "error" in results[1] and "initiator" in results[1]["error"]
+            assert "error" in results[2] and "999999" in results[2]["error"]
+            # Only the solved query is in the delta.
+            assert reply["stats_delta"]["queries"] == 1
+        finally:
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# RemoteBackend equivalence (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestRemoteEquivalence:
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        n_queries=st.integers(min_value=4, max_value=24),
+        n_initiators=st.integers(min_value=2, max_value=8),
+        stg_fraction=st.sampled_from([0.0, 0.3, 1.0]),
+    )
+    def test_remote_agrees_with_serial_on_results_and_stats(
+        self, dataset, seed, n_queries, n_initiators, stg_fraction
+    ):
+        batch = build_batch(dataset, seed, n_queries, n_initiators, stg_fraction)
+        reference_keys, reference_counters, reference_info = run_backend(
+            dataset, "serial", batch
+        )
+        # Fresh workers per example: worker-side caches must start cold for
+        # the hit/miss counters to be comparable with the serial reference.
+        workers = [WorkerHarness(dataset).start() for _ in range(2)]
+        try:
+            backend = RemoteBackend([w.address for w in workers], timeout=30.0)
+            keys, counters, info = run_backend(dataset, backend, batch)
+        finally:
+            for worker in workers:
+                worker.stop()
+        assert keys == reference_keys, "remote results diverged"
+        assert counters == reference_counters, "remote stats diverged"
+        assert (info.hits, info.misses) == (reference_info.hits, reference_info.misses)
+        assert info.size == reference_info.size
+
+    def test_single_solve_routes_remotely(self, worker_pair, dataset):
+        query = SGQuery(initiator=dataset.people[3], group_size=4, radius=2, acquaintance=1)
+        with QueryService(dataset.graph, dataset.calendars, backend="serial") as reference:
+            expected = reference.solve(query)
+        backend = RemoteBackend([w.address for w in worker_pair])
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as service:
+            result = service.solve(query)
+            assert service.backend_name == "remote"
+        assert result.members == expected.members
+        assert result.total_distance == expected.total_distance
+
+    def test_unknown_initiator_raises_like_local_backends(self, worker_pair, dataset):
+        # The drop-in contract covers failure shapes too: an unknown
+        # initiator raises at validation on every backend rather than
+        # degrading to an in-band error result on remote only.
+        from repro.exceptions import VertexNotFoundError
+
+        bad = SGQuery(initiator=999999, group_size=3, radius=1, acquaintance=1)
+        backend = RemoteBackend([w.address for w in worker_pair])
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as service:
+            with pytest.raises(VertexNotFoundError):
+                service.solve(bad)
+        with QueryService(dataset.graph, dataset.calendars, backend="serial") as service:
+            with pytest.raises(VertexNotFoundError):
+                service.solve(bad)
+
+    def test_worker_stats_snapshots(self, worker_pair, dataset):
+        backend = RemoteBackend([w.address for w in worker_pair])
+        batch = build_batch(dataset, seed=5, n_queries=10, n_initiators=4, stg_fraction=0.0)
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as service:
+            service.solve_many(batch)
+            snapshots = backend.worker_stats()
+            assert len(snapshots) == 2
+            assert all(s is not None and s["type"] == "stats" for s in snapshots)
+            assert sum(s["stats"]["queries"] for s in snapshots) == len(batch)
+
+
+# ----------------------------------------------------------------------
+# failure containment + recovery (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestWorkerFailure:
+    def test_dead_worker_yields_per_request_errors_then_recovers(self, dataset):
+        workers = [WorkerHarness(dataset).start() for _ in range(2)]
+        backend = RemoteBackend(
+            [w.address for w in workers],
+            timeout=10.0,
+            connect_timeout=2.0,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+        )
+        victim_port = workers[0].port
+        batch = build_batch(dataset, seed=11, n_queries=16, n_initiators=6, stg_fraction=0.3)
+        dead_shard_size = sum(
+            1 for query in batch if stable_shard(query.initiator, 2) == 0
+        )
+        restarted = None
+        try:
+            with QueryService(dataset.graph, dataset.calendars, backend=backend) as service:
+                first = service.solve_many(batch)
+                assert not any(getattr(r, "error", None) for r in first)
+                healthy_queries = service.stats().queries
+
+                workers[0].stop()
+                second = service.solve_many(batch)
+                errors = [r for r in second if getattr(r, "error", None)]
+                fine = [r for r in second if not getattr(r, "error", None)]
+                assert len(errors) == dead_shard_size
+                assert len(fine) == len(batch) - dead_shard_size
+                for error in errors:
+                    assert error.feasible is False
+                    assert "worker 127.0.0.1" in error.error
+                # Only the healthy shard's queries were counted (all-or-nothing
+                # per shard, never a partial merge from the dead one).
+                assert service.stats().queries == healthy_queries + len(fine)
+
+                # Restart on the same port; after the backoff window the link
+                # reconnects and the batch is fully served again.
+                restarted = WorkerHarness(dataset, port=victim_port).start()
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    time.sleep(0.06)  # let the fail-fast window expire
+                    third = service.solve_many(batch)
+                    if not any(getattr(r, "error", None) for r in third):
+                        break
+                else:
+                    pytest.fail("remote backend never recovered after worker restart")
+                keys = [(r.feasible, r.members, r.total_distance) for r in third]
+                expected = [(r.feasible, r.members, r.total_distance) for r in first]
+                assert keys == expected
+        finally:
+            for worker in [workers[1]] + ([restarted] if restarted else []):
+                try:
+                    worker.stop()
+                except Exception:
+                    pass
+
+    def test_all_workers_down_degrades_not_raises(self, dataset):
+        # Nothing is listening on these ports: every request degrades.
+        backend = RemoteBackend(
+            "127.0.0.1:1,127.0.0.1:2",
+            timeout=1.0,
+            connect_timeout=0.2,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+        )
+        batch = build_batch(dataset, seed=2, n_queries=6, n_initiators=3, stg_fraction=0.0)
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as service:
+            results = service.solve_many(batch)
+            assert len(results) == len(batch)
+            assert all(isinstance(r, ErrorResult) for r in results)
+            assert service.stats().queries == 0
+
+    def test_slow_worker_times_out_per_request(self, dataset):
+        # A stub worker that handshakes correctly but never answers batches.
+        ready = threading.Event()
+        bound = {}
+
+        def stall_server():
+            listener = socket.socket()
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            bound["port"] = listener.getsockname()[1]
+            ready.set()
+            conn, _ = listener.accept()
+            try:
+                recv_frame(conn)
+                send_frame(conn, {"type": "hello", "v": PROTOCOL_VERSION})
+                recv_frame(conn)  # the batch frame: swallow it and stall
+                time.sleep(5.0)
+            except Exception:
+                pass
+            finally:
+                conn.close()
+                listener.close()
+
+        thread = threading.Thread(target=stall_server, daemon=True)
+        thread.start()
+        assert ready.wait(5)
+        backend = RemoteBackend(
+            [("127.0.0.1", bound["port"])], timeout=0.3, connect_timeout=2.0
+        )
+        query = SGQuery(initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1)
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as service:
+            result = service.solve(query)
+        assert isinstance(result, ErrorResult)
+        assert "timed out" in result.error
+
+    def test_dribbling_worker_bounded_by_deadline_not_per_recv(self, dataset):
+        # A degraded worker that keeps trickling bytes resets a naive
+        # per-recv timeout forever; the round-trip deadline must fire.
+        ready = threading.Event()
+        bound = {}
+
+        def dribble_server():
+            listener = socket.socket()
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            bound["port"] = listener.getsockname()[1]
+            ready.set()
+            conn, _ = listener.accept()
+            try:
+                recv_frame(conn)
+                send_frame(conn, {"type": "hello", "v": PROTOCOL_VERSION})
+                recv_frame(conn)  # the batch frame
+                conn.sendall(struct.pack(">I", 64))  # announce a 64-byte body...
+                for _ in range(20):  # ...then trickle it one byte at a time
+                    conn.sendall(b"x")
+                    time.sleep(0.15)
+            except Exception:
+                pass
+            finally:
+                conn.close()
+                listener.close()
+
+        thread = threading.Thread(target=dribble_server, daemon=True)
+        thread.start()
+        assert ready.wait(5)
+        backend = RemoteBackend(
+            [("127.0.0.1", bound["port"])], timeout=0.5, connect_timeout=2.0
+        )
+        query = SGQuery(initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1)
+        start = time.monotonic()
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as service:
+            result = service.solve(query)
+        assert isinstance(result, ErrorResult)
+        assert "timed out" in result.error
+        assert time.monotonic() - start < 2.0  # deadline, not 20 * 0.15s of dribble
+
+    def test_failed_solve_ships_no_stats_delta(self, worker_pair, dataset):
+        # When the worker's solve blows up it answers every request with an
+        # error — and must NOT ship the batch's stats delta, or the gateway
+        # would count queries whose callers only saw ErrorResults.
+        harness = worker_pair[0]
+
+        async def explode(queries):
+            raise RuntimeError("pool died")
+
+        original = harness.service.solve_many_async
+        harness.service.solve_many_async = explode
+        try:
+            sock = _client_socket(harness.address)
+            try:
+                send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+                recv_frame(sock)
+                request = request_for(
+                    SGQuery(initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1)
+                )
+                send_frame(sock, {"type": "batch", "id": 1, "requests": [request]})
+                reply = recv_frame(sock)
+            finally:
+                sock.close()
+        finally:
+            harness.service.solve_many_async = original
+        assert reply["type"] == "batch_result"
+        assert reply["results"] == [{"error": "pool died"}]
+        assert reply["stats_delta"] == {}
+
+    def test_link_backoff_fails_fast_while_down(self):
+        backend = RemoteBackend(
+            "127.0.0.1:1", timeout=1.0, connect_timeout=0.2, backoff_base=5.0, backoff_cap=5.0
+        )
+        link = backend._links[0]
+        with pytest.raises(WorkerUnavailableError):
+            link.request({"type": "ping", "id": 0})
+        start = time.monotonic()
+        with pytest.raises(WorkerUnavailableError) as excinfo:
+            link.request({"type": "ping", "id": 1})
+        assert time.monotonic() - start < 0.15  # no second connect attempt
+        assert "backoff" in str(excinfo.value)
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# subprocess cluster: the `stgq worker` CLI end-to-end
+# ----------------------------------------------------------------------
+class TestLocalCluster:
+    def test_spawned_worker_answers_a_gateway(self):
+        from repro.service.net import start_local_workers
+
+        # Small population keeps the subprocess's dataset build fast; the
+        # gateway must load the same seeded dataset for results to compare.
+        gateway_dataset = workload(network_size=60, schedule_days=1, seed=7)
+        with start_local_workers(1, people=60, days=1, seed=7) as cluster:
+            assert len(cluster.addresses) == 1
+            worker_processes = list(cluster.processes)
+            backend = RemoteBackend(cluster.connect_spec(), timeout=30.0)
+            query = SGQuery(
+                initiator=gateway_dataset.people[0], group_size=3, radius=1, acquaintance=1
+            )
+            with QueryService(
+                gateway_dataset.graph, gateway_dataset.calendars, backend=backend
+            ) as service:
+                remote_result = service.solve(query)
+            with QueryService(
+                gateway_dataset.graph, gateway_dataset.calendars, backend="serial"
+            ) as reference:
+                expected = reference.solve(query)
+            assert not getattr(remote_result, "error", None)
+            assert remote_result.members == expected.members
+            assert remote_result.total_distance == expected.total_distance
+        # Context exit terminated the worker subprocesses — gracefully: the
+        # SIGTERM handler closes the server and the service, so the worker
+        # exits 0 instead of dying on the signal.
+        assert cluster.processes == []
+        assert [process.returncode for process in worker_processes] == [0]

@@ -1,0 +1,133 @@
+"""JSONL protocol edge cases, shared by the stdin and socket paths.
+
+The satellite coverage the codec refactor calls for: oversized lines,
+non-object payloads, duplicate/absent ``id`` handling, and the
+``total_distance: null`` convention round-tripping through
+``query_from_request`` / ``response_for`` (and the socket path's
+full-fidelity ``encode_result`` / ``decode_result``).
+"""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.core import SGQuery
+from repro.experiments.workloads import workload
+from repro.service import QueryService, serve_jsonl
+from repro.service.codec import (
+    MAX_REQUEST_BYTES,
+    decode_result,
+    encode_result,
+    query_from_request,
+    response_for,
+)
+from repro.service.jsonl import _parse_line
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return workload(network_size=60, schedule_days=1, seed=7)
+
+
+@pytest.fixture
+def service(dataset):
+    with QueryService(dataset.graph, dataset.calendars, max_workers=2) as svc:
+        yield svc
+
+
+def _serve(service, lines, **kwargs):
+    out = io.StringIO()
+    served = serve_jsonl(service, io.StringIO("\n".join(lines) + "\n"), out, **kwargs)
+    return served, [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestOversizedLines:
+    def test_oversized_line_answered_with_error(self, service, dataset):
+        huge = json.dumps(
+            {"initiator": dataset.people[0], "p": 3, "pad": "x" * (MAX_REQUEST_BYTES + 10)}
+        )
+        ok = json.dumps({"id": 2, "initiator": dataset.people[0], "p": 3, "k": 1})
+        served, responses = _serve(service, [huge, ok])
+        assert served == 2
+        assert "error" in responses[0] and "exceeds" in responses[0]["error"]
+        assert responses[0]["id"] is None  # the line was never parsed
+        assert responses[1]["id"] == 2 and "feasible" in responses[1]
+
+    def test_boundary_line_still_parsed(self):
+        entry = _parse_line(json.dumps({"initiator": 1, "p": 3}))
+        assert entry is not None and entry.error is None
+
+
+class TestNonObjectPayloads:
+    @pytest.mark.parametrize("line", ["42", '"text"', "[1,2,3]", "null", "true"])
+    def test_non_object_json_is_an_error_response(self, service, line):
+        served, responses = _serve(service, [line])
+        assert served == 1
+        assert "error" in responses[0]
+        assert responses[0]["id"] is None
+
+    @pytest.mark.parametrize("payload", [42, "text", [1, 2], None, True])
+    def test_query_from_request_rejects_non_objects(self, payload):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            query_from_request(payload)
+
+
+class TestRequestIds:
+    def test_duplicate_ids_each_answered_in_order(self, service, dataset):
+        lines = [
+            json.dumps({"id": "dup", "initiator": dataset.people[0], "p": 3, "k": 1}),
+            json.dumps({"id": "dup", "initiator": dataset.people[1], "p": 3, "k": 1}),
+        ]
+        served, responses = _serve(service, lines)
+        assert served == 2
+        assert [r["id"] for r in responses] == ["dup", "dup"]
+        assert all("feasible" in r for r in responses)
+
+    def test_absent_id_echoed_as_null(self, service, dataset):
+        served, responses = _serve(
+            service, [json.dumps({"initiator": dataset.people[0], "p": 3, "k": 1})]
+        )
+        assert served == 1
+        assert responses[0]["id"] is None
+        assert "feasible" in responses[0]
+
+    def test_non_scalar_id_echoed_verbatim(self, service, dataset):
+        request_id = {"tenant": 4, "seq": [1, 2]}
+        served, responses = _serve(
+            service,
+            [json.dumps({"id": request_id, "initiator": dataset.people[0], "p": 3, "k": 1})],
+        )
+        assert responses[0]["id"] == request_id
+
+
+class TestTotalDistanceNull:
+    def test_infeasible_null_roundtrip_client_encoding(self, service, dataset):
+        # An impossible clique demand guarantees infeasibility.
+        query = SGQuery(initiator=dataset.people[0], group_size=50, radius=1, acquaintance=0)
+        result = service.solve(query)
+        assert result.feasible is False
+        payload = response_for(5, result)
+        assert payload["total_distance"] is None
+        text = json.dumps(payload, allow_nan=False)  # strict JSON, no Infinity
+        assert json.loads(text)["total_distance"] is None
+
+    def test_infeasible_null_roundtrip_worker_encoding(self, service, dataset):
+        query = SGQuery(initiator=dataset.people[0], group_size=50, radius=1, acquaintance=0)
+        result = service.solve(query)
+        payload = json.loads(json.dumps(encode_result(result), allow_nan=False))
+        decoded = decode_result(payload)
+        assert decoded.total_distance == math.inf
+        assert decoded == result
+
+    def test_request_defaults_roundtrip(self):
+        # radius/acquaintance defaults applied by the codec survive a
+        # re-encode: the socket path re-encodes parsed queries verbatim.
+        from repro.service.codec import request_for
+
+        query = query_from_request({"initiator": 1, "p": 3})
+        assert (query.radius, query.acquaintance) == (1, 1)
+        assert query_from_request(request_for(query)) == query

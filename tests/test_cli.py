@@ -30,6 +30,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_remote_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--backend", "remote", "--connect", "127.0.0.1:9001,127.0.0.1:9002",
+             "--timeout", "5"]
+        )
+        assert args.backend == "remote"
+        assert args.connect == "127.0.0.1:9001,127.0.0.1:9002"
+        assert args.timeout == 5.0
+
+    def test_worker_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["worker", "--listen", "0.0.0.0:9100", "--people", "60"])
+        assert args.command == "worker"
+        assert args.listen == ("0.0.0.0", 9100)
+        assert args.backend == "serial"
+
+    def test_worker_bad_listen_rejected(self):
+        parser = build_parser()
+        for bad in ("nohost", "host:notaport", ":123"):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["worker", "--listen", bad])
+
+    def test_cluster_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["cluster", "--workers", "3", "--queries", "10"])
+        assert args.command == "cluster"
+        assert args.workers == 3
+        assert args.worker_backend == "serial"
+        assert args.queries == 10
+
+    def test_serve_remote_requires_connect(self, capsys):
+        code = main(["serve", "--backend", "remote", "--queries", "1", "--people", "40"])
+        assert code == 2  # usage error, argparse-style, not a traceback
+        assert "--connect" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_sgq_query_runs(self, capsys):
@@ -97,6 +133,20 @@ class TestCommands:
         assert "12 SGQ queries" in out
         assert "queries/s" in out
         assert "hit rate" in out
+
+    def test_cluster_batch_end_to_end(self, capsys):
+        # One worker subprocess + gateway: covers spawn, READY handshake,
+        # remote solving, summary output and graceful worker teardown.
+        code = main(
+            ["cluster", "--workers", "1", "--queries", "8", "--initiators", "4",
+             "--people", "40", "--seed", "3", "-p", "3", "-k", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "8 SGQ queries" in captured.out
+        assert "backend=remote" in captured.out
+        assert "errors" not in captured.out.splitlines()[1]  # no degraded requests
+        assert "cluster workers terminated" in captured.err
 
     def test_serve_stgq_batch_reference_kernel(self, capsys):
         code = main(
