@@ -24,8 +24,11 @@ thread baseline — the cluster column of the comparison.  ``--skew ALPHA``
 swaps the uniform batches for the Zipfian mixed-radius workload generator
 (``repro.experiments.workloads.generate_query_workload``) and reports
 per-shard load balance, stressing LRU eviction and shard skew instead of
-the cache-flattering uniform draws.  ``--json PATH`` writes the numbers for
-CI artifacts (``BENCH_service.json``).
+the cache-flattering uniform draws.  ``--replay FILE`` measures a saved
+JSONL query trace (``save_workload``/``load_workload``) instead of the
+synthetic batches — the first step toward feeding measured production
+traces.  ``--json PATH`` writes the numbers for CI artifacts
+(``BENCH_service.json``).
 
 Run directly (it is a script, not a pytest-benchmark module)::
 
@@ -50,9 +53,11 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery
+from repro.exceptions import QueryError
 from repro.experiments.workloads import (
     ego_size,
     generate_query_workload,
+    load_workload,
     pick_initiator,
     workload,
 )
@@ -259,6 +264,15 @@ def main(argv=None) -> int:
         "also reports per-shard load balance",
     )
     parser.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="replay a saved JSONL query trace (see "
+        "repro.experiments.workloads.save_workload) as the single measured "
+        "batch instead of the synthetic SGQ/STGQ pair — the path for feeding "
+        "measured production traces into the harness",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None, help="write results as JSON to PATH"
     )
     parser.add_argument(
@@ -314,7 +328,32 @@ def main(argv=None) -> int:
         )
         report["kernel"] = {"tail_speedup": round(speedup, 2), "floor": SPEEDUP_FLOOR}
 
-    batches = build_batches(dataset, args.quick, args.seed, skew=args.skew)
+    if args.replay is not None:
+        try:
+            trace = load_workload(args.replay)
+        except (OSError, QueryError) as exc:
+            print(f"FAIL: cannot load replay trace: {exc}", file=sys.stderr)
+            return 1
+        if not trace:
+            print(f"FAIL: replay trace {args.replay} is empty", file=sys.stderr)
+            return 1
+        # Traces reference initiators by id, so a trace captured against a
+        # different graph (other dataset, other --seed) must fail with a
+        # diagnosis, not a mid-benchmark VertexNotFoundError traceback.
+        unknown = {q.initiator for q in trace} - set(dataset.people)
+        if unknown:
+            print(
+                f"FAIL: replay trace {args.replay} does not match this dataset "
+                f"({DATASET_PEOPLE} people, seed {args.seed}): "
+                f"{len(unknown)} unknown initiator(s), e.g. {sorted(unknown)[:3]}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nreplaying {len(trace)} queries from {args.replay}")
+        batches = {"replay": trace}
+        report["replay"] = {"path": args.replay, "queries": len(trace)}
+    else:
+        batches = build_batches(dataset, args.quick, args.seed, skew=args.skew)
     report["serial_cold"] = serial_cold(dataset, batches)
 
     cluster = None
@@ -367,28 +406,33 @@ def main(argv=None) -> int:
                 f"(max/mean {shards.imbalance(queries):.2f}x)"
             )
 
+    kinds = list(batches)
     print(
-        f"\n== warm batch throughput: {len(batches['sgq'])} cache-hot SGQ / "
-        f"{len(batches['stgq'])} solver-bound STGQ (s=2) queries =="
+        "\n== warm batch throughput: "
+        + " / ".join(f"{len(batches[kind])} {kind}" for kind in kinds)
+        + " queries =="
     )
     cold = report["serial_cold"]
-    print(
-        f"{'backend':>10} {'workers':>8} {'SGQ q/s':>10} {'STGQ q/s':>10} {'STGQ wall':>10}"
-    )
-    print(
-        f"{'cold':>10} {'1':>8} {cold['sgq']['qps']:>10.0f} "
-        f"{cold['stgq']['qps']:>10.1f} {cold['stgq']['wall_s']:>9.2f}s"
-    )
+    heavy = "stgq" if "stgq" in kinds else kinds[-1]
+    header = f"{'backend':>10} {'workers':>8}"
+    for kind in kinds:
+        header += f" {kind + ' q/s':>12}"
+    header += f" {heavy + ' wall':>12}"
+    print(header)
+    row = f"{'cold':>10} {'1':>8}"
+    for kind in kinds:
+        row += f" {cold[kind]['qps']:>12.1f}"
+    print(row + f" {cold[heavy]['wall_s']:>11.2f}s")
     for backend, measured in report["backends"].items():
-        print(
-            f"{backend:>10} {measured['workers']:>8} {measured['sgq']['qps']:>10.0f} "
-            f"{measured['stgq']['qps']:>10.1f} {measured['stgq']['wall_s']:>9.2f}s"
-        )
+        row = f"{backend:>10} {measured['workers']:>8}"
+        for kind in kinds:
+            row += f" {measured[kind]['qps']:>12.1f}"
+        print(row + f" {measured[heavy]['wall_s']:>11.2f}s")
     if args.backend in report["backends"] and args.backend != "thread":
-        thread_qps = report["backends"]["thread"]["stgq"]["qps"]
-        chosen_qps = report["backends"][args.backend]["stgq"]["qps"]
+        thread_qps = report["backends"]["thread"][heavy]["qps"]
+        chosen_qps = report["backends"][args.backend][heavy]["qps"]
         print(
-            f"\nSTGQ {args.backend} vs thread: {chosen_qps / thread_qps:.2f}x "
+            f"\n{heavy} {args.backend} vs thread: {chosen_qps / thread_qps:.2f}x "
             f"({chosen_qps:.1f} vs {thread_qps:.1f} q/s)"
         )
 

@@ -27,6 +27,12 @@ Three sub-commands mirror how the library is typically used:
     One-command local cluster: spawn N ``stgq worker`` subprocesses plus a
     gateway connected to them (equivalent to ``serve --backend remote``).
 
+``stgq stats``
+    Operator's view of a running fleet: send the ``stats`` control frame to
+    one or more workers (``--connect HOST:PORT[,HOST:PORT...]``) and
+    pretty-print each worker's service counters and cache effectiveness —
+    no Python REPL required.
+
 ``serve``/``worker``/``cluster`` install SIGINT/SIGTERM handlers that close
 the service first (draining executor pools, worker processes and sockets),
 so Ctrl-C never leaks forkserver workers.
@@ -48,7 +54,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from .core.planner import ActivityPlanner
 from .core.query import SearchParameters, SGQuery, STGQuery
 from .datasets.realistic import generate_real_dataset
-from .exceptions import QueryError
+from .exceptions import QueryError, ReproError
 from .experiments.ablation import format_ablation, run_sg_ablation, run_stg_ablation
 from .experiments.config import FIGURE_IDS, ExperimentScale
 from .experiments.figures import run_figure
@@ -61,7 +67,7 @@ from .service import (
     RemoteBackend,
     serve_jsonl,
 )
-from .service.net import run_worker, start_local_workers
+from .service.net import parse_addresses, run_worker, start_local_workers
 
 __all__ = ["main", "build_parser"]
 
@@ -327,6 +333,34 @@ def build_parser() -> argparse.ArgumentParser:
     add_traffic_arguments(cluster)
     add_service_arguments(cluster)
 
+    stats = subparsers.add_parser(
+        "stats",
+        help="fetch and pretty-print live worker stats over the wire",
+        description=(
+            "Send the stats control frame to one or more running stgq workers "
+            "and pretty-print each worker's service counters (queries, "
+            "feasibility split, solver seconds, nodes expanded) and cache "
+            "effectiveness. Unreachable workers are reported and the command "
+            "exits non-zero if no worker answered."
+        ),
+    )
+    stats.add_argument(
+        "--connect",
+        required=True,
+        help="worker addresses, e.g. '127.0.0.1:9001,127.0.0.1:9002'",
+    )
+    stats.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-worker connect/read timeout in seconds (default 5)",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per worker instead of the table",
+    )
+
     return parser
 
 
@@ -582,6 +616,76 @@ def _command_cluster(args: argparse.Namespace) -> int:
             print("cluster workers terminated", file=sys.stderr)
 
 
+def _fetch_worker_stats(address: Tuple[str, int], timeout: float) -> dict:
+    """One stats control-frame round trip (hello handshake first).
+
+    Raises ``OSError`` on transport failures and ``ProtocolError``/
+    ``QueryError`` on protocol surprises, all rendered as per-worker errors
+    by ``_command_stats``.
+    """
+    import socket
+
+    from .service.net.protocol import client_handshake, recv_frame, send_frame
+
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        hello = client_handshake(sock)
+        send_frame(sock, {"type": "stats"})
+        reply = recv_frame(sock)
+        if reply.get("type") != "stats":
+            raise QueryError(f"unexpected reply type {reply.get('type')!r}")
+        reply["hello"] = hello
+        return reply
+
+
+def _print_worker_stats(label: str, reply: dict) -> None:
+    hello = reply.get("hello", {})
+    stats = reply.get("stats", {})
+    cache = reply.get("cache", {})
+    print(f"worker {label}  (backend={hello.get('backend', '?')}, "
+          f"workers={hello.get('workers', '?')}, graph={hello.get('graph_size', '?')} vertices)")
+    queries = stats.get("queries", 0)
+    solve_seconds = stats.get("solve_seconds", 0.0)
+    rate = queries / solve_seconds if solve_seconds else 0.0
+    print(f"  queries:      {queries} "
+          f"({stats.get('sg_queries', 0)} SGQ / {stats.get('stg_queries', 0)} STGQ; "
+          f"{stats.get('feasible', 0)} feasible, {stats.get('infeasible', 0)} infeasible)")
+    print(f"  solver:       {solve_seconds:.3f} s over {stats.get('nodes_expanded', 0)} nodes"
+          + (f"  ({rate:.1f} solved q/s)" if rate else ""))
+    hits = cache.get("hits", 0)
+    misses = cache.get("misses", 0)
+    lookups = hits + misses
+    hit_rate = f"{hits / lookups:.0%}" if lookups else "n/a"
+    print(f"  cache:        {hits} hits / {misses} misses (hit rate {hit_rate}, "
+          f"{cache.get('size', 0)}/{cache.get('max_size', 0)} entries)")
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    try:
+        addresses = parse_addresses(args.connect)
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    reached = 0
+    for host, port in addresses:
+        label = f"{host}:{port}"
+        try:
+            reply = _fetch_worker_stats((host, port), args.timeout)
+        except (OSError, ReproError) as exc:
+            print(f"worker {label}  UNREACHABLE: {exc}", file=sys.stderr)
+            continue
+        reached += 1
+        if args.json:
+            print(json_module.dumps({"worker": label, **reply}, sort_keys=True))
+        else:
+            _print_worker_stats(label, reply)
+    if reached < len(addresses):
+        print(f"{reached}/{len(addresses)} workers answered", file=sys.stderr)
+    return 0 if reached else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``stgq`` console script and ``python -m repro``."""
     parser = build_parser()
@@ -598,6 +702,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_worker(args)
     if args.command == "cluster":
         return _command_cluster(args)
+    if args.command == "stats":
+        return _command_stats(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

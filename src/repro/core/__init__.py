@@ -3,6 +3,7 @@ baselines, the Integer Programming formulation, and the quality-comparison
 heuristics (PCArrange / STGArrange)."""
 
 from .baseline import BaselineSGQ, BaselineSTGQ, baseline_sg, baseline_stg
+from .context import SearchContext
 from .constraints import (
     ConstraintReport,
     check_sg_solution,
@@ -36,6 +37,7 @@ __all__ = [
     "GroupResult",
     "STGroupResult",
     "SearchStats",
+    "SearchContext",
     "SGSelect",
     "sg_select",
     "STGSelect",

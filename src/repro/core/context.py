@@ -1,0 +1,79 @@
+"""Execution-scoped accounting the solvers record into.
+
+The solvers in this package are pure with respect to observability: every
+``solve`` call builds a fresh :class:`~repro.core.result.SearchStats` and
+attaches it to the returned result.  That is the right contract for a
+single caller, but a serving layer answering many queries concurrently
+needs *scoped aggregation* — "how much kernel work did THIS batch do?" —
+without reaching for service-global mutable counters (which force batches
+to serialize so before/after snapshots stay exact).
+
+:class:`SearchContext` is that scope.  A caller creates one per unit of
+work (the service layer creates one per batch), passes it to any number of
+``solve`` calls — possibly from several threads — and reads the merged
+kernel statistics afterwards.  The solvers themselves stay stateless: they
+*record into* the context they are handed and never keep one.
+
+The service layer's :class:`~repro.service.context.ExecutionContext`
+extends this with service-level counters (query counts, cache hits,
+feasibility split); the core only knows about kernel statistics, so the
+dependency points service → core and never back.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .result import SearchStats
+
+__all__ = ["SearchContext", "record_into"]
+
+
+class SearchContext:
+    """Thread-safe accumulator of kernel :class:`SearchStats` across solves.
+
+    Attributes
+    ----------
+    solves:
+        Number of solver calls recorded into this context.
+    """
+
+    def __init__(self) -> None:
+        self._search_lock = threading.Lock()
+        self._search_stats = SearchStats()
+        self.solves = 0
+
+    def merge_search(self, stats: SearchStats, solves: int = 1) -> None:
+        """Fold one solve's — or several already-recorded solves' — kernel
+        statistics into this context.
+
+        The solvers call this once per solve (via :func:`record_into`); the
+        sharded service backends use it to re-record worker-side solves into
+        the parent batch context: every result carries the exact
+        ``SearchStats`` its solve recorded, so merging result stats
+        parent-side reproduces what the solvers recorded worker-side.
+        """
+        with self._search_lock:
+            self._search_stats.merge(stats)
+            self.solves += solves
+
+    def search_stats(self) -> SearchStats:
+        """Copy of the merged kernel statistics recorded so far."""
+        with self._search_lock:
+            snapshot = SearchStats()
+            snapshot.merge(self._search_stats)
+            return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(solves={self.solves})"
+
+
+def record_into(context: Optional[SearchContext], stats: SearchStats) -> None:
+    """Record ``stats`` into ``context`` when one was provided.
+
+    The one-liner every solver tail-calls, so ``context=None`` (direct
+    library use, no service in sight) stays zero-overhead.
+    """
+    if context is not None:
+        context.merge_search(stats)

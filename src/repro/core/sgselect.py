@@ -44,6 +44,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import InfeasibleQueryError
+from .context import SearchContext, record_into
 from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
 from ..graph.extraction import FeasibleGraph, extract_feasible_graph
 from ..graph.social_graph import SocialGraph
@@ -108,6 +109,7 @@ class SGSelect:
         allowed_candidates: Optional[Set[Vertex]] = None,
         feasible_graph: Optional[FeasibleGraph] = None,
         compiled_graph: Optional[CompiledFeasibleGraph] = None,
+        context: Optional[SearchContext] = None,
     ) -> GroupResult:
         """Answer ``query`` and return the optimal group.
 
@@ -133,6 +135,12 @@ class SGSelect:
             Optional pre-compiled bitmask form of ``feasible_graph`` (full
             candidate pool).  Ignored when ``allowed_candidates`` restricts
             the pool or the reference kernel is selected.
+        context:
+            Optional :class:`~repro.core.context.SearchContext` this solve's
+            kernel statistics are recorded into (in addition to the returned
+            result).  The service layer passes its per-batch
+            ``ExecutionContext`` here, so batch-scoped accounting needs no
+            solver-global state.
         """
         start = time.perf_counter()
         stats = SearchStats()
@@ -151,6 +159,7 @@ class SGSelect:
             compiled_graph=compiled_graph,
         )
         stats.elapsed_seconds = time.perf_counter() - start
+        record_into(context, stats)
 
         if result is None:
             final = GroupResult.infeasible(solver="SGSelect", stats=stats)

@@ -34,6 +34,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..exceptions import InfeasibleQueryError, ScheduleError
+from .context import SearchContext, record_into
 from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph, iter_bits
 from ..graph.extraction import FeasibleGraph, extract_feasible_graph
 from ..graph.social_graph import SocialGraph
@@ -101,13 +102,17 @@ class STGSelect:
         on_infeasible: str = "return",
         feasible_graph: Optional[FeasibleGraph] = None,
         compiled_graph: Optional[CompiledFeasibleGraph] = None,
+        context: Optional[SearchContext] = None,
     ) -> STGroupResult:
         """Answer ``query`` and return the optimal group and activity period.
 
         ``feasible_graph`` / ``compiled_graph`` allow a caller (the batched
         :class:`~repro.service.QueryService`) to reuse a cached extraction
         for ``(query.initiator, query.radius)``; the caller guarantees the
-        correspondence.
+        correspondence.  ``context`` optionally receives this solve's kernel
+        statistics (see :class:`~repro.core.context.SearchContext`) — the
+        service layer records every solve of a batch into one per-batch
+        ``ExecutionContext`` this way.
         """
         start = time.perf_counter()
         stats = SearchStats()
@@ -161,6 +166,7 @@ class STGSelect:
                 self._search_pivot(feasible_graph, query, window, record, best, stats)
 
         stats.elapsed_seconds = time.perf_counter() - start
+        record_into(context, stats)
         if best["members"] is None:
             result = STGroupResult.infeasible(solver="STGSelect", stats=stats)
             if on_infeasible == "raise":

@@ -22,7 +22,14 @@ from .figures import (
 )
 from .reporting import format_quality_table, format_table, speedup_summary, to_csv
 from .runner import FigureSeries, Measurement, SeriesPoint, measure
-from .workloads import ego_size, pick_initiator, workload
+from .workloads import (
+    ego_size,
+    generate_query_workload,
+    load_workload,
+    pick_initiator,
+    save_workload,
+    workload,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -49,6 +56,9 @@ __all__ = [
     "workload",
     "pick_initiator",
     "ego_size",
+    "generate_query_workload",
+    "save_workload",
+    "load_workload",
     "AblationReport",
     "AblationRow",
     "run_sg_ablation",

@@ -10,8 +10,10 @@ single instance within a process).
 from __future__ import annotations
 
 import itertools
+import json
 import random
 from functools import lru_cache
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.query import SGQuery, STGQuery
@@ -28,6 +30,8 @@ __all__ = [
     "ego_size",
     "zipfian_weights",
     "generate_query_workload",
+    "save_workload",
+    "load_workload",
 ]
 
 
@@ -182,4 +186,51 @@ def generate_query_workload(
                     acquaintance=2,
                 )
             )
+    return queries
+
+
+def save_workload(queries: Sequence[Union[SGQuery, STGQuery]], path) -> int:
+    """Write a query trace to ``path`` as JSONL; returns the line count.
+
+    One request object per line, in the shared request schema of
+    :mod:`repro.service.codec` — the same payloads ``stgq serve --jsonl``
+    accepts, so a saved trace can be replayed through the benchmark
+    (``bench_service.py --replay``), piped straight into a serving process,
+    or diffed against a measured production log.  This is the bridge from
+    synthetic Zipf draws to feeding *measured* traces: capture real traffic
+    in this format once, and every harness replays it.
+    """
+    from ..service.codec import request_for
+
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for query in queries:
+            handle.write(json.dumps(request_for(query), separators=(",", ":")) + "\n")
+    return len(queries)
+
+
+def load_workload(path) -> List[Union[SGQuery, STGQuery]]:
+    """Read a JSONL query trace written by :func:`save_workload`.
+
+    Raises :class:`~repro.exceptions.QueryError` on a malformed line (with
+    its line number), so a corrupted trace fails loudly instead of silently
+    benchmarking a truncated workload.  Blank lines are skipped.
+    """
+    from ..service.codec import query_from_request
+
+    queries: List[Union[SGQuery, STGQuery]] = []
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise QueryError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            try:
+                queries.append(query_from_request(payload))
+            except QueryError as exc:
+                raise QueryError(f"{path}:{lineno}: {exc}") from exc
     return queries

@@ -33,6 +33,11 @@ the solvers into that shape:
 * **Observability** — ``stats()`` and ``cache_info()`` expose query counts,
   feasibility ratios, solver time and cache hit rates, the numbers a
   capacity planner needs — aggregated across workers whichever backend runs.
+  Accounting flows through per-batch :class:`ExecutionContext` objects
+  (:mod:`repro.service.context`): pass your own to ``solve_many`` for exact
+  per-batch deltas, opt into per-response solver stats with
+  ``"stats": true`` on a request, or run ``stgq stats --connect`` for the
+  fleet view.
 
 Quickstart::
 
@@ -66,7 +71,8 @@ from .backends import (
     ThreadBackend,
     make_backend,
 )
-from .codec import ErrorResult, query_from_request, response_for
+from .codec import ErrorResult, query_from_request, response_for, wants_stats
+from .context import ExecutionContext, ServiceStats
 from .jsonl import serve_jsonl
 from .net import (
     LocalWorkerCluster,
@@ -75,7 +81,7 @@ from .net import (
     run_worker,
     start_local_workers,
 )
-from .query_service import CacheInfo, QueryService, ServiceStats
+from .query_service import CacheInfo, QueryService
 from .sharding import ShardMap, stable_shard
 
 __all__ = [
@@ -83,6 +89,7 @@ __all__ = [
     "BACKEND_NAMES",
     "CacheInfo",
     "ErrorResult",
+    "ExecutionContext",
     "ExecutorBackend",
     "LocalWorkerCluster",
     "ProcessBackend",
@@ -100,4 +107,5 @@ __all__ = [
     "serve_jsonl",
     "stable_shard",
     "start_local_workers",
+    "wants_stats",
 ]

@@ -30,14 +30,18 @@ The service's batch path is a strategy object implementing
     ``make_backend("remote", connect="host:p1,host:p2")`` or construct a
     :class:`~repro.service.net.RemoteBackend` directly.
 
-Workers report per-batch :class:`~repro.service.query_service.ServiceStats`
-deltas which the parent service merges, so ``service.stats()`` and
-``service.cache_info()`` aggregate identically whichever backend ran the
-batch.
+Every ``solve_batch`` call receives the batch's
+:class:`~repro.service.context.ExecutionContext` and records all accounting
+into it: the in-process backends record per query as they solve, the
+sharded backends merge each worker's returned context *delta* — so
+``service.stats()`` and ``service.cache_info()`` aggregate identically
+whichever backend ran the batch, and no backend ever snapshots or diffs
+service-global state.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import threading
@@ -46,6 +50,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from ..exceptions import QueryError
+from .context import ExecutionContext
 from .sharding import ShardMap
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -80,8 +85,18 @@ class ExecutorBackend(Protocol):
     name: str
     workers: int
 
-    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
-        """Answer ``queries`` in submission order, recording stats on ``service``."""
+    def solve_batch(
+        self,
+        service: "QueryService",
+        queries: Sequence["Query"],
+        context: ExecutionContext,
+    ) -> List["Result"]:
+        """Answer ``queries`` in submission order, recording stats into ``context``.
+
+        ``context`` is the batch's private accounting scope; the service
+        merges it into its totals after this returns.  Implementations must
+        not touch the service's global counters directly.
+        """
         ...
 
     def cache_entries(self) -> Optional[int]:
@@ -102,8 +117,13 @@ class SerialBackend:
     def __init__(self, workers: Optional[int] = None) -> None:
         self.workers = 1
 
-    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
-        return [service._solve_local(query) for query in queries]
+    def solve_batch(
+        self,
+        service: "QueryService",
+        queries: Sequence["Query"],
+        context: ExecutionContext,
+    ) -> List["Result"]:
+        return [service._solve_local(query, context) for query in queries]
 
     def cache_entries(self) -> Optional[int]:
         return None
@@ -134,10 +154,18 @@ class ThreadBackend:
                 self._finalizer = weakref.finalize(self, self._pool.shutdown, wait=False)
             return self._pool
 
-    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
+    def solve_batch(
+        self,
+        service: "QueryService",
+        queries: Sequence["Query"],
+        context: ExecutionContext,
+    ) -> List["Result"]:
         if self.workers <= 1 or len(queries) <= 1:
-            return [service._solve_local(query) for query in queries]
-        return list(self._ensure_pool().map(service._solve_local, queries))
+            return [service._solve_local(query, context) for query in queries]
+        # The pool threads all record into the same batch context (it is
+        # thread-safe); the service merges it once afterwards.
+        solve = functools.partial(service._solve_local, context=context)
+        return list(self._ensure_pool().map(solve, queries))
 
     def cache_entries(self) -> Optional[int]:
         return None
@@ -180,18 +208,17 @@ def _worker_solve_batch(
 ) -> Tuple[List["Result"], Dict[str, float], int]:
     """Solve one shard's slice of a batch inside the worker process.
 
-    Returns the results in slice order, the stats *delta* this slice
-    produced (so the parent can merge it without double counting), and the
-    worker's current cache size.
+    The slice runs under its own :class:`ExecutionContext`, whose delta is
+    returned for the parent to merge — no before/after snapshot of the
+    worker's totals, so nothing in the worker ever needs to serialize
+    around this call.  Also returns the worker's current cache size.
     """
     service = _WORKER_SERVICE
     if service is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("process-pool worker used before initialisation")
-    before = service.stats().as_dict()
-    results = [service.solve(query) for query in queries]
-    after = service.stats().as_dict()
-    delta = {key: after[key] - before[key] for key in after}
-    return results, delta, service.cache_info().size
+    context = ExecutionContext()
+    results = service.solve_many(queries, context=context)
+    return results, context.as_delta(), service.cache_info().size
 
 
 def _shutdown_pools(pools: List[ProcessPoolExecutor], wait: bool = False) -> None:
@@ -271,17 +298,23 @@ class ProcessBackend:
             self._cache_sizes = {}
             return self._pools
 
-    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
+    def solve_batch(
+        self,
+        service: "QueryService",
+        queries: Sequence["Query"],
+        context: ExecutionContext,
+    ) -> List["Result"]:
         pools = self._ensure_started(service)
         parts = self._shards.partition(queries)
         futures = {
             shard: pools[shard].submit(_worker_solve_batch, [query for _, query in entries])
             for shard, entries in parts.items()
         }
-        # Wait for every shard before touching the parent counters, so a
-        # failing shard leaves the stats all-or-nothing: a raised batch is
-        # never partially counted (worker-side cache state may still have
-        # advanced; only the parent's aggregate view is transactional).
+        # Wait for every shard before merging anything into the batch
+        # context, so a failing shard leaves the stats all-or-nothing: a
+        # raised batch is never partially counted (worker-side cache state
+        # may still have advanced; only the parent's aggregate view is
+        # transactional).
         outcomes = {}
         error: Optional[BaseException] = None
         for shard, future in futures.items():
@@ -297,7 +330,12 @@ class ProcessBackend:
             shard_results, delta, cache_size = outcomes[shard]
             for (index, _), result in zip(entries, shard_results):
                 results[index] = result
-            service._merge_stats_delta(delta)
+                # Re-record worker-side kernel stats into the parent batch
+                # context: each result carries the exact SearchStats its
+                # solve recorded inside the worker, so the context's merged
+                # kernel view stays backend-invariant.
+                context.merge_search(result.stats)
+            context.merge_delta(delta)
             self._cache_sizes[shard] = cache_size
         return results  # type: ignore[return-value]
 

@@ -12,7 +12,12 @@ Request::
 ``id`` is optional and echoed back verbatim.  The paper's short parameter
 names are accepted as aliases (``p`` = group_size, ``s`` = radius,
 ``k`` = acquaintance, ``m`` = activity_length); omitting
-``activity_length``/``m`` makes the request a purely social SGQ.
+``activity_length``/``m`` makes the request a purely social SGQ.  A request
+may also set ``"stats": true`` (see :func:`wants_stats`) to opt into a
+``stats`` field on its response carrying the solver's
+:class:`~repro.core.result.SearchStats` — the end-to-end observability
+hook: the kernel records the stats, the per-batch execution context carries
+them, and the wire returns them to the client that asked.
 
 Response::
 
@@ -61,6 +66,7 @@ __all__ = [
     "query_from_request",
     "request_for",
     "response_for",
+    "wants_stats",
 ]
 
 Query = Union[SGQuery, STGQuery]
@@ -144,8 +150,20 @@ def request_for(query: Query, request_id: Any = None) -> Dict[str, Any]:
     return payload
 
 
-def response_for(request_id: Any, result: Union[Result, ErrorResult]) -> Dict[str, Any]:
-    """Encode one solver result as a JSON-safe client response object."""
+def wants_stats(payload: Any) -> bool:
+    """True when a request payload opted into per-response search stats."""
+    return isinstance(payload, dict) and bool(payload.get("stats"))
+
+
+def response_for(
+    request_id: Any, result: Union[Result, ErrorResult], include_stats: bool = False
+) -> Dict[str, Any]:
+    """Encode one solver result as a JSON-safe client response object.
+
+    ``include_stats`` (the per-request ``"stats": true`` opt-in) adds a
+    ``stats`` field with the solve's kernel statistics; error responses
+    never carry one (the query was not solved).
+    """
     if isinstance(result, ErrorResult):
         return {"id": request_id, "error": result.error}
     response: Dict[str, Any] = {
@@ -157,6 +175,8 @@ def response_for(request_id: Any, result: Union[Result, ErrorResult]) -> Dict[st
     }
     if isinstance(result, STGroupResult):
         response["period"] = list(result.period.as_tuple()) if result.period else None
+    if include_stats:
+        response["stats"] = result.stats.as_dict()
     return response
 
 

@@ -9,7 +9,9 @@ Malformed lines, oversized lines (> ``codec.MAX_REQUEST_BYTES``), invalid
 parameters and solver-time library errors (e.g. an initiator not in the
 graph) produce ``{"id": ..., "error": "..."}`` in place of a result; the
 loop keeps serving.  ``total_distance`` is ``null`` for infeasible results
-(JSON has no ``Infinity``).
+(JSON has no ``Infinity``).  A request carrying ``"stats": true`` receives
+its solve's kernel statistics in a ``stats`` response field (per-request
+opt-in; see :mod:`repro.service.codec`).
 
 The loop is pipelined: requests are read in batches and each batch is solved
 through :meth:`~repro.service.QueryService.solve_many_async` while the next
@@ -30,7 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
 from ..exceptions import QueryError, ReproError
-from .codec import MAX_REQUEST_BYTES, query_from_request, response_for
+from .codec import MAX_REQUEST_BYTES, query_from_request, response_for, wants_stats
 from .query_service import Query, QueryService, Result
 
 __all__ = ["serve_jsonl", "query_from_request", "response_for"]
@@ -43,6 +45,7 @@ class _Entry:
     request_id: Any
     query: Optional[Query] = None
     error: Optional[str] = None
+    include_stats: bool = False
 
 
 def _parse_line(line: str) -> Optional[_Entry]:
@@ -62,7 +65,11 @@ def _parse_line(line: str) -> Optional[_Entry]:
         return _Entry(request_id=None, error=f"invalid JSON: {exc}")
     request_id = payload.get("id") if isinstance(payload, dict) else None
     try:
-        return _Entry(request_id=request_id, query=query_from_request(payload))
+        return _Entry(
+            request_id=request_id,
+            query=query_from_request(payload),
+            include_stats=wants_stats(payload),
+        )
     except QueryError as exc:
         return _Entry(request_id=request_id, error=str(exc))
 
@@ -188,7 +195,9 @@ def _write_responses(
             if isinstance(outcome, str):
                 payload = {"id": entry.request_id, "error": outcome}
             else:
-                payload = response_for(entry.request_id, outcome)
+                payload = response_for(
+                    entry.request_id, outcome, include_stats=entry.include_stats
+                )
         output_stream.write(json.dumps(payload, separators=(",", ":")) + "\n")
     output_stream.flush()
 

@@ -26,8 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ...exceptions import WorkerUnavailableError
-from .protocol import PROTOCOL_VERSION, recv_frame, send_frame
+from ...exceptions import ProtocolError, WorkerUnavailableError
+from .protocol import client_handshake, recv_frame, send_frame
 from .remote import parse_addresses
 from .worker import READY_MARKER
 
@@ -126,16 +126,13 @@ def _ping(address: str, timeout: float = 5.0) -> None:
     try:
         with socket.create_connection(parse_addresses(address)[0], timeout=timeout) as sock:
             sock.settimeout(timeout)
-            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
-            hello = recv_frame(sock)
-            if hello.get("type") != "hello":
-                raise WorkerUnavailableError(
-                    f"worker {address} failed the handshake: {hello.get('error', hello)}"
-                )
+            client_handshake(sock)
             send_frame(sock, {"type": "ping", "id": 0})
             pong = recv_frame(sock)
             if pong.get("type") != "pong":
                 raise WorkerUnavailableError(f"worker {address} did not answer a ping: {pong}")
+    except ProtocolError as exc:
+        raise WorkerUnavailableError(f"worker {address} failed the handshake: {exc}") from exc
     except OSError as exc:
         raise WorkerUnavailableError(f"cannot reach spawned worker {address}: {exc}") from exc
 

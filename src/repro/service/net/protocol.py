@@ -54,6 +54,7 @@ from ...exceptions import ProtocolError
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "client_handshake",
     "read_frame",
     "recv_frame",
     "send_frame",
@@ -149,3 +150,26 @@ def recv_frame(sock: socket.socket, deadline: Optional[float] = None) -> Dict[st
 def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
     """Write one frame to a blocking socket."""
     sock.sendall(encode_frame(payload))
+
+
+def client_handshake(
+    sock: socket.socket, deadline: Optional[float] = None
+) -> Dict[str, Any]:
+    """Send a ``hello`` and validate the worker's reply; returns its hello.
+
+    The one client-side handshake every blocking-socket caller (gateway
+    connections, ``stgq cluster`` readiness pings, ``stgq stats``) shares,
+    so the version check cannot silently diverge between entry points.
+    Raises :class:`ProtocolError` on a refusal, a non-hello reply, or a
+    protocol-version mismatch.
+    """
+    send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+    reply = recv_frame(sock, deadline=deadline)
+    if reply.get("type") == "error":
+        raise ProtocolError(f"worker rejected the handshake: {reply.get('error')}")
+    if reply.get("type") != "hello" or reply.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unexpected handshake reply type={reply.get('type')!r} "
+            f"v={reply.get('v')!r} (expected hello v{PROTOCOL_VERSION})"
+        )
+    return reply

@@ -14,10 +14,11 @@ protocol — a :class:`~repro.service.QueryService` built with
   into per-shard sub-batches that are dispatched concurrently, so every
   worker solves its slice while the others solve theirs.
 * **Stats invariance** — each ``batch_result`` carries the stats *delta*
-  the sub-batch produced inside the worker; deltas are merged into the
-  gateway service only after every shard resolved (all-or-nothing, exactly
-  like the process backend), so ``stats()``/``cache_info()`` report the
-  same numbers whichever backend answered.
+  the sub-batch's :class:`~repro.service.context.ExecutionContext` produced
+  inside the worker; deltas are merged into the gateway batch's own context
+  only after every shard resolved (all-or-nothing, exactly like the process
+  backend), so ``stats()``/``cache_info()`` report the same numbers
+  whichever backend answered.
 * **Failure containment** — a dead or timed-out worker degrades to
   :class:`~repro.service.codec.ErrorResult` entries for the requests routed
   to it; the rest of the batch succeeds.  Reconnection uses exponential
@@ -36,8 +37,9 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ...exceptions import ProtocolError, QueryError, WorkerUnavailableError
 from ..codec import ErrorResult, decode_result, request_for
+from ..context import ExecutionContext
 from ..sharding import ShardMap
-from .protocol import PROTOCOL_VERSION, encode_frame, recv_frame, send_frame
+from .protocol import client_handshake, encode_frame, recv_frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..query_service import Query, QueryService, Result
@@ -138,28 +140,13 @@ class _WorkerLink:
             raise WorkerUnavailableError(f"cannot connect to worker {self.label}: {exc}") from exc
         sock.settimeout(self.timeout)
         try:
-            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
-            reply = recv_frame(sock, deadline=time.monotonic() + self.timeout)
+            client_handshake(sock, deadline=time.monotonic() + self.timeout)
         except (OSError, ProtocolError) as exc:
             sock.close()
             self._register_failure()
             raise WorkerUnavailableError(
                 f"handshake with worker {self.label} failed: {exc}"
             ) from exc
-        if reply.get("type") == "error":
-            sock.close()
-            self._register_failure()
-            raise WorkerUnavailableError(
-                f"worker {self.label} rejected the handshake: {reply.get('error')}"
-            )
-        if reply.get("type") != "hello" or reply.get("v") != PROTOCOL_VERSION:
-            sock.close()
-            self._register_failure()
-            raise WorkerUnavailableError(
-                f"worker {self.label} answered the handshake with "
-                f"type={reply.get('type')!r} v={reply.get('v')!r} "
-                f"(expected hello v{PROTOCOL_VERSION})"
-            )
         self._sock = sock
         self._failures = 0
         self._retry_at = 0.0
@@ -335,16 +322,22 @@ class RemoteBackend:
             ) from exc
         return results, delta, cache_size
 
-    def solve_batch(self, service: "QueryService", queries: Sequence["Query"]) -> List["Result"]:
+    def solve_batch(
+        self,
+        service: "QueryService",
+        queries: Sequence["Query"],
+        context: ExecutionContext,
+    ) -> List["Result"]:
         parts = self._shards.partition(queries)
         pool = self._ensure_pool()
         futures = {
             shard: pool.submit(self._request_shard, shard, [query for _, query in entries])
             for shard, entries in parts.items()
         }
-        # Collect every shard before merging any stats, so the aggregate
-        # view stays all-or-nothing per shard: a sub-batch either lands
-        # fully (results + its delta) or degrades fully to error results.
+        # Collect every shard before merging any stats into the batch
+        # context, so the aggregate view stays all-or-nothing per shard: a
+        # sub-batch either lands fully (results + its delta) or degrades
+        # fully to error results.
         outcomes: Dict[int, Tuple[List["Result"], Dict[str, float], int]] = {}
         failures: Dict[int, str] = {}
         for shard, future in futures.items():
@@ -367,7 +360,13 @@ class RemoteBackend:
             shard_results, delta, cache_size = outcomes[shard]
             for (index, _), result in zip(entries, shard_results):
                 results[index] = result
-            service._merge_stats_delta(delta)
+                if not isinstance(result, ErrorResult):
+                    # Solved results carry the exact SearchStats recorded
+                    # inside the worker; merging them keeps the batch
+                    # context's kernel view backend-invariant across the
+                    # network hop.  Per-request errors were never solved.
+                    context.merge_search(result.stats)
+            context.merge_delta(delta)
             cache_updates[shard] = cache_size
         if cache_updates:
             # Replace wholesale (readers iterate their own snapshot, never

@@ -6,13 +6,15 @@ connects, handshakes and streams ``batch`` frames at it (see
 :mod:`repro.service.net.protocol` for the wire format).
 
 Batch frames are answered with full-fidelity results *plus* the stats
-*delta* that batch produced, computed under a per-worker lock so concurrent
-connections can never smear each other's deltas — the same
-before/after-diff contract the process backend's pool workers use, which is
-what keeps ``stats()``/``cache_info()`` backend-invariant on the gateway.
-Pipelining still overlaps useful work: while one batch solves on the
-service's executor, the event loop keeps reading, ping-ing and answering
-control frames.
+*delta* that batch produced.  Each batch runs under its own
+:class:`~repro.service.context.ExecutionContext`, so the delta is exact by
+construction — no lock, no before/after snapshot of the service totals —
+and the worker interleaves batch frames from any number of gateway
+connections: while one connection's batch solves on the service's executor,
+the event loop keeps reading other connections, solving *their* batches,
+and answering control frames.  A batch frame may set ``"stats": true`` to
+additionally receive the batch's merged kernel statistics
+(``SearchStats``), straight from the solvers that recorded them.
 """
 
 from __future__ import annotations
@@ -23,7 +25,8 @@ import sys
 from typing import Any, Dict, List, Optional, Set, TextIO, Tuple
 
 from ...exceptions import ProtocolError, ReproError
-from ..codec import encode_result, query_from_request
+from ..codec import encode_result, query_from_request, wants_stats
+from ..context import ExecutionContext
 from ..query_service import Query, QueryService
 from .protocol import PROTOCOL_VERSION, read_frame, write_frame
 
@@ -49,7 +52,6 @@ class WorkerServer:
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
-        self._solve_lock = asyncio.Lock()
 
     @property
     def address(self) -> str:
@@ -180,30 +182,25 @@ class WorkerServer:
                 queries.append(query)
         solve_error: Optional[str] = None
         results: List[Any] = []
-        # The lock makes the before/after stats diff exact when several
-        # gateways pipeline batches concurrently; the solve itself runs on
-        # the service's executor, so the event loop stays responsive to
-        # control frames.  Known trade-off: batches from different
-        # connections serialize at this worker (cache hit/miss counters
-        # cannot be derived per-batch from results alone) — the intended
-        # deployment is one gateway per worker fleet, where pipelining
-        # within the connection keeps the executor busy.
-        async with self._solve_lock:
-            before = self.service.stats().as_dict()
-            if queries:
-                try:
-                    results = list(await self.service.solve_many_async(queries))
-                except Exception as exc:  # e.g. a broken executor pool
-                    solve_error = str(exc) or type(exc).__name__
-            after = self.service.stats().as_dict()
+        # Each batch gets a private ExecutionContext, so its stats delta is
+        # exact whatever else the worker is doing: batches from any number
+        # of gateway connections interleave freely on the service's
+        # executor (the old per-worker solve lock — and with it the
+        # one-gateway-per-fleet restriction — is gone).
+        context = ExecutionContext()
+        if queries:
+            try:
+                results = list(await self.service.solve_many_async(queries, context=context))
+            except Exception as exc:  # e.g. a broken executor pool
+                solve_error = str(exc) or type(exc).__name__
         if solve_error is not None:
             # Every request is being answered with an error: ship no delta,
             # so the gateway never counts queries whose callers only saw
-            # ErrorResults (worker-local stats may still have advanced; only
-            # the gateway's merged view honours the contract).
+            # ErrorResults (the failed batch's context was never merged
+            # worker-side either, so both sides agree it never happened).
             delta: Dict[str, float] = {}
         else:
-            delta = {key: after[key] - before[key] for key in after}
+            delta = context.as_delta()
         cursor = iter(results)
         encoded: List[Dict[str, Any]] = []
         for query, error in entries:
@@ -213,13 +210,20 @@ class WorkerServer:
                 encoded.append({"error": solve_error})
             else:
                 encoded.append(encode_result(next(cursor)))
-        return {
+        reply = {
             "type": "batch_result",
             "id": frame.get("id"),
             "results": encoded,
             "stats_delta": delta,
             "cache_size": self.service.cache_info().size,
         }
+        if wants_stats(frame) and solve_error is None:
+            # Opt-in observability: the batch's merged kernel statistics,
+            # recorded into the context by the solvers themselves.  A
+            # failed batch ships none — both sides treat it as never
+            # having happened, partial kernel work included.
+            reply["stats"] = context.search_stats().as_dict()
+        return reply
 
 
 def run_worker(

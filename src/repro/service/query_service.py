@@ -1,10 +1,11 @@
 """Batched query service over one shared social graph.
 
 See :mod:`repro.service` for the subsystem overview.  This module holds the
-front-end: :class:`QueryService` (the server object), :class:`ServiceStats`
-(its observable counters) and :class:`CacheInfo` (a point-in-time snapshot of
-the feasible-graph cache).  Batch execution strategies live in
-:mod:`repro.service.backends`; initiator-to-worker routing lives in
+front-end: :class:`QueryService` (the server object) and :class:`CacheInfo`
+(a point-in-time snapshot of the feasible-graph cache).  Per-batch
+accounting lives in :mod:`repro.service.context` (:class:`ExecutionContext`
+/ :class:`ServiceStats`, re-exported here); batch execution strategies live
+in :mod:`repro.service.backends`; initiator-to-worker routing lives in
 :mod:`repro.service.sharding`.
 """
 
@@ -28,8 +29,9 @@ from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
 from ..types import Vertex
 from .backends import ExecutorBackend, ThreadBackend, make_backend
+from .context import ExecutionContext, ServiceStats
 
-__all__ = ["QueryService", "ServiceStats", "CacheInfo"]
+__all__ = ["QueryService", "ServiceStats", "CacheInfo", "ExecutionContext"]
 
 Query = Union[SGQuery, STGQuery]
 Result = Union[GroupResult, STGroupResult]
@@ -54,56 +56,6 @@ class CacheInfo:
         """Fraction of lookups served from the cache (0.0 when none yet)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
-
-
-@dataclass
-class ServiceStats:
-    """Aggregate counters the service exposes for observability.
-
-    ``solve_seconds`` sums the wall-clock time spent inside the solvers
-    (not queueing), so ``queries / solve_seconds`` is the per-worker solve
-    rate while the ``solve_many`` wall-clock gives end-to-end throughput.
-
-    With the ``process`` backend the counters are accumulated inside each
-    worker and merged into the parent on every batch, so the aggregate view
-    is identical whichever backend answered the queries.
-    """
-
-    queries: int = 0
-    sg_queries: int = 0
-    stg_queries: int = 0
-    feasible: int = 0
-    infeasible: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    solve_seconds: float = 0.0
-    nodes_expanded: int = 0
-
-    def as_dict(self) -> Dict[str, float]:
-        """Return the counters as a plain dict (for CSV/JSON reporting)."""
-        return {
-            "queries": self.queries,
-            "sg_queries": self.sg_queries,
-            "stg_queries": self.stg_queries,
-            "feasible": self.feasible,
-            "infeasible": self.infeasible,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "solve_seconds": self.solve_seconds,
-            "nodes_expanded": self.nodes_expanded,
-        }
-
-    def merge_dict(self, delta: Dict[str, float]) -> None:
-        """Accumulate a counter delta (as produced by ``as_dict`` diffs)."""
-        self.queries += int(delta.get("queries", 0))
-        self.sg_queries += int(delta.get("sg_queries", 0))
-        self.stg_queries += int(delta.get("stg_queries", 0))
-        self.feasible += int(delta.get("feasible", 0))
-        self.infeasible += int(delta.get("infeasible", 0))
-        self.cache_hits += int(delta.get("cache_hits", 0))
-        self.cache_misses += int(delta.get("cache_misses", 0))
-        self.solve_seconds += float(delta.get("solve_seconds", 0.0))
-        self.nodes_expanded += int(delta.get("nodes_expanded", 0))
 
 
 class QueryService:
@@ -139,9 +91,22 @@ class QueryService:
 
     Notes
     -----
-    Thread safety: the cache is guarded by one lock and the stats counters
-    by another (finer-grained, so pool threads recording results never
-    contend with cache lookups).  The cached :class:`FeasibleGraph` /
+    Accounting: every batch (and every standalone :meth:`solve`) runs under
+    an :class:`~repro.service.context.ExecutionContext` — the per-batch
+    scope the solvers, the cache and the backends record into.  The context
+    is merged into the service's lifetime totals exactly once, atomically,
+    when the batch completes; a batch that raises merges nothing, so
+    ``stats()`` is all-or-nothing per batch on every backend.  Callers may
+    pass their own (single-use) context to read the exact per-batch delta —
+    this is how the TCP worker answers concurrent batch frames from several
+    gateways with exact ``stats_delta``\\ s and no cross-batch serialization.
+
+    Thread safety: the cache is guarded by one lock and the lifetime totals
+    by another; per-batch counters live in the batch's own context, so
+    concurrent batches never contend on stats state.  Concurrent cache
+    misses on the same ``(initiator, radius)`` key are single-flighted: one
+    caller builds, the others wait and count a hit, so hit/miss totals are
+    interleaving-independent.  The cached :class:`FeasibleGraph` /
     :class:`CompiledFeasibleGraph` values are immutable after construction,
     so concurrent searches share them without synchronisation.  The
     underlying graph must not be mutated while the service is live (mutating
@@ -168,6 +133,7 @@ class QueryService:
         self.cache_size = cache_size
         self._cache: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        self._pending_builds: Dict[CacheKey, threading.Event] = {}
         self._stats_lock = threading.Lock()
         self._stats = ServiceStats()
         self._backend = make_backend(backend, max_workers)
@@ -187,31 +153,58 @@ class QueryService:
     # feasible-graph cache
     # ------------------------------------------------------------------
     def _lookup(
-        self, initiator: Vertex, radius: int
+        self, initiator: Vertex, radius: int, context: ExecutionContext
     ) -> Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]:
-        """Return the (feasible, compiled) pair for an ego network, caching it."""
+        """Return the (feasible, compiled) pair for an ego network, caching it.
+
+        The hit/miss is counted into ``context`` (the batch's scope, not the
+        service globals).  Concurrent misses on the same key are
+        single-flighted: the first caller builds while the others wait on an
+        event and then count a hit — so the hit/miss totals are independent
+        of how batches interleave, which is what keeps ``cache_info()``
+        backend-invariant now that batches run concurrently.
+        """
         key = (initiator, radius)
-        with self._cache_lock:
-            entry = self._cache.get(key)
+        while True:
+            wait_for: Optional[threading.Event] = None
+            with self._cache_lock:
+                entry = self._cache.get(key)
+                if entry is not None:
+                    self._cache.move_to_end(key)
+                else:
+                    pending = self._pending_builds.get(key)
+                    if pending is None:
+                        self._pending_builds[key] = threading.Event()
+                    else:
+                        wait_for = pending
             if entry is not None:
+                context.record_cache(hit=True)
+                return entry
+            if wait_for is None:
+                break  # this caller owns the build
+            wait_for.wait()
+            # The builder finished (or failed): re-check the cache.  If the
+            # build failed — or the entry was already evicted — the loop
+            # promotes this caller to builder.
+        context.record_cache(hit=False)
+        try:
+            # Build outside the locks: extraction can be expensive.
+            feasible = extract_feasible_graph(self.graph, initiator, radius)
+            compiled = (
+                compile_feasible_graph(feasible) if self.parameters.kernel == "compiled" else None
+            )
+            with self._cache_lock:
+                self._cache[key] = (feasible, compiled)
                 self._cache.move_to_end(key)
-        if entry is not None:
-            with self._stats_lock:
-                self._stats.cache_hits += 1
-            return entry
-        with self._stats_lock:
-            self._stats.cache_misses += 1
-        # Build outside the locks: extraction can be expensive and two threads
-        # racing on the same key simply do redundant work once.
-        feasible = extract_feasible_graph(self.graph, initiator, radius)
-        compiled = (
-            compile_feasible_graph(feasible) if self.parameters.kernel == "compiled" else None
-        )
-        with self._cache_lock:
-            self._cache[key] = (feasible, compiled)
-            self._cache.move_to_end(key)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        finally:
+            # Always release waiters, even when the build raised (they will
+            # retry and surface their own error).
+            with self._cache_lock:
+                event = self._pending_builds.pop(key, None)
+            if event is not None:
+                event.set()
         return feasible, compiled
 
     def cache_info(self) -> CacheInfo:
@@ -249,59 +242,58 @@ class QueryService:
         if query.initiator not in self.graph:
             raise VertexNotFoundError(query.initiator)
 
-    def _record(self, result: Result, is_stg: bool) -> None:
-        """Fold one result into the service counters (race-free)."""
-        with self._stats_lock:
-            self._stats.queries += 1
-            if is_stg:
-                self._stats.stg_queries += 1
-            else:
-                self._stats.sg_queries += 1
-            if result.feasible:
-                self._stats.feasible += 1
-            else:
-                self._stats.infeasible += 1
-            self._stats.solve_seconds += result.stats.elapsed_seconds
-            self._stats.nodes_expanded += result.stats.nodes_expanded
+    def _merge_context(self, context: ExecutionContext) -> None:
+        """Fold one completed batch context into the lifetime totals.
 
-    def _merge_stats_delta(self, delta: Dict[str, float]) -> None:
-        """Merge a worker-produced counter delta (process backend)."""
+        This is the *only* writer of the service-global counters — one
+        atomic merge per completed batch, never touched mid-flight — which
+        is what lets any number of batches run concurrently with exact
+        per-batch deltas.
+        """
         with self._stats_lock:
-            self._stats.merge_dict(delta)
+            self._stats.merge_dict(context.as_delta())
 
-    def _solve_local(self, query: Query) -> Result:
+    def _solve_local(self, query: Query, context: ExecutionContext) -> Result:
         """Answer one query on the calling thread against the local cache.
 
         Only reachable through :meth:`solve` / :meth:`solve_many`, which
-        validate the query first.
+        validate the query first.  Cache lookups, kernel statistics and the
+        result's service counters are all recorded into ``context``.
         """
         is_stg = isinstance(query, STGQuery)
-        feasible, compiled = self._lookup(query.initiator, query.radius)
+        feasible, compiled = self._lookup(query.initiator, query.radius, context)
         if is_stg:
             result: Result = STGSelect(self.graph, self.calendars, self.parameters).solve(
-                query, feasible_graph=feasible, compiled_graph=compiled
+                query, feasible_graph=feasible, compiled_graph=compiled, context=context
             )
         else:
             result = SGSelect(self.graph, self.parameters).solve(
-                query, feasible_graph=feasible, compiled_graph=compiled
+                query, feasible_graph=feasible, compiled_graph=compiled, context=context
             )
-        self._record(result, is_stg)
+        context.record_result(result, is_stg)
         return result
 
-    def solve(self, query: Query) -> Result:
+    def solve(self, query: Query, context: Optional[ExecutionContext] = None) -> Result:
         """Answer one query (SGQ or STGQ) and update the service stats.
 
         Routed through the backend, so with ``backend="process"`` even a
         single query lands on the worker owning its initiator (keeping that
-        worker's cache hot).
+        worker's cache hot).  ``context`` (optional, single-use) receives
+        the solve's exact accounting delta; one is created internally when
+        omitted.  Either way the delta is merged into the service totals on
+        completion.
         """
         self._validate(query)
-        return self._backend.solve_batch(self, [query])[0]
+        ctx = context if context is not None else ExecutionContext()
+        result = self._backend.solve_batch(self, [query], ctx)[0]
+        self._merge_context(ctx)
+        return result
 
     def solve_many(
         self,
         queries: Iterable[Query],
         max_workers: Optional[int] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> List[Result]:
         """Answer a batch of independent queries concurrently.
 
@@ -310,19 +302,30 @@ class QueryService:
         ``max_workers`` overrides the pool width for this call only on the
         ``thread`` backend (kept for backward compatibility — process pools
         are persistent and keep their shard count).
+
+        ``context`` (optional) is the batch's accounting scope: pass a fresh
+        :class:`~repro.service.context.ExecutionContext` to read this
+        batch's exact stats delta afterwards (``context.as_delta()``); one
+        is created internally when omitted.  The context is merged into the
+        service totals exactly once when the batch completes — a batch that
+        raises merges nothing — and must not be reused for another batch.
         """
         batch: Sequence[Query] = list(queries)
         if not batch:
             return []
         for query in batch:
             self._validate(query)
+        ctx = context if context is not None else ExecutionContext()
         if max_workers is not None and self._backend.name == "thread":
             override = ThreadBackend(max_workers)
             try:
-                return override.solve_batch(self, batch)
+                results = override.solve_batch(self, batch, ctx)
             finally:
                 override.close()
-        return self._backend.solve_batch(self, batch)
+        else:
+            results = self._backend.solve_batch(self, batch, ctx)
+        self._merge_context(ctx)
+        return results
 
     # ------------------------------------------------------------------
     # async front-end
@@ -336,18 +339,21 @@ class QueryService:
         self,
         queries: Iterable[Query],
         max_workers: Optional[int] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> List[Result]:
         """Awaitable :meth:`solve_many` for pipelining batches.
 
         The batch runs on the event loop's default executor, so an asyncio
-        front-end (e.g. the ``stgq serve --jsonl`` loop) can overlap reading
-        and writing one batch with solving the next.  With the ``process``
-        backend the heavy lifting happens outside the GIL entirely, so
-        several in-flight batches genuinely run in parallel.
+        front-end (e.g. the ``stgq serve --jsonl`` loop or the TCP worker)
+        can overlap reading and writing one batch with solving the next.
+        With the ``process`` backend the heavy lifting happens outside the
+        GIL entirely, so several in-flight batches genuinely run in
+        parallel.  ``context`` is forwarded to :meth:`solve_many` — each
+        in-flight batch gets its own, so their deltas never smear.
         """
         batch: Sequence[Query] = list(queries)
         loop = asyncio.get_running_loop()
-        call = functools.partial(self.solve_many, batch, max_workers)
+        call = functools.partial(self.solve_many, batch, max_workers, context)
         return await loop.run_in_executor(None, call)
 
     # ------------------------------------------------------------------

@@ -15,15 +15,25 @@ and its worker processes must agree on the placement of every initiator.
 
 from __future__ import annotations
 
+import logging
+import threading
 import zlib
 from typing import Dict, List, Sequence, Tuple, TypeVar
 
 from ..exceptions import QueryError
 from ..types import Vertex
 
-__all__ = ["ShardMap", "stable_shard"]
+__all__ = ["ShardMap", "stable_shard", "IMBALANCE_WARN_THRESHOLD"]
 
 Q = TypeVar("Q")
+
+logger = logging.getLogger(__name__)
+
+#: ``partition`` logs a warning when a routed batch loads its hottest shard
+#: more than this many times the mean (the ROADMAP's ~1.5x skew flag — the
+#: point where hash placement stops being good enough and load-aware
+#: placement is worth considering).
+IMBALANCE_WARN_THRESHOLD = 1.5
 
 
 def stable_shard(vertex: Vertex, n_shards: int) -> int:
@@ -48,12 +58,14 @@ def stable_shard(vertex: Vertex, n_shards: int) -> int:
 class ShardMap:
     """Deterministic assignment of initiators to ``n_shards`` workers."""
 
-    __slots__ = ("n_shards",)
+    __slots__ = ("n_shards", "_imbalance_warned", "_warn_lock")
 
     def __init__(self, n_shards: int) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = n_shards
+        self._imbalance_warned = False
+        self._warn_lock = threading.Lock()
 
     def shard_of(self, initiator: Vertex) -> int:
         """Shard id owning ``initiator``'s ego-network cache entries."""
@@ -65,11 +77,46 @@ class ShardMap:
         Returns a dict mapping shard id to ``(original_index, query)`` pairs
         in submission order, so callers can reassemble results positionally.
         Only shards that received at least one query appear as keys.
+
+        A routed batch whose hottest shard exceeds
+        :data:`IMBALANCE_WARN_THRESHOLD` times the mean load is logged as a
+        warning (only for batches of at least ``2 * n_shards`` queries —
+        tiny batches are trivially imbalanced), so a skewed production
+        workload surfaces in the logs before it surfaces as a hot worker.
+        The warning fires once per :class:`ShardMap`; later skewed batches
+        log at DEBUG so a persistently skewed stream cannot flood the logs.
         """
         parts: Dict[int, List[Tuple[int, Q]]] = {}
         for index, query in enumerate(queries):
             shard = self.shard_of(query.initiator)  # type: ignore[attr-defined]
             parts.setdefault(shard, []).append((index, query))
+        total = len(queries)
+        if self.n_shards > 1 and total >= 2 * self.n_shards:
+            mean = total / self.n_shards
+            hottest, count = max(
+                ((shard, len(entries)) for shard, entries in parts.items()),
+                key=lambda item: item[1],
+            )
+            ratio = count / mean
+            if ratio > IMBALANCE_WARN_THRESHOLD:
+                # partition() sits on the hot path of every routed batch, so
+                # a persistently skewed workload would otherwise emit one
+                # identical warning per batch.  Warn once per ShardMap (i.e.
+                # once per backend lifetime) and demote repeats to DEBUG.
+                # Concurrent batches race to partition(), hence the lock.
+                with self._warn_lock:
+                    emit = logger.debug if self._imbalance_warned else logger.warning
+                    self._imbalance_warned = True
+                emit(
+                    "shard imbalance %.2fx on a %d-query batch: shard %d holds %d "
+                    "queries (mean %.1f over %d shards); consider load-aware placement",
+                    ratio,
+                    total,
+                    hottest,
+                    count,
+                    mean,
+                    self.n_shards,
+                )
         return parts
 
     def load_report(self, queries: Sequence[Q]) -> List[int]:

@@ -3,14 +3,19 @@ ablation harness."""
 
 import pytest
 
+from repro.core import SGQuery, STGQuery
+from repro.exceptions import QueryError
 from repro.experiments import (
     ExperimentScale,
     ego_size,
     format_ablation,
+    generate_query_workload,
+    load_workload,
     pick_initiator,
     run_figure,
     run_sg_ablation,
     run_stg_ablation,
+    save_workload,
     workload,
 )
 
@@ -47,6 +52,47 @@ class TestWorkloads:
         initiator = pick_initiator(dataset, radius=1, min_candidates=10_000)
         degrees = [dataset.graph.degree(v) for v in dataset.people]
         assert dataset.graph.degree(initiator) == max(degrees)
+
+
+class TestWorkloadSaveReplay:
+    def test_roundtrip_preserves_queries_and_order(self, tmp_path):
+        dataset = workload(network_size=60, schedule_days=1, seed=7)
+        queries = generate_query_workload(dataset, 40, skew=1.0, stg_fraction=0.4, seed=3)
+        path = tmp_path / "trace.jsonl"
+        assert save_workload(queries, path) == 40
+        loaded = load_workload(path)
+        assert loaded == queries  # exact queries, exact order
+        assert any(isinstance(q, STGQuery) for q in loaded)
+        assert any(isinstance(q, SGQuery) for q in loaded)
+
+    def test_trace_is_jsonl_request_schema(self, tmp_path):
+        # The trace must be byte-compatible with the serving request codec:
+        # a saved line can be piped straight into `stgq serve --jsonl`.
+        import json
+
+        from repro.service.codec import query_from_request
+
+        dataset = workload(network_size=60, schedule_days=1, seed=7)
+        queries = generate_query_workload(dataset, 5, seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_workload(queries, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        for line, query in zip(lines, queries):
+            assert query_from_request(json.loads(line)) == query
+
+    def test_blank_lines_skipped_and_errors_carry_line_numbers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"initiator": 1, "group_size": 3}\n\nnot json\n')
+        with pytest.raises(QueryError) as excinfo:
+            load_workload(path)
+        assert ":3:" in str(excinfo.value)
+        path.write_text('{"initiator": 1, "group_size": 3}\n\n{"group_size": 3}\n')
+        with pytest.raises(QueryError) as excinfo:
+            load_workload(path)
+        assert ":3:" in str(excinfo.value)
+        path.write_text('{"initiator": 1, "group_size": 3}\n\n')
+        assert len(load_workload(path)) == 1
 
 
 @pytest.mark.parametrize("figure", ["1a", "1b", "1c", "1e", "1f", "1g", "1h"])

@@ -513,7 +513,7 @@ class TestWorkerFailure:
         # would count queries whose callers only saw ErrorResults.
         harness = worker_pair[0]
 
-        async def explode(queries):
+        async def explode(queries, **kwargs):
             raise RuntimeError("pool died")
 
         original = harness.service.solve_many_async

@@ -96,3 +96,63 @@ class TestShardMap:
     def test_rejects_non_positive_shard_count(self):
         with pytest.raises(QueryError):
             ShardMap(0)
+
+
+class TestImbalanceWarning:
+    @staticmethod
+    def _skewed_batch(shard_map, n_queries):
+        """Every query routed to one shard: maximal imbalance."""
+        hot = next(
+            v for v in range(1000) if shard_map.shard_of(v) == 0
+        )
+        return [
+            SGQuery(initiator=hot, group_size=3, radius=1, acquaintance=1)
+            for _ in range(n_queries)
+        ]
+
+    def test_skewed_batch_logs_warning(self, caplog):
+        shard_map = ShardMap(4)
+        batch = self._skewed_batch(shard_map, 16)
+        assert shard_map.imbalance(batch) > 1.5
+        with caplog.at_level("WARNING", logger="repro.service.sharding"):
+            shard_map.partition(batch)
+        assert any("shard imbalance" in record.message for record in caplog.records)
+        record = next(r for r in caplog.records if "shard imbalance" in r.message)
+        assert "4.00x" in record.getMessage()
+
+    def test_balanced_batch_logs_nothing(self, caplog):
+        shard_map = ShardMap(2)
+        initiators = [v for v in range(100) if shard_map.shard_of(v) == 0][:8]
+        initiators += [v for v in range(100) if shard_map.shard_of(v) == 1][:8]
+        batch = [
+            SGQuery(initiator=v, group_size=3, radius=1, acquaintance=1) for v in initiators
+        ]
+        with caplog.at_level("WARNING", logger="repro.service.sharding"):
+            shard_map.partition(batch)
+        assert not caplog.records
+
+    def test_warning_fires_once_per_map(self, caplog):
+        # partition() runs on every routed batch; a persistently skewed
+        # stream must not emit one warning per batch.  Repeats demote to
+        # DEBUG so the signal stays available without flooding the logs.
+        shard_map = ShardMap(4)
+        batch = self._skewed_batch(shard_map, 16)
+        with caplog.at_level("DEBUG", logger="repro.service.sharding"):
+            for _ in range(3):
+                shard_map.partition(batch)
+        imbalance = [r for r in caplog.records if "shard imbalance" in r.message]
+        assert [r.levelname for r in imbalance] == ["WARNING", "DEBUG", "DEBUG"]
+        # A fresh map (new backend) gets its own one-shot warning.
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.service.sharding"):
+            ShardMap(4).partition(batch)
+        assert any(r.levelname == "WARNING" for r in caplog.records)
+
+    def test_tiny_batches_never_warn(self, caplog):
+        # A single query on a 4-shard map is trivially "4x imbalanced";
+        # warning on it would make every solve() call noisy.
+        shard_map = ShardMap(4)
+        batch = self._skewed_batch(shard_map, 7)  # below 2 * n_shards
+        with caplog.at_level("WARNING", logger="repro.service.sharding"):
+            shard_map.partition(batch)
+        assert not caplog.records

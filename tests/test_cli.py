@@ -198,3 +198,60 @@ class TestCommands:
     def test_serve_backend_choices_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--backend", "gpu"])
+
+
+class TestStatsCommand:
+    def test_stats_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["stats", "--connect", "127.0.0.1:9001,127.0.0.1:9002"])
+        assert args.command == "stats"
+        assert args.connect == "127.0.0.1:9001,127.0.0.1:9002"
+        assert args.timeout == 5.0
+        assert not args.json
+
+    def test_stats_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])
+
+    def test_stats_bad_address_is_usage_error(self, capsys):
+        code = main(["stats", "--connect", "no-port"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error" in captured.err
+
+    def test_stats_against_live_worker(self, capsys):
+        from repro.core import SGQuery
+        from repro.experiments.workloads import workload
+
+        from .service.test_net import WorkerHarness
+
+        dataset = workload(network_size=60, schedule_days=1, seed=7)
+        harness = WorkerHarness(dataset).start()
+        try:
+            harness.service.solve(
+                SGQuery(initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1)
+            )
+            code = main(["stats", "--connect", harness.address])
+            captured = capsys.readouterr()
+            assert code == 0
+            assert f"worker {harness.address}" in captured.out
+            assert "queries:      1" in captured.out
+            assert "cache:" in captured.out
+
+            json_code = main(["stats", "--connect", harness.address, "--json"])
+            json_out = capsys.readouterr().out
+        finally:
+            harness.stop()
+        import json
+
+        assert json_code == 0
+        payload = json.loads(json_out)
+        assert payload["worker"] == harness.address
+        assert payload["stats"]["queries"] == 1
+        assert payload["cache"]["misses"] == 1
+
+    def test_stats_unreachable_worker_exits_nonzero(self, capsys):
+        code = main(["stats", "--connect", "127.0.0.1:1", "--timeout", "0.2"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "UNREACHABLE" in captured.err
