@@ -38,8 +38,11 @@ Run directly (it is a script, not a pytest-benchmark module)::
         --backend process --workers 4 --no-kernel-sweep --quick
 
 The script exits non-zero when the p >= 6 aggregate speedup falls below the
-3x acceptance floor (kernel sweep enabled), so CI catches kernel regressions
-loudly.
+3x acceptance floor, or when the numpy kernel's solve throughput on the
+solver-bound STGQ batch falls below ``NUMPY_KERNEL_FLOOR`` times the
+compiled kernel's (kernel sweep enabled and numpy installed), so CI catches
+kernel regressions loudly.  ``--kernels-json PATH`` writes that kernel
+comparison on its own (the ``BENCH_kernels.json`` artifact).
 """
 
 from __future__ import annotations
@@ -61,10 +64,14 @@ from repro.experiments.workloads import (
     pick_initiator,
     workload,
 )
+from repro.graph.packed import numpy_kernel_available
 from repro.service import QueryService, RemoteBackend, ShardMap
 from repro.service.net import start_local_workers
 
 SPEEDUP_FLOOR = 3.0
+#: Acceptance floor for the vectorized kernel: solve throughput on the
+#: solver-bound radius-2 STGQ batch, numpy vs compiled, single thread.
+NUMPY_KERNEL_FLOOR = 1.3
 FIG1A = dict(radius=1, acquaintance=2, group_sizes=(3, 4, 5, 6, 7))
 HEAVY = dict(radius=2, acquaintance=2, group_sizes=(5, 6, 7))
 #: Dataset shape shared by the gateway AND any spawned remote workers —
@@ -92,38 +99,97 @@ def kernel_sweep(
     group_sizes,
     repeats: int,
 ) -> Tuple[float, float]:
-    """Run one SGQ sweep on both kernels; return aggregate times (ref, compiled)."""
-    ref_solver = SGSelect(dataset.graph, SearchParameters(kernel="reference"))
-    comp_solver = SGSelect(dataset.graph, SearchParameters(kernel="compiled"))
+    """Run one SGQ sweep on every kernel; return aggregate tail times (ref, compiled).
+
+    The numpy column joins automatically when the interpreter has
+    numpy >= 2.0 (otherwise the sweep is the historical two-kernel table).
+    """
+    kernels = ["reference", "compiled"] + (["numpy"] if numpy_kernel_available() else [])
+    solvers = {
+        kernel: SGSelect(dataset.graph, SearchParameters(kernel=kernel)) for kernel in kernels
+    }
     print(
         f"\n== {name}: s={radius}, k={acquaintance}, "
         f"ego={ego_size(dataset, initiator, radius)} candidates =="
     )
-    print(f"{'p':>3} {'reference':>12} {'compiled':>12} {'speedup':>8}")
-    total_ref = total_comp = 0.0
-    tail_ref = tail_comp = 0.0
+    header = f"{'p':>3}" + "".join(f" {kernel:>12}" for kernel in kernels)
+    header += f" {'comp-speedup':>13}"
+    if "numpy" in kernels:
+        header += f" {'np-vs-comp':>11}"
+    print(header)
+    totals = {kernel: 0.0 for kernel in kernels}
+    tails = {kernel: 0.0 for kernel in kernels}
     for p in group_sizes:
         query = SGQuery(
             initiator=initiator, group_size=p, radius=radius, acquaintance=acquaintance
         )
-        t_ref, r_ref = _time_solve(ref_solver, query, repeats)
-        t_comp, r_comp = _time_solve(comp_solver, query, repeats)
-        assert r_ref.members == r_comp.members, f"kernel mismatch at p={p}"
-        assert r_ref.total_distance == r_comp.total_distance
-        total_ref += t_ref
-        total_comp += t_comp
-        if p >= 6:
-            tail_ref += t_ref
-            tail_comp += t_comp
-        print(
-            f"{p:>3} {t_ref * 1000:>10.2f}ms {t_comp * 1000:>10.2f}ms "
-            f"{t_ref / t_comp:>7.1f}x"
-        )
+        times = {}
+        results = {}
+        for kernel in kernels:
+            times[kernel], results[kernel] = _time_solve(solvers[kernel], query, repeats)
+            totals[kernel] += times[kernel]
+            if p >= 6:
+                tails[kernel] += times[kernel]
+        reference = results["reference"]
+        for kernel in kernels[1:]:
+            assert results[kernel].members == reference.members, f"kernel mismatch at p={p}"
+            assert results[kernel].total_distance == reference.total_distance
+        row = f"{p:>3}" + "".join(f" {times[kernel] * 1000:>10.2f}ms" for kernel in kernels)
+        row += f" {times['reference'] / times['compiled']:>12.1f}x"
+        if "numpy" in kernels:
+            row += f" {times['compiled'] / times['numpy']:>10.2f}x"
+        print(row)
     print(
-        f"sweep aggregate: {total_ref * 1000:.1f}ms -> {total_comp * 1000:.1f}ms "
-        f"({total_ref / total_comp:.1f}x)"
+        "sweep aggregate: "
+        + " -> ".join(f"{totals[kernel] * 1000:.1f}ms ({kernel})" for kernel in kernels)
     )
-    return tail_ref, tail_comp
+    return tails["reference"], tails["compiled"]
+
+
+def kernel_throughput(dataset, stgq_batch, quick: bool) -> Dict[str, object]:
+    """Single-thread solve throughput of the compiled and numpy kernels.
+
+    Runs the solver-bound radius-2 STGQ batch through a serial-backend
+    service once per kernel (warm ego-network cache, best of several
+    passes), i.e. a pure kernel comparison with no executor in the way —
+    the measurement behind the ``BENCH_kernels.json`` artifact and the
+    numpy-vs-compiled acceptance gate (``NUMPY_KERNEL_FLOOR``).
+    """
+    passes = 3 if quick else 4
+    measured: Dict[str, object] = {
+        "queries": len(stgq_batch),
+        "passes": passes,
+        "numpy_available": numpy_kernel_available(),
+        "floor": NUMPY_KERNEL_FLOOR,
+    }
+    kernels = ["compiled"] + (["numpy"] if numpy_kernel_available() else [])
+    print("\n== kernel throughput: solver-bound radius-2 STGQ batch (serial backend) ==")
+    for kernel in kernels:
+        with QueryService(
+            dataset.graph,
+            dataset.calendars,
+            parameters=SearchParameters(kernel=kernel),
+            backend="serial",
+        ) as service:
+            service.solve_many(stgq_batch)  # warm the ego-network cache
+            best = float("inf")
+            for _ in range(passes):
+                start = time.perf_counter()
+                service.solve_many(stgq_batch)
+                best = min(best, time.perf_counter() - start)
+        qps = len(stgq_batch) / best
+        measured[kernel] = {"wall_s": round(best, 4), "qps": round(qps, 1)}
+        print(f"{kernel:>9}: {best:.3f}s  {qps:.1f} q/s")
+    if "numpy" in kernels:
+        ratio = measured["numpy"]["qps"] / measured["compiled"]["qps"]
+        measured["numpy_vs_compiled"] = round(ratio, 3)
+        print(
+            f"numpy vs compiled: {ratio:.2f}x (floor {NUMPY_KERNEL_FLOOR:.1f}x, "
+            "single-thread)"
+        )
+    else:
+        print("numpy >= 2.0 not installed; kernel gate not applicable")
+    return measured
 
 
 def build_batches(dataset, quick: bool, seed: int, skew: Optional[float] = None) -> Dict[str, List]:
@@ -276,6 +342,13 @@ def main(argv=None) -> int:
         "--json", metavar="PATH", default=None, help="write results as JSON to PATH"
     )
     parser.add_argument(
+        "--kernels-json",
+        metavar="PATH",
+        default=None,
+        help="write the kernel-throughput comparison (compiled vs numpy on "
+        "the solver-bound STGQ batch) as JSON to PATH (BENCH_kernels.json)",
+    )
+    parser.add_argument(
         "--kernel-sweep",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -354,6 +427,44 @@ def main(argv=None) -> int:
         report["replay"] = {"path": args.replay, "queries": len(trace)}
     else:
         batches = build_batches(dataset, args.quick, args.seed, skew=args.skew)
+
+    if args.kernels_json:
+        # The kernel-comparison artifact is an acceptance gate: asking for
+        # it in a configuration that cannot produce the numpy-vs-compiled
+        # ratio must fail loudly, not silently skip the gate.
+        if not args.kernel_sweep or "stgq" not in batches:
+            print(
+                "FAIL: --kernels-json needs the kernel sweep and the synthetic "
+                "stgq batch (do not combine with --no-kernel-sweep or --replay)",
+                file=sys.stderr,
+            )
+            return 1
+        if not numpy_kernel_available():
+            print(
+                "FAIL: --kernels-json requires numpy >= 2.0 (the [speed] extra) "
+                "to measure the vectorized kernel",
+                file=sys.stderr,
+            )
+            return 1
+
+    kernels_report = None
+    if args.kernel_sweep and "stgq" in batches:
+        kernels_report = kernel_throughput(dataset, batches["stgq"], args.quick)
+        report["kernels"] = kernels_report
+        if args.kernels_json:
+            payload = {
+                "seed": args.seed,
+                "quick": args.quick,
+                "cpu_count": os.cpu_count(),
+                "python": sys.version.split()[0],
+                "dataset_people": DATASET_PEOPLE,
+                **kernels_report,
+            }
+            with open(args.kernels_json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.kernels_json}")
+
     report["serial_cold"] = serial_cold(dataset, batches)
 
     cluster = None
@@ -448,6 +559,15 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if kernels_report is not None and "numpy_vs_compiled" in kernels_report:
+        ratio = kernels_report["numpy_vs_compiled"]
+        if ratio < NUMPY_KERNEL_FLOOR:
+            print(
+                f"FAIL: numpy kernel at {ratio:.2f}x compiled throughput, "
+                f"below the {NUMPY_KERNEL_FLOOR:.1f}x floor",
+                file=sys.stderr,
+            )
+            return 1
     print("\nOK")
     return 0
 

@@ -52,7 +52,7 @@ import time
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .core.planner import ActivityPlanner
-from .core.query import SearchParameters, SGQuery, STGQuery
+from .core.query import VALID_KERNELS, SearchParameters, SGQuery, STGQuery
 from .datasets.realistic import generate_real_dataset
 from .exceptions import QueryError, ReproError
 from .experiments.ablation import format_ablation, run_sg_ablation, run_stg_ablation
@@ -177,9 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--kernel",
-            choices=["compiled", "reference"],
+            choices=list(VALID_KERNELS),
             default="compiled",
-            help="branch-and-bound kernel (default compiled)",
+            help="branch-and-bound kernel (default compiled; 'numpy' needs "
+            "the [speed] extra and falls back to compiled without it)",
         )
 
     def add_traffic_arguments(sub: argparse.ArgumentParser) -> None:

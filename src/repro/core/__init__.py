@@ -24,7 +24,7 @@ from .ordering import (
 from .pcarrange import PCArrange, pc_arrange
 from .planner import ActivityPlanner
 from .pruning import acquaintance_pruning, availability_pruning, distance_pruning
-from .query import SGQuery, STGQuery, SearchParameters
+from .query import VALID_KERNELS, SGQuery, STGQuery, SearchParameters
 from .result import GroupResult, STGroupResult, SearchStats
 from .sgselect import SGSelect, sg_select
 from .stgarrange import STGArrange, STGArrangeOutcome
@@ -34,6 +34,7 @@ __all__ = [
     "SGQuery",
     "STGQuery",
     "SearchParameters",
+    "VALID_KERNELS",
     "GroupResult",
     "STGroupResult",
     "SearchStats",

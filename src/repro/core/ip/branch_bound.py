@@ -16,7 +16,10 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
+try:  # numpy arrives with scipy; both are optional for the MILP comparison.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from ...exceptions import SolverError
 from .model import MILPModel
@@ -112,6 +115,8 @@ def solve_with_branch_bound(
         :class:`SolverError` rather than silently returning a possibly
         sub-optimal answer.
     """
+    if np is None:
+        raise SolverError("numpy (via scipy) is required for the branch-bound MILP backend")
     n = model.num_vars
     if n == 0:
         return MILPSolution(status="optimal", objective=0.0, values=[], message="empty model")

@@ -12,7 +12,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-import numpy as np
+try:  # numpy arrives with scipy; both are optional for the MILP comparison.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from ...exceptions import SolverError
 from .model import MILPModel

@@ -13,6 +13,11 @@ from __future__ import annotations
 import math
 from typing import Iterable, Mapping, Optional, Sequence
 
+try:  # numpy is optional (the [speed] extra); the packed helpers need it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
 from ..temporal.pivot import PivotWindow
@@ -25,6 +30,8 @@ __all__ = [
     "distance_pruning_bitset",
     "acquaintance_pruning_bitset",
     "availability_pruning_bitset",
+    "acquaintance_pruning_packed",
+    "availability_pruning_packed",
 ]
 
 
@@ -172,6 +179,76 @@ def acquaintance_pruning_bitset(
         mask ^= low
     upper_bound = total_inner - not_chosen * (min_inner or 0)
     return upper_bound < required
+
+
+def acquaintance_pruning_packed(
+    remaining_counts: "np.ndarray",
+    remaining_indicator: "np.ndarray",
+    remaining_count: int,
+    members_count: int,
+    group_size: int,
+    acquaintance: int,
+) -> bool:
+    """Packed counterpart of :func:`acquaintance_pruning_bitset` (Lemma 3).
+
+    ``remaining_counts[i]`` must hold ``|VA ∩ N_i|`` for every id (one
+    whole-pool ``bitwise_count`` reduction) and ``remaining_indicator`` the
+    boolean membership of VA, so the per-candidate inner-degree loop of the
+    bitset version becomes a vectorized sum/min over the selected entries.
+    """
+    needed = group_size - members_count
+    if needed <= 0:
+        return False
+    required = needed * (needed - 1 - acquaintance)
+    if required <= 0 or not remaining_count:
+        return False
+    not_chosen = remaining_count - needed
+    if not_chosen < 0:
+        return False
+    inner = remaining_counts[remaining_indicator]
+    upper_bound = int(inner.sum()) - not_chosen * int(inner.min())
+    return upper_bound < required
+
+
+def availability_pruning_packed(
+    busy_rows: "np.ndarray",
+    remaining_row: "np.ndarray",
+    remaining_count: int,
+    members_count: int,
+    group_size: int,
+    window: PivotWindow,
+) -> bool:
+    """Packed counterpart of :func:`availability_pruning_bitset` (Lemma 5).
+
+    ``busy_rows[j]`` must be the packed busy mask of slot
+    ``window.window.start + j``; the per-slot unavailable counts for the
+    whole window come out of one matrix ``bitwise_count`` reduction, and
+    only the (at most ``2m - 2``-step) boundary scan stays in Python.
+    """
+    needed = group_size - members_count
+    if needed <= 0:
+        return False
+    if remaining_count < needed:
+        return False
+    threshold = remaining_count - needed + 1
+    counts = np.bitwise_count(busy_rows & remaining_row).sum(axis=1)
+    start = window.window.start
+    pivot = window.pivot
+    m = window.activity_length
+
+    t_minus = start - 1
+    for slot in range(pivot - 1, start - 1, -1):
+        if counts[slot - start] >= threshold:
+            t_minus = slot
+            break
+
+    t_plus = window.window.end + 1
+    for slot in range(pivot + 1, window.window.end + 1):
+        if counts[slot - start] >= threshold:
+            t_plus = slot
+            break
+
+    return t_plus - t_minus <= m
 
 
 def availability_pruning_bitset(

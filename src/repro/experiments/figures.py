@@ -23,6 +23,13 @@ from typing import Callable, Dict
 
 from ..core.baseline import BaselineSGQ, BaselineSTGQ
 from ..core.ip.solver import IPSolver
+
+try:  # scipy (and its numpy) is optional; without it the IP column is omitted.
+    import scipy  # noqa: F401
+
+    _HAVE_MILP_BACKEND = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _HAVE_MILP_BACKEND = False
 from ..core.query import SGQuery, STGQuery
 from ..core.sgselect import SGSelect
 from ..core.stgarrange import STGArrange
@@ -77,7 +84,10 @@ def _sg_algorithms(
         algorithms["Baseline"] = lambda: BaselineSGQ(dataset.graph).solve(
             query, max_groups=config.baseline_cap
         )
-    if config.include_ip:
+    if config.include_ip and _HAVE_MILP_BACKEND:
+        # Without scipy the IP comparison column is omitted up front; a
+        # SolverError from an *installed* backend still fails the run
+        # loudly (non-convergence must never be recorded as a skip).
         algorithms["IP"] = lambda: IPSolver().solve_sgq(dataset.graph, query)
     return algorithms
 

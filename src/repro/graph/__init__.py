@@ -3,6 +3,7 @@ generators, metrics, and k-plex utilities."""
 
 from .compiled import CompiledFeasibleGraph, compile_feasible_graph
 from .distance import bounded_distance_table, bounded_distances, bounded_shortest_path, hop_counts
+from .packed import PackedAdjacency, numpy_kernel_available, pack_adjacency
 from .extraction import FeasibleGraph, extract_feasible_graph
 from .generators import (
     coauthorship_style_network,
@@ -32,6 +33,9 @@ __all__ = [
     "extract_feasible_graph",
     "CompiledFeasibleGraph",
     "compile_feasible_graph",
+    "PackedAdjacency",
+    "pack_adjacency",
+    "numpy_kernel_available",
     "bounded_distances",
     "bounded_distance_table",
     "bounded_shortest_path",

@@ -104,6 +104,19 @@ class ExecutorBackend(Protocol):
         backend uses the service's own in-process cache."""
         ...
 
+    def clear_caches(self, service: "QueryService") -> None:
+        """Drop every ego-network cache this backend answers from.
+
+        Called by :meth:`QueryService.clear_cache` *after* the service has
+        cleared its own front-end cache.  Backends whose workers hold
+        private caches (``process``, ``remote``) must reach them here —
+        otherwise a post-change service keeps serving pre-change ego
+        networks from exactly the backends production uses.  In-process
+        backends, which answer from the service's own cache, have nothing
+        further to clear.
+        """
+        ...
+
     def close(self) -> None:
         """Release pools and worker processes (no-op for stateless backends)."""
         ...
@@ -127,6 +140,9 @@ class SerialBackend:
 
     def cache_entries(self) -> Optional[int]:
         return None
+
+    def clear_caches(self, service: "QueryService") -> None:
+        pass  # answers from the service's own cache, already cleared
 
     def close(self) -> None:
         pass
@@ -170,6 +186,9 @@ class ThreadBackend:
     def cache_entries(self) -> Optional[int]:
         return None
 
+    def clear_caches(self, service: "QueryService") -> None:
+        pass  # answers from the service's own cache, already cleared
+
     def close(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
@@ -201,6 +220,24 @@ def _init_worker(graph, calendars, parameters, cache_size: int) -> None:
         cache_size=cache_size,
         backend="serial",
     )
+
+
+def _worker_reload(graph, calendars) -> None:
+    """Refresh this worker's graph snapshot and drop its ego-network cache.
+
+    The broadcast target of :meth:`ProcessBackend.clear_caches`: each worker
+    process holds a *copy* of the graph shipped at pool start, so merely
+    clearing its LRU would re-extract the same pre-change topology.  The
+    parent ships its current graph/calendars along with the clear, making
+    ``QueryService.clear_cache()`` a true "the graph changed" invalidation
+    on the process backend.
+    """
+    service = _WORKER_SERVICE
+    if service is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("process-pool worker used before initialisation")
+    service.graph = graph
+    service.calendars = calendars
+    service.clear_cache()
 
 
 def _worker_solve_batch(
@@ -341,6 +378,25 @@ class ProcessBackend:
 
     def cache_entries(self) -> Optional[int]:
         return sum(self._cache_sizes.values())
+
+    def clear_caches(self, service: "QueryService") -> None:
+        """Broadcast a cache clear + graph refresh to every pool worker.
+
+        Ships the service's *current* graph and calendars with the clear
+        (each worker owns a stale copy from pool start) and waits for every
+        worker to acknowledge before returning, so a subsequent batch can
+        never race a half-cleared fleet.  A backend whose pools have not
+        started yet has no worker caches to clear.
+        """
+        with self._lock:
+            pools = self._pools
+            if pools is None:
+                return
+            self._cache_sizes = {}
+        graph, calendars = service.graph, service.calendars
+        futures = [pool.submit(_worker_reload, graph, calendars) for pool in pools]
+        for future in futures:
+            future.result()
 
     def close(self) -> None:
         with self._lock:

@@ -197,6 +197,17 @@ class _WorkerLink:
                 )
             return reply
 
+    def reset_backoff(self) -> None:
+        """Forget the fail-fast window so the next request truly attempts.
+
+        Batch traffic wants the backoff (bounded latency while a worker is
+        down); must-attempt operations like a cache invalidation do not — a
+        worker that already recovered must not be skipped just because its
+        last failure was recent.  A failing attempt re-opens the window.
+        """
+        with self._lock:
+            self._retry_at = 0.0
+
     def close(self) -> None:
         with self._lock:
             self._drop_locked()
@@ -375,6 +386,41 @@ class RemoteBackend:
             with self._pool_lock:
                 self._cache_sizes = {**self._cache_sizes, **cache_updates}
         return results  # type: ignore[return-value]
+
+    def _clear_one(self, shard: int) -> Optional[str]:
+        """Clear one worker's cache; return an error description or ``None``."""
+        link = self._links[shard]
+        # Invalidation must actually try every worker: a link parked in its
+        # reconnect-backoff window may front a worker that is healthy again.
+        link.reset_backoff()
+        try:
+            reply = link.request({"type": "cache_clear", "id": shard})
+        except WorkerUnavailableError as exc:
+            return str(exc)
+        if reply.get("type") != "cache_cleared":
+            return f"worker {link.label} answered cache_clear with {reply.get('type')!r}"
+        return None
+
+    def clear_caches(self, service: "QueryService") -> None:
+        """Send a ``cache_clear`` control frame to every worker, concurrently.
+
+        Cache invalidation is a correctness operation — a worker that kept
+        its ego-network cache would keep serving pre-change graphs — so
+        unlike batch traffic this does *not* degrade silently: every worker
+        is attempted, and if any could not be cleared a
+        :class:`~repro.exceptions.WorkerUnavailableError` naming them is
+        raised (the caller knows the invalidation is incomplete and can
+        retry once the workers are back).  The frames fan out over the same
+        thread pool batches use, so the wall clock is bounded by the
+        slowest worker, not the sum over a partitioned fleet.
+        """
+        pool = self._ensure_pool()
+        futures = [pool.submit(self._clear_one, shard) for shard in range(self.workers)]
+        failures = [error for error in (future.result() for future in futures) if error]
+        with self._pool_lock:
+            self._cache_sizes = {}
+        if failures:
+            raise WorkerUnavailableError("cache clear incomplete: " + "; ".join(failures))
 
     def worker_stats(self) -> List[Optional[Dict]]:
         """Per-worker ``stats`` control-frame snapshots (``None`` when down)."""

@@ -136,6 +136,25 @@ class WorkerServer:
             return reply, True
         if ftype == "ping":
             return {"type": "pong", "id": frame.get("id")}, True
+        if ftype == "cache_clear":
+            # Gateway-initiated invalidation (QueryService.clear_cache on a
+            # remote backend): drop every cached ego network, including any
+            # held by this worker's own executor backend.  Runs off-loop —
+            # a process-backend clear blocks on its pool workers, and the
+            # event loop must keep serving other connections' frames
+            # meanwhile.  A failed clear is answered in-band so the
+            # gateway can report the incomplete invalidation.
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(None, self.service.clear_cache)
+            except Exception as exc:
+                reply = {
+                    "type": "error",
+                    "error": f"cache clear failed: {exc}",
+                    "id": frame.get("id"),
+                }
+                return reply, True
+            return {"type": "cache_cleared", "id": frame.get("id")}, True
         if ftype == "stats":
             info = self.service.cache_info()
             reply = {

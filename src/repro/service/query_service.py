@@ -25,6 +25,7 @@ from ..core.stgselect import STGSelect
 from ..exceptions import QueryError, VertexNotFoundError
 from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
 from ..graph.extraction import FeasibleGraph, extract_feasible_graph
+from ..graph.packed import PackedAdjacency, pack_adjacency
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
 from ..types import Vertex
@@ -38,8 +39,12 @@ Result = Union[GroupResult, STGroupResult]
 
 #: Cache key: one entry per (initiator, radius) ego network.
 CacheKey = Tuple[Vertex, int]
-#: Cache value: the extracted feasible graph and its compiled bitset form.
-CacheEntry = Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]
+#: Cache value: the extracted feasible graph plus the derived forms the
+#: configured kernel runs on (compiled bitset graph, packed uint64 matrix).
+#: Caching the derived forms next to the extraction is what lets every
+#: query of every batch over one ego network share a single compilation
+#: and a single packing.
+CacheEntry = Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph], Optional[PackedAdjacency]]
 
 
 @dataclass(frozen=True)
@@ -133,6 +138,7 @@ class QueryService:
         self.cache_size = cache_size
         self._cache: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        self._cache_generation = 0
         self._pending_builds: Dict[CacheKey, threading.Event] = {}
         self._stats_lock = threading.Lock()
         self._stats = ServiceStats()
@@ -152,10 +158,8 @@ class QueryService:
     # ------------------------------------------------------------------
     # feasible-graph cache
     # ------------------------------------------------------------------
-    def _lookup(
-        self, initiator: Vertex, radius: int, context: ExecutionContext
-    ) -> Tuple[FeasibleGraph, Optional[CompiledFeasibleGraph]]:
-        """Return the (feasible, compiled) pair for an ego network, caching it.
+    def _lookup(self, initiator: Vertex, radius: int, context: ExecutionContext) -> CacheEntry:
+        """Return the (feasible, compiled, packed) entry for an ego network.
 
         The hit/miss is counted into ``context`` (the batch's scope, not the
         service globals).  Concurrent misses on the same key are
@@ -163,6 +167,13 @@ class QueryService:
         event and then count a hit — so the hit/miss totals are independent
         of how batches interleave, which is what keeps ``cache_info()``
         backend-invariant now that batches run concurrently.
+
+        Builds are generation-stamped against :meth:`clear_cache`: a build
+        that was in flight when the cache was cleared still returns its
+        result to its own caller (computed from the graph at call time) but
+        must not re-insert the now-stale entry, so insertion is skipped
+        unless the generation still matches the one the build started
+        under.
         """
         key = (initiator, radius)
         while True:
@@ -172,9 +183,10 @@ class QueryService:
                 if entry is not None:
                     self._cache.move_to_end(key)
                 else:
+                    generation = self._cache_generation
                     pending = self._pending_builds.get(key)
                     if pending is None:
-                        self._pending_builds[key] = threading.Event()
+                        event = self._pending_builds[key] = threading.Event()
                     else:
                         wait_for = pending
             if entry is not None:
@@ -189,23 +201,26 @@ class QueryService:
         context.record_cache(hit=False)
         try:
             # Build outside the locks: extraction can be expensive.
+            kernel = self.parameters.kernel
             feasible = extract_feasible_graph(self.graph, initiator, radius)
-            compiled = (
-                compile_feasible_graph(feasible) if self.parameters.kernel == "compiled" else None
-            )
+            compiled = compile_feasible_graph(feasible) if kernel != "reference" else None
+            packed = pack_adjacency(compiled) if kernel == "numpy" else None
             with self._cache_lock:
-                self._cache[key] = (feasible, compiled)
-                self._cache.move_to_end(key)
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+                if self._cache_generation == generation:
+                    self._cache[key] = (feasible, compiled, packed)
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
         finally:
             # Always release waiters, even when the build raised (they will
-            # retry and surface their own error).
+            # retry and surface their own error).  Only pop the event if it
+            # is still ours — a concurrent clear/rebuild cycle may have
+            # installed a successor builder's event under the same key.
             with self._cache_lock:
-                event = self._pending_builds.pop(key, None)
-            if event is not None:
-                event.set()
-        return feasible, compiled
+                if self._pending_builds.get(key) is event:
+                    del self._pending_builds[key]
+            event.set()
+        return feasible, compiled, packed
 
     def cache_info(self) -> CacheInfo:
         """Snapshot of cache effectiveness (aggregated across process workers)."""
@@ -219,9 +234,29 @@ class QueryService:
         return CacheInfo(hits=hits, misses=misses, size=size, max_size=self.cache_size)
 
     def clear_cache(self) -> None:
-        """Drop every cached ego network (e.g. after the graph changed)."""
+        """Drop every cached ego network (e.g. after the graph changed).
+
+        Reaches *every* cache the service's backend answers from, not just
+        the front-end one: the ``process`` backend broadcasts the clear to
+        its pool workers (re-shipping the current graph/calendars, so a
+        mutated graph is actually reloaded), and the ``remote`` backend
+        sends a ``cache_clear`` control frame to every TCP worker.  The
+        generation bump invalidates builds still in flight: a build that
+        started before the clear completes normally for its caller but no
+        longer inserts its (pre-clear) entry.
+
+        Raises
+        ------
+        WorkerUnavailableError
+            On the ``remote`` backend, when a worker cannot be reached —
+            the invalidation would be incomplete, which the caller must
+            know about (a worker that kept its cache would keep serving
+            pre-change ego networks).
+        """
         with self._cache_lock:
+            self._cache_generation += 1
             self._cache.clear()
+        self._backend.clear_caches(self)
 
     # ------------------------------------------------------------------
     # solving
@@ -261,14 +296,22 @@ class QueryService:
         result's service counters are all recorded into ``context``.
         """
         is_stg = isinstance(query, STGQuery)
-        feasible, compiled = self._lookup(query.initiator, query.radius, context)
+        feasible, compiled, packed = self._lookup(query.initiator, query.radius, context)
         if is_stg:
             result: Result = STGSelect(self.graph, self.calendars, self.parameters).solve(
-                query, feasible_graph=feasible, compiled_graph=compiled, context=context
+                query,
+                feasible_graph=feasible,
+                compiled_graph=compiled,
+                packed_graph=packed,
+                context=context,
             )
         else:
             result = SGSelect(self.graph, self.parameters).solve(
-                query, feasible_graph=feasible, compiled_graph=compiled, context=context
+                query,
+                feasible_graph=feasible,
+                compiled_graph=compiled,
+                packed_graph=packed,
+                context=context,
             )
         context.record_result(result, is_stg)
         return result

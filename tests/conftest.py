@@ -17,6 +17,17 @@ from repro.datasets import load_movie_network, load_toy_example
 from repro.graph import SocialGraph
 from repro.temporal import CalendarStore, Schedule
 
+try:  # scipy (and the numpy it brings) is optional: the MILP comparison
+    import scipy  # noqa: F401
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    HAVE_SCIPY = False
+
+#: Marker for tests that exercise the scipy/numpy-backed IP solvers; the
+#: no-numpy CI leg runs the suite without scipy and these must skip cleanly.
+requires_scipy = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+
 
 @pytest.fixture
 def toy_dataset():

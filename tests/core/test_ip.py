@@ -4,6 +4,10 @@ import math
 
 import pytest
 
+pytest.importorskip(
+    "scipy", reason="the MILP backends need scipy (and numpy)", exc_type=ImportError
+)
+
 from tests.conftest import make_random_graph
 
 from repro.core import IPSolver, SGQuery, STGQuery, SGSelect, STGSelect, solve_sgq_ip, solve_stgq_ip

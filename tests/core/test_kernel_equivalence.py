@@ -1,6 +1,8 @@
-"""Equivalence of the compiled bitset kernel and the reference Python kernel.
+"""Equivalence of every selectable kernel against the reference kernel.
 
-Both kernels are required to visit the identical search tree, so the
+All kernels (``reference`` — the executable specification, ``compiled`` —
+int bitmasks, ``numpy`` — packed uint64 vectorization, when numpy is
+available) are required to visit the identical search tree, so the
 assertions here are strict: same feasibility, same members, same total
 distance (exact float equality — the distance sums accumulate in the same
 order), same temporal fields for STGQ, and the same search statistics.
@@ -15,9 +17,15 @@ from hypothesis import strategies as st
 from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery, STGSelect
 from repro.graph import SocialGraph, compile_feasible_graph, extract_feasible_graph
 from repro.graph.compiled import iter_bits, lowest_bit_index
+from repro.graph.packed import numpy_kernel_available
 from repro.temporal import CalendarStore, Schedule
 
 from ..conftest import make_random_calendars, make_random_graph
+
+#: Every kernel exercised by the equivalence assertions; ``numpy`` joins
+#: when the interpreter has numpy >= 2.0 (without it the fallback path is
+#: covered by tests/core/test_query.py instead).
+KERNELS = ("reference", "compiled") + (("numpy",) if numpy_kernel_available() else ())
 
 
 def _params(kernel, **kwargs):
@@ -31,30 +39,36 @@ def _strip(stats):
 
 
 def assert_sg_equivalent(graph, query, allowed_candidates=None, **param_kwargs):
-    ref = SGSelect(graph, _params("reference", **param_kwargs)).solve(
-        query, allowed_candidates=allowed_candidates
-    )
-    comp = SGSelect(graph, _params("compiled", **param_kwargs)).solve(
-        query, allowed_candidates=allowed_candidates
-    )
-    assert comp.feasible == ref.feasible
-    assert comp.members == ref.members
-    assert comp.total_distance == ref.total_distance
-    assert _strip(comp.stats) == _strip(ref.stats)
-    return ref, comp
+    results = {
+        kernel: SGSelect(graph, _params(kernel, **param_kwargs)).solve(
+            query, allowed_candidates=allowed_candidates
+        )
+        for kernel in KERNELS
+    }
+    ref = results["reference"]
+    for kernel, result in results.items():
+        assert result.feasible == ref.feasible, kernel
+        assert result.members == ref.members, kernel
+        assert result.total_distance == ref.total_distance, kernel
+        assert _strip(result.stats) == _strip(ref.stats), kernel
+    return ref, results["compiled"]
 
 
 def assert_stg_equivalent(graph, calendars, query, **param_kwargs):
-    ref = STGSelect(graph, calendars, _params("reference", **param_kwargs)).solve(query)
-    comp = STGSelect(graph, calendars, _params("compiled", **param_kwargs)).solve(query)
-    assert comp.feasible == ref.feasible
-    assert comp.members == ref.members
-    assert comp.total_distance == ref.total_distance
-    assert comp.period == ref.period
-    assert comp.pivot == ref.pivot
-    assert comp.shared_slots == ref.shared_slots
-    assert _strip(comp.stats) == _strip(ref.stats)
-    return ref, comp
+    results = {
+        kernel: STGSelect(graph, calendars, _params(kernel, **param_kwargs)).solve(query)
+        for kernel in KERNELS
+    }
+    ref = results["reference"]
+    for kernel, result in results.items():
+        assert result.feasible == ref.feasible, kernel
+        assert result.members == ref.members, kernel
+        assert result.total_distance == ref.total_distance, kernel
+        assert result.period == ref.period, kernel
+        assert result.pivot == ref.pivot, kernel
+        assert result.shared_slots == ref.shared_slots, kernel
+        assert _strip(result.stats) == _strip(ref.stats), kernel
+    return ref, results["compiled"]
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +193,75 @@ class TestSeededEquivalence:
         allowed = {v for v in graph if isinstance(v, int) and v % 2 == 0}
         query = SGQuery(initiator=0, group_size=4, radius=2, acquaintance=2)
         assert_sg_equivalent(graph, query, allowed_candidates=allowed)
+
+
+# ----------------------------------------------------------------------
+# cached-form reuse (the QueryService path)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not numpy_kernel_available(), reason="needs numpy >= 2.0")
+class TestSharedPrecompiledForms:
+    """Solvers must give identical answers when handed cached forms.
+
+    The service caches (feasible, compiled, packed) per ego network and
+    passes all three into every solve of a batch; the answers (and stats)
+    must match a cold solve exactly, and a restricted candidate pool must
+    discard the cached full-pool forms rather than mis-index into them.
+    """
+
+    def _forms(self, graph, initiator, radius):
+        from repro.graph.packed import pack_adjacency
+
+        feasible = extract_feasible_graph(graph, initiator, radius)
+        compiled = compile_feasible_graph(feasible)
+        return feasible, compiled, pack_adjacency(compiled)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sg_cached_forms_match_cold_solve(self, seed):
+        graph = make_random_graph(seed, n=12, edge_prob=0.4)
+        query = SGQuery(initiator=0, group_size=4, radius=2, acquaintance=1)
+        solver = SGSelect(graph, _params("numpy"))
+        feasible, compiled, packed = self._forms(graph, 0, 2)
+        cold = solver.solve(query)
+        warm = solver.solve(
+            query, feasible_graph=feasible, compiled_graph=compiled, packed_graph=packed
+        )
+        assert warm.members == cold.members
+        assert warm.total_distance == cold.total_distance
+        assert _strip(warm.stats) == _strip(cold.stats)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stg_cached_forms_match_cold_solve(self, seed):
+        graph = make_random_graph(seed, n=11, edge_prob=0.4)
+        calendars = make_random_calendars(seed + 9, list(graph), horizon=10, availability=0.6)
+        query = STGQuery(initiator=0, group_size=4, radius=2, acquaintance=1, activity_length=2)
+        solver = STGSelect(graph, calendars, _params("numpy"))
+        feasible, compiled, packed = self._forms(graph, 0, 2)
+        cold = solver.solve(query)
+        warm = solver.solve(
+            query, feasible_graph=feasible, compiled_graph=compiled, packed_graph=packed
+        )
+        assert warm.members == cold.members
+        assert warm.total_distance == cold.total_distance
+        assert warm.period == cold.period
+        assert _strip(warm.stats) == _strip(cold.stats)
+
+    def test_restricted_pool_discards_cached_forms(self):
+        graph = make_random_graph(3, n=12, edge_prob=0.45)
+        allowed = {v for v in graph if isinstance(v, int) and v % 2 == 0}
+        query = SGQuery(initiator=0, group_size=4, radius=2, acquaintance=2)
+        solver = SGSelect(graph, _params("numpy"))
+        feasible, compiled, packed = self._forms(graph, 0, 2)
+        restricted = solver.solve(
+            query,
+            allowed_candidates=allowed,
+            feasible_graph=feasible,
+            compiled_graph=compiled,
+            packed_graph=packed,
+        )
+        baseline = solver.solve(query, allowed_candidates=allowed)
+        assert restricted.members == baseline.members
+        assert restricted.total_distance == baseline.total_distance
+        assert _strip(restricted.stats) == _strip(baseline.stats)
 
 
 # ----------------------------------------------------------------------

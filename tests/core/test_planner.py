@@ -5,6 +5,8 @@ import pytest
 from repro import ActivityPlanner, SGQuery, STGQuery
 from repro.exceptions import QueryError
 
+from tests.conftest import requires_scipy
+
 
 class TestFindGroup:
     def test_default_algorithm(self, toy_dataset):
@@ -13,7 +15,9 @@ class TestFindGroup:
         assert result.feasible
         assert result.total_distance == pytest.approx(62.0)
 
-    @pytest.mark.parametrize("algorithm", ["sgselect", "baseline", "ip"])
+    @pytest.mark.parametrize(
+        "algorithm", ["sgselect", "baseline", pytest.param("ip", marks=requires_scipy)]
+    )
     def test_all_algorithms_agree(self, toy_dataset, algorithm):
         planner = ActivityPlanner(toy_dataset.graph)
         result = planner.find_group(
@@ -42,7 +46,9 @@ class TestFindGroupAndTime:
         assert result.feasible
         assert result.members == frozenset({"v2", "v4", "v6", "v7"})
 
-    @pytest.mark.parametrize("algorithm", ["stgselect", "baseline", "ip"])
+    @pytest.mark.parametrize(
+        "algorithm", ["stgselect", "baseline", pytest.param("ip", marks=requires_scipy)]
+    )
     def test_exact_algorithms_agree(self, toy_dataset, algorithm):
         planner = ActivityPlanner(toy_dataset.graph, toy_dataset.calendars)
         result = planner.find_group_and_time(

@@ -1,8 +1,10 @@
 """Unit tests for the query dataclasses and search parameters."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.core import SGQuery, STGQuery, SearchParameters
+from repro.core import VALID_KERNELS, SGQuery, STGQuery, SearchParameters
 from repro.exceptions import QueryError
 
 
@@ -84,3 +86,47 @@ class TestSearchParameters:
         assert not params.use_distance_pruning
         assert not params.use_pivot_slots
         assert params.use_acquaintance_pruning
+
+
+class TestKernelSelection:
+    @pytest.mark.parametrize("kernel", VALID_KERNELS)
+    def test_every_listed_kernel_constructs(self, kernel):
+        # The registry is authoritative: a kernel name listed there must be
+        # accepted (possibly degrading, never raising).
+        params = SearchParameters(kernel=kernel)
+        assert params.kernel in VALID_KERNELS
+
+    @given(st.text(max_size=12).filter(lambda s: s not in VALID_KERNELS))
+    def test_unknown_kernel_message_derives_from_registry(self, kernel):
+        with pytest.raises(QueryError) as excinfo:
+            SearchParameters(kernel=kernel)
+        # The message enumerates VALID_KERNELS itself, so a new kernel can
+        # never drift out of it.
+        message = str(excinfo.value)
+        for name in VALID_KERNELS:
+            assert repr(name) in message
+
+    def test_numpy_kernel_selected_when_available(self):
+        pytest.importorskip("numpy")
+        from repro.graph.packed import numpy_kernel_available
+
+        if not numpy_kernel_available():
+            pytest.skip("numpy too old for the vectorized kernel")
+        assert SearchParameters(kernel="numpy").kernel == "numpy"
+
+    def test_numpy_kernel_degrades_to_compiled_without_numpy(self, monkeypatch):
+        # Simulate an interpreter without (a new-enough) numpy: the request
+        # must degrade to the compiled kernel with a warning, not error.
+        monkeypatch.setattr("repro.core.query.numpy_kernel_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="falling back to the compiled kernel"):
+            params = SearchParameters(kernel="numpy")
+        assert params.kernel == "compiled"
+
+    def test_other_kernels_never_warn_about_numpy(self, monkeypatch):
+        import warnings
+
+        monkeypatch.setattr("repro.core.query.numpy_kernel_available", lambda: False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert SearchParameters(kernel="compiled").kernel == "compiled"
+            assert SearchParameters(kernel="reference").kernel == "reference"

@@ -181,6 +181,41 @@ class TestProcessBackend:
             with pytest.raises(QueryError):
                 other.solve(query)
 
+    def test_clear_cache_reaches_pool_workers(self):
+        """Regression: clear_cache() must invalidate the workers' private
+        LRUs *and* refresh their graph copies, or a post-change service
+        keeps serving pre-change ego networks from the process backend.
+        """
+        from repro.graph import SocialGraph
+
+        graph = SocialGraph()
+        graph.add_edge(0, "far", 5.0)
+        graph.add_vertex("near")
+        query = SGQuery(initiator=0, group_size=2, radius=1, acquaintance=0)
+        with QueryService(graph, max_workers=2, backend="process") as service:
+            assert service.solve(query).members == {0, "far"}
+            graph.add_edge(0, "near", 1.0)
+            # The owning worker's private cache (and its private graph
+            # copy) still answer with the pre-change network.
+            assert service.solve(query).members == {0, "far"}
+            service.clear_cache()
+            fresh = service.solve(query)
+            assert fresh.members == {0, "near"}
+            assert fresh.total_distance == 1.0
+            # Worker caches really were dropped: one entry again, rebuilt.
+            assert service.cache_info().size == 1
+
+    def test_clear_cache_before_pools_start_is_noop(self):
+        from repro.graph import SocialGraph
+
+        graph = SocialGraph()
+        graph.add_edge(0, 1, 1.0)
+        with QueryService(graph, max_workers=2, backend="process") as service:
+            service.clear_cache()  # pools not started: nothing to clear
+            assert service.solve(
+                SGQuery(initiator=0, group_size=2, radius=1, acquaintance=0)
+            ).feasible
+
     def test_stg_requires_calendars_before_submission(self, dataset):
         with QueryService(dataset.graph, max_workers=2, backend="process") as service:
             query = STGQuery(

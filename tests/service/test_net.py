@@ -284,6 +284,98 @@ class TestControlFrames:
 
 
 # ----------------------------------------------------------------------
+# cache invalidation across the wire (acceptance criterion)
+# ----------------------------------------------------------------------
+class _MiniDataset:
+    """Just enough dataset surface for a WorkerHarness."""
+
+    def __init__(self, graph, calendars=None):
+        self.graph = graph
+        self.calendars = calendars
+
+
+class TestRemoteCacheClear:
+    def test_cache_clear_control_frame(self, worker_pair, dataset):
+        """The raw wire contract: cache_clear empties the worker's cache."""
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            recv_frame(sock)
+            query = SGQuery(
+                initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1
+            )
+            send_frame(sock, {"type": "batch", "id": 1, "requests": [request_for(query)]})
+            assert recv_frame(sock)["cache_size"] == 1
+            send_frame(sock, {"type": "cache_clear", "id": 2})
+            assert recv_frame(sock) == {"type": "cache_cleared", "id": 2}
+            send_frame(sock, {"type": "stats"})
+            assert recv_frame(sock)["cache"]["size"] == 0
+        finally:
+            sock.close()
+
+    def test_mutated_graph_reload_on_remote_backend(self):
+        """Regression: clear_cache() on a gateway must reach TCP workers.
+
+        The worker shares the test's graph object (in-process harness), so
+        after the mutation only its ego-network cache is stale — exactly
+        the production hazard: without the cache_clear frame it keeps
+        serving the pre-change network forever.
+        """
+        from repro.graph import SocialGraph
+
+        graph = SocialGraph()
+        graph.add_edge(0, "far", 5.0)
+        graph.add_vertex("near")
+        harness = WorkerHarness(_MiniDataset(graph)).start()
+        try:
+            backend = RemoteBackend([harness.address])
+            query = SGQuery(initiator=0, group_size=2, radius=1, acquaintance=0)
+            with QueryService(graph, backend=backend) as gateway:
+                assert gateway.solve(query).members == {0, "far"}
+                graph.add_edge(0, "near", 1.0)
+                # The worker's private cache still answers pre-change.
+                assert gateway.solve(query).members == {0, "far"}
+                gateway.clear_cache()
+                fresh = gateway.solve(query)
+                assert fresh.members == {0, "near"}
+                assert fresh.total_distance == 1.0
+        finally:
+            harness.stop()
+
+    def test_clear_cache_bypasses_reconnect_backoff(self, worker_pair, dataset):
+        """A link parked in its fail-fast window must still be attempted.
+
+        The backoff bounds *batch* latency while a worker is down; an
+        invalidation against a worker that already recovered must not be
+        skipped because its last failure was recent.
+        """
+        backend = RemoteBackend([worker_pair[0].address])
+        with QueryService(dataset.graph, dataset.calendars, backend=backend) as gateway:
+            query = SGQuery(
+                initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1
+            )
+            gateway.solve(query)
+            # Park the (healthy) link deep in a fail-fast window.
+            link = backend._links[0]
+            for _ in range(8):
+                link._register_failure()
+            gateway.clear_cache()  # must attempt (and succeed) anyway
+            stats = backend.worker_stats()[0]
+            assert stats is not None and stats["cache"]["size"] == 0
+
+    def test_clear_cache_raises_when_worker_unreachable(self):
+        """Invalidation must not silently no-op against a dead worker."""
+        from repro.graph import SocialGraph
+
+        graph = SocialGraph()
+        graph.add_edge(0, 1, 1.0)
+        backend = RemoteBackend(["127.0.0.1:9"], timeout=0.5, connect_timeout=0.3)
+        with QueryService(graph, backend=backend) as service:
+            with pytest.raises(WorkerUnavailableError, match="cache clear incomplete"):
+                service.clear_cache()
+
+
+# ----------------------------------------------------------------------
 # RemoteBackend equivalence (acceptance criterion)
 # ----------------------------------------------------------------------
 class TestRemoteEquivalence:

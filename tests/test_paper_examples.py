@@ -20,6 +20,8 @@ from repro.core import (
 from repro.datasets import MOVIE_INITIATOR, TOY_INITIATOR
 from repro.temporal import SlotRange
 
+from tests.conftest import HAVE_SCIPY
+
 
 class TestExample2SGQ:
     """Example 2: SGQ(p=4, s=1, k=1) issued by v7 on the Figure-3 network."""
@@ -50,10 +52,13 @@ class TestExample2SGQ:
         results = [
             SGSelect(toy_dataset.graph).solve(query),
             BaselineSGQ(toy_dataset.graph).solve(query),
-            IPSolver().solve_sgq(toy_dataset.graph, query),
-            IPSolver(formulation="full").solve_sgq(toy_dataset.graph, query),
-            IPSolver(backend="branch-bound").solve_sgq(toy_dataset.graph, query),
         ]
+        if HAVE_SCIPY:  # the MILP cross-checks need scipy/numpy
+            results += [
+                IPSolver().solve_sgq(toy_dataset.graph, query),
+                IPSolver(formulation="full").solve_sgq(toy_dataset.graph, query),
+                IPSolver(backend="branch-bound").solve_sgq(toy_dataset.graph, query),
+            ]
         for result in results:
             assert result.members == frozenset({"v2", "v3", "v4", "v7"})
             assert result.total_distance == pytest.approx(62.0)
@@ -92,8 +97,11 @@ class TestExample3STGQ:
             STGSelect(toy_dataset.graph, toy_dataset.calendars).solve(query),
             BaselineSTGQ(toy_dataset.graph, toy_dataset.calendars).solve(query),
             BaselineSTGQ(toy_dataset.graph, toy_dataset.calendars, inner="bruteforce").solve(query),
-            IPSolver().solve_stgq(toy_dataset.graph, toy_dataset.calendars, query),
         ]
+        if HAVE_SCIPY:  # the MILP cross-check needs scipy/numpy
+            results.append(
+                IPSolver().solve_stgq(toy_dataset.graph, toy_dataset.calendars, query)
+            )
         for result in results:
             assert result.members == frozenset({"v2", "v4", "v6", "v7"})
             assert result.total_distance == pytest.approx(67.0)
