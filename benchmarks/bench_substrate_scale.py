@@ -1,0 +1,211 @@
+"""Out-of-core substrate benchmark: dict vs mmap'd CSR at scale.
+
+Generates a seeded Chung-Lu power-law graph (default 10^5 vertices), packs
+it to a ``.stgq`` file, and measures:
+
+1. radius-2 feasible-graph extraction throughput on the adjacency-dict
+   substrate vs the CSR substrate (same seeded initiators);
+2. a mixed 50-query STGQ batch through a process-backend
+   :class:`~repro.service.QueryService` whose workers open the substrate
+   memory-mapped — the deployment shape the substrate exists for — with
+   per-worker RSS so the shared-page-cache claim is a number, not prose.
+
+``--json PATH`` writes the report for CI artifacts.  The script exits
+non-zero when CSR extraction throughput falls below
+``--min-extractions-per-sec`` (the scale-smoke CI floor) or when the CSR
+substrate fails to answer the batch identically feasible-count-wise to the
+dict substrate.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_substrate_scale.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import SearchParameters, STGQuery
+from repro.datasets import dataset_from_substrate, generate_scale_dataset
+from repro.graph import csr_available, extract_feasible_graph
+from repro.graph.csr import pack_graph
+from repro.service import QueryService
+from repro.service.backends import ProcessBackend
+
+#: Default floor for radius-2 CSR extractions per second on a 1-CPU box.
+#: A 10^5-vertex power-law graph extracts a multi-thousand-vertex ego
+#: network per call (the seeded initiator mix includes the hub); the floor
+#: exists to catch order-of-magnitude regressions, not to race.
+DEFAULT_MIN_EXTRACTIONS_PER_SEC = 10.0
+
+
+def _time_extractions(graph, initiators, radius=2):
+    start = time.perf_counter()
+    reached = 0
+    for initiator in initiators:
+        reached += len(extract_feasible_graph(graph, initiator, radius))
+    elapsed = time.perf_counter() - start
+    return {
+        "calls": len(initiators),
+        "seconds": round(elapsed, 4),
+        "per_sec": round(len(initiators) / elapsed, 2) if elapsed else float("inf"),
+        "vertices_reached": reached,
+    }
+
+
+def _stgq_batch(dataset, initiators, queries_total):
+    return [
+        STGQuery(
+            initiator=initiators[i % len(initiators)],
+            group_size=3,
+            radius=2,
+            acquaintance=2,
+            activity_length=2,
+        )
+        for i in range(queries_total)
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--people", type=int, default=100_000, help="graph size (default 100000)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--queries", type=int, default=50, help="STGQ batch size (default 50)")
+    parser.add_argument("--workers", type=int, default=2, help="process-backend shards")
+    parser.add_argument("--extractions", type=int, default=30, help="timed extraction calls per substrate")
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink to 20k vertices / 20 queries"
+    )
+    parser.add_argument(
+        "--skip-dict",
+        action="store_true",
+        help="skip the adjacency-dict leg (it materialises the full dict graph)",
+    )
+    parser.add_argument(
+        "--min-extractions-per-sec",
+        type=float,
+        default=DEFAULT_MIN_EXTRACTIONS_PER_SEC,
+        help=f"CSR extraction throughput floor (default {DEFAULT_MIN_EXTRACTIONS_PER_SEC})",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None, help="write the report to PATH")
+    args = parser.parse_args(argv)
+
+    if not csr_available():
+        print("FAIL: CSR substrate requires numpy", file=sys.stderr)
+        return 2
+    if args.quick:
+        args.people = min(args.people, 20_000)
+        args.queries = min(args.queries, 20)
+
+    print(f"generating scale-{args.people} dataset (seed {args.seed})...")
+    t0 = time.perf_counter()
+    dataset = generate_scale_dataset(args.people, seed=args.seed)
+    csr = dataset.graph
+    gen_seconds = time.perf_counter() - t0
+    print(
+        f"  {csr.vertex_count} vertices / {csr.edge_count} edges "
+        f"in {gen_seconds:.2f}s"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="stgq-bench-") as tmp:
+        path = Path(tmp) / f"scale-{args.people}.stgq"
+        t0 = time.perf_counter()
+        pack_graph(csr, path)
+        pack_seconds = time.perf_counter() - t0
+        file_bytes = path.stat().st_size
+        print(f"  packed to {path.name}: {file_bytes} bytes in {pack_seconds:.2f}s")
+
+        # Seeded initiators: the hub plus a spread of mid-degree vertices.
+        step = max(1, csr.vertex_count // (args.extractions * 7))
+        initiators = [0] + [
+            (i * step * 7 + 13) % csr.vertex_count for i in range(1, args.extractions)
+        ]
+
+        report = {
+            "people": csr.vertex_count,
+            "edges": csr.edge_count,
+            "seed": args.seed,
+            "graph_version": csr.version,
+            "file_bytes": file_bytes,
+            "generate_seconds": round(gen_seconds, 3),
+            "pack_seconds": round(pack_seconds, 3),
+            "extraction": {},
+        }
+
+        substrate = dataset_from_substrate(path, seed=args.seed)
+        report["extraction"]["csr"] = _time_extractions(substrate.graph, initiators)
+        print(
+            f"  csr extraction:  {report['extraction']['csr']['per_sec']}/s "
+            f"over {len(initiators)} initiators"
+        )
+        if not args.skip_dict:
+            dict_graph = csr.to_social_graph()
+            report["extraction"]["dict"] = _time_extractions(dict_graph, initiators)
+            print(
+                f"  dict extraction: {report['extraction']['dict']['per_sec']}/s "
+                f"over {len(initiators)} initiators"
+            )
+
+        # STGQ batch over the mmap'd substrate behind the process backend.
+        queries = _stgq_batch(substrate, initiators, args.queries)
+        backend = ProcessBackend(workers=args.workers)
+        params = SearchParameters()
+        with QueryService(
+            substrate.graph, substrate.calendars, parameters=params, backend=backend
+        ) as service:
+            t0 = time.perf_counter()
+            results = service.solve_many(queries)
+            batch_seconds = time.perf_counter() - t0
+            rss = backend.worker_rss()
+        feasible = sum(1 for r in results if r.feasible)
+        report["stgq_batch"] = {
+            "backend": "process",
+            "workers": args.workers,
+            "queries": len(queries),
+            "feasible": feasible,
+            "seconds": round(batch_seconds, 3),
+            "qps": round(len(queries) / batch_seconds, 2),
+            "worker_rss_bytes": {str(k): v for k, v in sorted(rss.items())},
+        }
+        print(
+            f"  stgq batch: {len(queries)} queries in {batch_seconds:.2f}s "
+            f"({report['stgq_batch']['qps']} q/s, {feasible} feasible) "
+            f"on {args.workers} mmap-sharing workers"
+        )
+        for shard, bytes_ in sorted(rss.items()):
+            print(f"    worker {shard} rss: {bytes_ / 1e6:.1f} MB")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    csr_per_sec = report["extraction"]["csr"]["per_sec"]
+    if csr_per_sec < args.min_extractions_per_sec:
+        print(
+            f"FAIL: csr extraction {csr_per_sec}/s below the "
+            f"{args.min_extractions_per_sec}/s floor",
+            file=sys.stderr,
+        )
+        return 1
+    dict_leg = report["extraction"].get("dict")
+    if dict_leg is not None:
+        c, d = report["extraction"]["csr"], dict_leg
+        if c["vertices_reached"] != d["vertices_reached"]:
+            print(
+                "FAIL: substrates disagree on reached vertices "
+                f"(csr {c['vertices_reached']} vs dict {d['vertices_reached']})",
+                file=sys.stderr,
+            )
+            return 1
+    print("substrate scale bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,16 @@ paths (bounded distances, radius extraction, schedule intersection, pivot
 filtering) are visible independently of the end-to-end query benchmarks.
 """
 
+import functools
+
 import pytest
 
-from repro.graph import bounded_distances, compile_feasible_graph, extract_feasible_graph
+from repro.graph import (
+    bounded_distances,
+    compile_feasible_graph,
+    csr_available,
+    extract_feasible_graph,
+)
 from repro.graph.packed import numpy_kernel_available, pack_adjacency
 from repro.temporal.pivot import feasible_members_for_pivot, pivot_windows
 
@@ -23,7 +30,8 @@ def test_bounded_distances(benchmark, network_size):
         lambda: bounded_distances(dataset.graph, initiator, 3), **ROUNDS
     )
     benchmark.extra_info["network_size"] = network_size
-    benchmark.extra_info["reachable"] = sum(1 for d in distances.values() if d < float("inf"))
+    # bounded_distances is reachable-only: every returned vertex is reached.
+    benchmark.extra_info["reachable"] = len(distances)
 
 
 @pytest.mark.benchmark(group="substrate-graph")
@@ -89,3 +97,81 @@ def test_pivot_candidate_filtering(benchmark, real_dataset, real_initiator, m):
     total = benchmark.pedantic(run, **ROUNDS)
     benchmark.extra_info["m"] = m
     benchmark.extra_info["feasible_member_slots"] = total
+
+
+# ----------------------------------------------------------------------
+# dict vs CSR substrate (group: substrate-csr)
+# ----------------------------------------------------------------------
+#
+# Same seeded graph through both substrates at three scales: the paper's
+# 194-person community, and Chung-Lu power-law graphs at 10^4 and 10^5
+# vertices.  The CSR rows are the ones the scale-smoke CI leg watches;
+# the dict rows exist so the crossover (CSR wins once the adjacency no
+# longer fits cache) is visible in the same table.
+
+
+@functools.lru_cache(maxsize=None)
+def _substrate_pair(n):
+    """(dict graph, CSR graph, initiator) for a seeded graph of n vertices."""
+    from repro.graph.csr import CSRGraph
+
+    if n == 194:
+        dataset = dataset_for_size(194)
+        return dataset.graph, CSRGraph.from_social_graph(dataset.graph), initiator_for(dataset)
+    from repro.datasets import SCALE_INITIATOR, generate_scale_graph
+
+    csr = generate_scale_graph(n, seed=7)
+    return csr.to_social_graph(), csr, SCALE_INITIATOR
+
+
+_CSR_SCALES = (194, 10_000, 100_000)
+
+needs_csr = pytest.mark.skipif(not csr_available(), reason="CSR substrate needs numpy")
+
+
+@needs_csr
+@pytest.mark.benchmark(group="substrate-csr")
+@pytest.mark.parametrize("n", _CSR_SCALES)
+@pytest.mark.parametrize("substrate", ("dict", "csr"))
+def test_bounded_distances_by_substrate(benchmark, n, substrate):
+    dict_graph, csr_graph, initiator = _substrate_pair(n)
+    graph = dict_graph if substrate == "dict" else csr_graph
+    distances = benchmark.pedantic(
+        lambda: bounded_distances(graph, initiator, 2), **ROUNDS
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["substrate"] = substrate
+    benchmark.extra_info["reachable"] = len(distances)
+
+
+@needs_csr
+@pytest.mark.benchmark(group="substrate-csr")
+@pytest.mark.parametrize("n", _CSR_SCALES)
+@pytest.mark.parametrize("substrate", ("dict", "csr"))
+def test_extraction_by_substrate(benchmark, n, substrate):
+    dict_graph, csr_graph, initiator = _substrate_pair(n)
+    graph = dict_graph if substrate == "dict" else csr_graph
+    feasible = benchmark.pedantic(
+        lambda: extract_feasible_graph(graph, initiator, 2), **ROUNDS
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["substrate"] = substrate
+    benchmark.extra_info["candidates"] = len(feasible.candidates)
+
+
+@needs_csr
+@pytest.mark.benchmark(group="substrate-csr")
+@pytest.mark.parametrize("n", _CSR_SCALES)
+@pytest.mark.parametrize("substrate", ("dict", "csr"))
+def test_sgq_query_by_substrate(benchmark, n, substrate):
+    """End to end SGSelect: extraction dominates at scale, so this is where
+    the substrate choice shows up in user-visible latency."""
+    from repro.core import SGQuery, SGSelect
+
+    dict_graph, csr_graph, initiator = _substrate_pair(n)
+    graph = dict_graph if substrate == "dict" else csr_graph
+    query = SGQuery(initiator=initiator, group_size=3, radius=2, acquaintance=2)
+    result = benchmark.pedantic(lambda: SGSelect(graph).solve(query), **ROUNDS)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["substrate"] = substrate
+    benchmark.extra_info["feasible"] = bool(result.feasible)

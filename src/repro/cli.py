@@ -33,6 +33,14 @@ Three sub-commands mirror how the library is typically used:
     pretty-print each worker's service counters and cache effectiveness —
     no Python REPL required.
 
+``stgq pack``
+    Convert a SNAP-style edge list into a packed ``.stgq`` CSR substrate
+    file that ``serve``/``worker`` open memory-mapped via ``--graph``.
+
+``stgq inspect``
+    Print a ``.stgq`` file's header (vertex/edge counts, array dtypes,
+    format revision, content version hash) without loading the arrays.
+
 ``serve``/``worker``/``cluster`` install SIGINT/SIGTERM handlers that close
 the service first (draining executor pools, worker processes and sockets),
 so Ctrl-C never leaks forkserver workers.
@@ -171,6 +179,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--days", type=int, default=1, help="schedule length in days (default 1)")
         sub.add_argument("--seed", type=int, default=42, help="dataset/batch seed (default 42)")
 
+    def add_substrate_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--graph",
+            default=None,
+            metavar="FILE.stgq",
+            help="serve a packed CSR substrate opened memory-mapped (see 'stgq "
+            "pack') instead of generating a --people dataset; calendars are "
+            "materialised lazily from --seed",
+        )
+
     def add_service_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--cache-size", type=_positive_int, default=128, help="feasible-graph cache entries"
@@ -234,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_dataset_arguments(serve)
+    add_substrate_argument(serve)
     add_traffic_arguments(serve)
     serve.add_argument(
         "--backend",
@@ -288,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="address to bind (default 127.0.0.1:0 = ephemeral port)",
     )
     add_dataset_arguments(worker)
+    add_substrate_argument(worker)
     worker.add_argument(
         "--backend",
         choices=list(BACKEND_NAMES),
@@ -360,6 +380,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit one JSON object per worker instead of the table",
+    )
+
+    pack = subparsers.add_parser(
+        "pack",
+        help="convert an edge list into a packed .stgq CSR substrate file",
+        description=(
+            "Read a SNAP-style edge list (integer ids, 'u v [distance]' lines, "
+            "# comments; self-loops dropped, duplicate edges deduplicated) and "
+            "write it as a single .stgq file: CSR adjacency arrays behind a "
+            "JSON header, ready for serve/worker to open memory-mapped via "
+            "--graph. Prints the vertex/edge counts and the content version "
+            "hash of the packed substrate."
+        ),
+    )
+    pack.add_argument("edgelist", help="input edge-list file")
+    pack.add_argument("output", metavar="OUT.stgq", help="destination substrate file")
+
+    inspect_parser = subparsers.add_parser(
+        "inspect",
+        help="print a .stgq substrate file's header",
+        description=(
+            "Decode the JSON header of a packed substrate file — vertex and "
+            "edge counts, per-array dtypes, on-disk format revision and the "
+            "content version hash — without touching the array payloads."
+        ),
+    )
+    inspect_parser.add_argument("file", metavar="FILE.stgq", help="substrate file to inspect")
+    inspect_parser.add_argument(
+        "--json", action="store_true", help="emit the header as one JSON object"
     )
 
     return parser
@@ -447,6 +496,24 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_service_dataset(args: argparse.Namespace):
+    """Dataset for serve/worker: a packed substrate (``--graph``) or generated.
+
+    ``--graph FILE.stgq`` opens the CSR substrate memory-mapped — every
+    worker process attached to the same file shares one page-cache copy of
+    the adjacency — with per-person calendars materialised lazily from
+    ``--seed``.  Without it, the seeded 194-style dataset is generated as
+    before.
+    """
+    if getattr(args, "graph", None):
+        from .datasets.scale import dataset_from_substrate
+
+        return dataset_from_substrate(args.graph, schedule_days=args.days, seed=args.seed)
+    return generate_real_dataset(
+        n_people=args.people, schedule_days=args.days, seed=args.seed
+    )
+
+
 def _service_session(args: argparse.Namespace, dataset, service: QueryService) -> int:
     """The serve/cluster gateway body: JSONL loop or a generated batch."""
     with service:
@@ -498,7 +565,7 @@ def _service_session(args: argparse.Namespace, dataset, service: QueryService) -
     feasible = sum(1 for r in results if r.feasible)
     errors = sum(1 for r in results if getattr(r, "error", None))
     kind = "SGQ" if args.activity_length is None else "STGQ"
-    print(f"batch: {len(results)} {kind} queries over {args.people} people "
+    print(f"batch: {len(results)} {kind} queries over {dataset.graph.vertex_count} people "
           f"({len(initiators)} initiators, kernel={args.kernel})")
     print(f"feasible: {feasible}/{len(results)}" + (f"  (errors: {errors})" if errors else ""))
     print(f"wall clock: {elapsed:.3f} s  ({len(results) / elapsed:.1f} queries/s, "
@@ -542,9 +609,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             return 2
     else:
         backend = args.backend
-    dataset = generate_real_dataset(
-        n_people=args.people, schedule_days=args.days, seed=args.seed
-    )
+    try:
+        dataset = _load_service_dataset(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     with _graceful_shutdown():
         try:
             return _service_session(args, dataset, _build_gateway_service(args, dataset, backend))
@@ -553,9 +622,11 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
-    dataset = generate_real_dataset(
-        n_people=args.people, schedule_days=args.days, seed=args.seed
-    )
+    try:
+        dataset = _load_service_dataset(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     host, port = args.listen
     service = QueryService(
         dataset.graph,
@@ -687,6 +758,66 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0 if reached else 1
 
 
+def _command_pack(args: argparse.Namespace) -> int:
+    from .graph.csr import csr_available, pack_graph
+    from .graph.io import read_snap_edge_list
+
+    if not csr_available():
+        print("error: 'stgq pack' requires numpy (install the [speed] extra)", file=sys.stderr)
+        return 2
+    try:
+        graph = read_snap_edge_list(args.edgelist)
+    except OSError as exc:
+        print(f"error: cannot read {args.edgelist!r}: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        csr = pack_graph(graph, args.output)
+    except (OSError, ReproError) as exc:
+        print(f"error: cannot pack to {args.output!r}: {exc}", file=sys.stderr)
+        return 1
+    print(f"packed {csr.vertex_count} vertices / {csr.edge_count} edges -> {args.output}")
+    print(f"version: {csr.version}")
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .graph.csr import inspect_stgq
+
+    try:
+        info = inspect_stgq(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file!r}: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(info, sort_keys=True))
+        return 0
+    def _dtype_name(spec: str) -> str:
+        try:
+            import numpy
+
+            return numpy.dtype(spec).name
+        except Exception:
+            return spec
+
+    dtypes = ", ".join(
+        f"{name}={_dtype_name(dtype)}" for name, dtype in sorted(info["dtypes"].items())
+    )
+    print(f"substrate:  {info['path']}  ({info['file_bytes']} bytes, format {info['format']})")
+    print(f"vertices:   {info['n']}  ({'identity ids 0..n-1' if info['identity_ids'] else 'labelled ids'})")
+    print(f"edges:      {info['m']}")
+    print(f"arrays:     {dtypes}")
+    print(f"version:    {info['version']}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``stgq`` console script and ``python -m repro``."""
     parser = build_parser()
@@ -705,6 +836,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_cluster(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "pack":
+        return _command_pack(args)
+    if args.command == "inspect":
+        return _command_inspect(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -56,7 +56,8 @@ def group_total_distance(
     """Total social distance of ``members`` from ``initiator`` under radius ``radius``.
 
     Uses the s-edge-bounded minimum distances; members unreachable within the
-    radius contribute ``math.inf``.
+    radius are absent from the bounded-distance map and contribute
+    ``math.inf``.
     """
     dist = bounded_distances(graph, initiator, radius)
     return sum(dist.get(v, math.inf) for v in members if v != initiator)
@@ -92,6 +93,8 @@ def check_sg_solution(
     if not initiator_included:
         violations.append("initiator is not part of the group")
 
+    # bounded_distances maps reached vertices only: a member outside the
+    # radius is simply absent, hence the math.inf default.
     dist = bounded_distances(graph, query.initiator, query.radius)
     unreachable = [v for v in member_set if dist.get(v, math.inf) == math.inf]
     radius_ok = not unreachable

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from ..graph.social_graph import SocialGraph
+from ..graph.substrate import GraphSubstrate
 from ..temporal.calendars import CalendarStore
 from ..types import Vertex
 
@@ -20,10 +20,16 @@ __all__ = ["Dataset"]
 
 @dataclass
 class Dataset:
-    """A social graph, its calendars, and metadata about how it was built."""
+    """A social graph, its calendars, and metadata about how it was built.
+
+    ``graph`` is any :class:`~repro.graph.substrate.GraphSubstrate` — the
+    adjacency-dict :class:`~repro.graph.social_graph.SocialGraph` for the
+    paper-scale datasets, the mmap-backed
+    :class:`~repro.graph.csr.CSRGraph` for the scale datasets.
+    """
 
     name: str
-    graph: SocialGraph
+    graph: GraphSubstrate
     calendars: CalendarStore
     description: str = ""
     metadata: Dict[str, object] = field(default_factory=dict)

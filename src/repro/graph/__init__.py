@@ -2,9 +2,11 @@
 generators, metrics, and k-plex utilities."""
 
 from .compiled import CompiledFeasibleGraph, compile_feasible_graph
+from .csr import CSRGraph, csr_available, inspect_stgq, load_stgq, pack_graph
 from .distance import bounded_distance_table, bounded_distances, bounded_shortest_path, hop_counts
 from .packed import PackedAdjacency, numpy_kernel_available, pack_adjacency
 from .extraction import FeasibleGraph, extract_feasible_graph
+from .substrate import GraphSubstrate, is_substrate
 from .generators import (
     coauthorship_style_network,
     community_social_network,
@@ -29,6 +31,13 @@ from .social_graph import SocialGraph
 
 __all__ = [
     "SocialGraph",
+    "CSRGraph",
+    "GraphSubstrate",
+    "is_substrate",
+    "csr_available",
+    "pack_graph",
+    "load_stgq",
+    "inspect_stgq",
     "FeasibleGraph",
     "extract_feasible_graph",
     "CompiledFeasibleGraph",

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import VertexNotFoundError
 from ..types import Vertex
-from .social_graph import SocialGraph
+from .substrate import GraphSubstrate
 
 __all__ = [
     "bounded_distances",
@@ -36,14 +36,16 @@ INF = math.inf
 
 
 def bounded_distances(
-    graph: SocialGraph, source: Vertex, max_edges: int
+    graph: GraphSubstrate, source: Vertex, max_edges: int
 ) -> Dict[Vertex, float]:
-    """Compute ``d^s_{v, source}`` for every vertex ``v``.
+    """Compute ``d^s_{v, source}`` for every vertex within the bound.
 
     Parameters
     ----------
     graph:
-        The social graph.
+        Any :class:`~repro.graph.substrate.GraphSubstrate`.  Substrates
+        providing their own ``bounded_distances(source, max_edges)`` fast
+        path (the CSR substrate walks raw row slices) are dispatched to.
     source:
         The activity initiator ``q``.
     max_edges:
@@ -53,20 +55,29 @@ def bounded_distances(
     Returns
     -------
     dict
-        Mapping from every vertex to its ``s``-edge minimum distance from
-        ``source``.  Unreachable vertices map to ``math.inf``.  The source
-        maps to ``0.0``.
+        Mapping from every vertex *reachable within* ``max_edges`` edges to
+        its ``s``-edge minimum distance from ``source`` (the source maps to
+        ``0.0``), in deterministic discovery order.  Vertices outside the
+        bound are simply absent — materialising an entry per graph vertex
+        would cost O(|V|) per query, which melts at 10⁶ vertices when the
+        ego network has a few hundred.  Use ``dist.get(v, math.inf)`` when
+        an infinite default is wanted.
     """
+    fast = getattr(graph, "bounded_distances", None)
+    if fast is not None:
+        return fast(source, max_edges)
     if source not in graph:
         raise VertexNotFoundError(source)
     if max_edges < 1:
         raise ValueError(f"max_edges must be >= 1, got {max_edges}")
 
-    dist: Dict[Vertex, float] = {v: INF for v in graph}
-    dist[source] = 0.0
-    # Frontier-based Bellman-Ford: only vertices whose distance changed in the
-    # previous round can improve their neighbours in this round.
-    frontier = {source}
+    dist: Dict[Vertex, float] = {source: 0.0}
+    # Frontier-based Bellman-Ford: only vertices whose distance changed in
+    # the previous round can improve their neighbours in this round.  The
+    # frontier is an ordered list (not a set) so the discovery order — and
+    # with it the returned dict's key order — is deterministic even for
+    # vertex types with salted hashes (str under PYTHONHASHSEED).
+    frontier = [source]
     for _ in range(max_edges):
         if not frontier:
             break
@@ -75,18 +86,18 @@ def bounded_distances(
             du = dist[u]
             for v, c in graph.adjacency(u).items():
                 nd = du + c
-                if nd < dist[v] and nd < updates.get(v, INF):
+                if nd < dist.get(v, INF) and nd < updates.get(v, INF):
                     updates[v] = nd
-        frontier = set()
+        frontier = []
         for v, nd in updates.items():
-            if nd < dist[v]:
+            if nd < dist.get(v, INF):
                 dist[v] = nd
-                frontier.add(v)
+                frontier.append(v)
     return dist
 
 
 def bounded_distance_table(
-    graph: SocialGraph, source: Vertex, max_edges: int
+    graph: GraphSubstrate, source: Vertex, max_edges: int
 ) -> List[Dict[Vertex, float]]:
     """Return the full DP table ``[d^0, d^1, ..., d^s]``.
 
@@ -117,7 +128,7 @@ def bounded_distance_table(
 
 
 def bounded_shortest_path(
-    graph: SocialGraph, source: Vertex, target: Vertex, max_edges: int
+    graph: GraphSubstrate, source: Vertex, target: Vertex, max_edges: int
 ) -> Optional[Tuple[List[Vertex], float]]:
     """Return a minimum-distance path from ``source`` to ``target`` with at
     most ``max_edges`` edges, or ``None`` when no such path exists.
@@ -156,15 +167,19 @@ def bounded_shortest_path(
     return path, best_dist
 
 
-def hop_counts(graph: SocialGraph, source: Vertex, max_edges: Optional[int] = None) -> Dict[Vertex, int]:
+def hop_counts(graph: GraphSubstrate, source: Vertex, max_edges: Optional[int] = None) -> Dict[Vertex, int]:
     """Breadth-first hop counts from ``source``.
 
     Returns the number of edges on a minimum-*edge* path (not minimum
-    distance).  Useful for dataset statistics and for sanity-checking the
-    radius extraction: every vertex with ``hop_counts[v] <= s`` must appear
-    in the feasible graph, though its adopted distance may come from a
-    different path.
+    distance), for reached vertices only.  Useful for dataset statistics
+    and for sanity-checking the radius extraction: every vertex with
+    ``hop_counts[v] <= s`` must appear in the feasible graph, though its
+    adopted distance may come from a different path.  Substrates providing
+    their own ``hop_counts`` fast path are dispatched to.
     """
+    fast = getattr(graph, "hop_counts", None)
+    if fast is not None:
+        return fast(source, max_edges)
     if source not in graph:
         raise VertexNotFoundError(source)
     hops = {source: 0}

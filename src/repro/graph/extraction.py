@@ -10,7 +10,6 @@ is discarded before the branch-and-bound search begins.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping
 
@@ -18,6 +17,7 @@ from ..exceptions import VertexNotFoundError
 from ..types import Vertex
 from .distance import bounded_distances
 from .social_graph import SocialGraph
+from .substrate import GraphSubstrate
 
 __all__ = ["FeasibleGraph", "extract_feasible_graph"]
 
@@ -80,15 +80,34 @@ class FeasibleGraph:
         return len(self.graph)
 
 
+def _canonical_order(reached: List[Vertex]) -> List[Vertex]:
+    """Substrate-independent feasible-vertex order: ascending vertex id.
+
+    ``bounded_distances`` returns vertices in discovery order, which depends
+    on the substrate's adjacency iteration order (edge-insertion for the
+    dict graph, sorted rows for CSR).  Sorting by id makes the feasible
+    graph — and therefore the candidate tie-breaks, the compiled forms and
+    every query result — byte-identical across substrates.  Graphs mixing
+    unorderable vertex types keep the (deterministic) discovery order.
+    """
+    try:
+        return sorted(reached)
+    except TypeError:
+        return reached
+
+
 def extract_feasible_graph(
-    graph: SocialGraph, source: Vertex, radius: int
+    graph: GraphSubstrate, source: Vertex, radius: int
 ) -> FeasibleGraph:
     """Extract the feasible graph ``GF`` for initiator ``source`` and radius ``radius``.
 
     Parameters
     ----------
     graph:
-        The full social graph ``G``.
+        The full social graph ``G`` — any
+        :class:`~repro.graph.substrate.GraphSubstrate` (adjacency-dict or
+        CSR; the CSR substrate's bounded distances and induced subgraph are
+        built straight from its row slices).
     source:
         The activity initiator ``q``; must be a vertex of ``graph``.
     radius:
@@ -99,7 +118,8 @@ def extract_feasible_graph(
     -------
     FeasibleGraph
         The induced subgraph over ``{v : d^s_{v,q} < inf}`` together with the
-        adopted distances.
+        adopted distances.  Feasible vertices are ordered by ascending id,
+        so the result is identical whichever substrate backed the graph.
 
     Notes
     -----
@@ -114,7 +134,7 @@ def extract_feasible_graph(
         raise ValueError(f"radius must be >= 1, got {radius}")
 
     dist = bounded_distances(graph, source, radius)
-    feasible = [v for v, d in dist.items() if d < math.inf]
+    feasible = _canonical_order(list(dist))
     sub = graph.subgraph(feasible)
     adopted: Dict[Vertex, float] = {v: dist[v] for v in feasible}
     return FeasibleGraph(graph=sub, source=source, distances=adopted, radius=radius)

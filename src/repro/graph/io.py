@@ -23,6 +23,7 @@ from .social_graph import SocialGraph
 __all__ = [
     "write_edge_list",
     "read_edge_list",
+    "read_snap_edge_list",
     "graph_to_dict",
     "graph_from_dict",
     "write_json",
@@ -76,6 +77,76 @@ def read_edge_list(path: PathLike, vertex_type: type = str) -> SocialGraph:
         else:
             raise GraphError(f"line {lineno}: expected 'u v [distance]', got {raw!r}")
         graph.add_edge(vertex_type(u_tok), vertex_type(v_tok), dist)
+    return graph
+
+
+def read_snap_edge_list(path: PathLike, default_distance: float = 1.0) -> SocialGraph:
+    """Read a SNAP-style edge list into a :class:`SocialGraph`.
+
+    Public network dumps (SNAP, KONECT, the paper's coauthorship source) are
+    messier than :func:`write_edge_list` output, so this loader normalises
+    rather than assumes:
+
+    * ``#`` comment lines and blank lines are skipped.
+    * Vertex ids must be integers; they may be non-contiguous and 1-based
+      (ids are kept verbatim — :func:`~repro.graph.csr.pack_graph` maps them
+      to rows via a sorted label table).
+    * Lines are ``u v`` or ``u v distance``; two-column lines get
+      ``default_distance`` (unit social distance).
+    * Self-loops (``u == u``) are dropped — the social graph is simple.
+    * Duplicate edges (including the reversed direction of an undirected
+      dump) are accepted when their distances agree and rejected with a
+      :class:`~repro.exceptions.GraphError` naming the line otherwise.
+
+    Anything else — a non-integer id token, a malformed distance, a
+    non-positive or non-finite distance, a wrong column count — raises
+    :class:`~repro.exceptions.GraphError` with the offending line number.
+    """
+    if not (default_distance > 0.0 and default_distance < float("inf")):
+        raise GraphError(f"default_distance must be positive and finite, got {default_distance!r}")
+    seen: Dict[tuple, float] = {}
+    vertices: Dict[int, None] = {}
+    for lineno, raw in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            u_tok, v_tok = parts
+            dist = default_distance
+        elif len(parts) == 3:
+            u_tok, v_tok, dist_tok = parts
+            try:
+                dist = float(dist_tok)
+            except ValueError as exc:
+                raise GraphError(f"line {lineno}: invalid distance {dist_tok!r}") from exc
+        else:
+            raise GraphError(f"line {lineno}: expected 'u v [distance]', got {raw!r}")
+        try:
+            u = int(u_tok)
+            v = int(v_tok)
+        except ValueError as exc:
+            raise GraphError(
+                f"line {lineno}: vertex ids must be integers, got {u_tok!r}, {v_tok!r}"
+            ) from exc
+        if not (dist > 0.0 and dist < float("inf")):
+            raise GraphError(f"line {lineno}: distance must be positive and finite, got {dist!r}")
+        vertices.setdefault(u)
+        vertices.setdefault(v)
+        if u == v:
+            continue  # self-loops carry no social information
+        key = (u, v) if u < v else (v, u)
+        prior = seen.get(key)
+        if prior is None:
+            seen[key] = dist
+        elif prior != dist:
+            raise GraphError(
+                f"line {lineno}: edge {key[0]}-{key[1]} repeated with conflicting "
+                f"distances {prior!r} and {dist!r}"
+            )
+    graph = SocialGraph(vertices=vertices)
+    for (u, v), dist in seen.items():
+        graph.add_edge(u, v, dist)
     return graph
 
 

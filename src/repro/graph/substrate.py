@@ -1,0 +1,81 @@
+"""The ``GraphSubstrate`` abstraction: what a graph must offer the solvers.
+
+Every query algorithm in this reproduction consumes the social graph
+through a narrow, read-only surface — membership, iteration, neighbour
+sets, per-edge distances, induced subgraphs.  Two substrates implement it:
+
+* :class:`~repro.graph.social_graph.SocialGraph` — the adjacency-dict
+  graph.  Mutable, handles arbitrary hashable vertex ids, and is the right
+  choice up to a few tens of thousands of vertices.
+* :class:`~repro.graph.csr.CSRGraph` — the out-of-core CSR substrate.
+  Immutable ``indptr``/``indices``/``weights`` arrays over integer vertex
+  ids, persisted in a single ``.stgq`` file that worker processes open
+  memory-mapped, so a fleet shares one page-cache copy of the adjacency
+  instead of holding N pickled dicts.
+
+The hot helpers (:func:`~repro.graph.distance.bounded_distances`,
+:func:`~repro.graph.extraction.extract_feasible_graph`, ...) dispatch on
+the substrate: when the graph object itself provides an equally-named fast
+path (as :class:`CSRGraph` does), it is used; otherwise the generic
+adjacency-walking implementation runs.  Results are required to be
+byte-identical across substrates — see ``tests/graph/
+test_substrate_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Protocol,
+    runtime_checkable,
+)
+
+from ..types import Vertex, WeightedEdge
+
+__all__ = ["GraphSubstrate", "is_substrate"]
+
+
+@runtime_checkable
+class GraphSubstrate(Protocol):
+    """Read-only graph surface shared by every substrate implementation.
+
+    The solvers, the service layer and the dataset registry are all written
+    against this protocol; anything implementing it (structurally — no
+    registration needed) can back a :class:`~repro.service.QueryService`.
+    """
+
+    def __contains__(self, v: Vertex) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Vertex]: ...
+
+    @property
+    def vertex_count(self) -> int: ...
+
+    @property
+    def edge_count(self) -> int: ...
+
+    def vertices(self) -> List[Vertex]: ...
+
+    def edges(self) -> List[WeightedEdge]: ...
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool: ...
+
+    def neighbors(self, v: Vertex) -> FrozenSet[Vertex]: ...
+
+    def adjacency(self, v: Vertex) -> Mapping[Vertex, float]: ...
+
+    def degree(self, v: Vertex) -> int: ...
+
+    def distance(self, u: Vertex, v: Vertex) -> float: ...
+
+    def subgraph(self, vertices) -> "GraphSubstrate": ...
+
+
+def is_substrate(obj: object) -> bool:
+    """Structural check: does ``obj`` satisfy :class:`GraphSubstrate`?"""
+    return isinstance(obj, GraphSubstrate)

@@ -240,6 +240,26 @@ def _worker_reload(graph, calendars) -> None:
     service.clear_cache()
 
 
+def _worker_rss() -> int:
+    """Resident set size of the calling process, in bytes.
+
+    Submitted to pool workers by :meth:`ProcessBackend.worker_rss` — the
+    observable that shows mmap-backed substrates working: N workers over one
+    ``.stgq`` file each stay far below the size of a pickled graph copy.
+    Must be module-level so forkserver workers can unpickle it by name.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:  # pragma: no cover - non-procfs platforms
+        pass
+    import resource  # pragma: no cover - non-procfs platforms
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024  # pragma: no cover
+
+
 def _worker_solve_batch(
     queries: Sequence["Query"],
 ) -> Tuple[List["Result"], Dict[str, float], int]:
@@ -378,6 +398,20 @@ class ProcessBackend:
 
     def cache_entries(self) -> Optional[int]:
         return sum(self._cache_sizes.values())
+
+    def worker_rss(self) -> Dict[int, int]:
+        """Resident set size (bytes) per started worker process.
+
+        Returns ``{}`` before the pools have started.  Used by the substrate
+        benchmarks to verify that workers booted from an mmap'd ``.stgq``
+        file grow by page-cache *references*, not by a private graph copy.
+        """
+        with self._lock:
+            pools = self._pools
+        if pools is None:
+            return {}
+        futures = {shard: pool.submit(_worker_rss) for shard, pool in enumerate(pools)}
+        return {shard: future.result() for shard, future in futures.items()}
 
     def clear_caches(self, service: "QueryService") -> None:
         """Broadcast a cache clear + graph refresh to every pool worker.

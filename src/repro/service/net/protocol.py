@@ -14,11 +14,23 @@ All frames are JSON objects with a ``"type"`` key:
 ``{"type": "hello", "v": 1}``
     Connection handshake, sent by the client first.  The worker answers
     with its own ``hello`` carrying the protocol version it speaks plus
-    deployment facts (backend name, worker width, graph size).  A version
+    deployment facts (backend name, worker width, graph size).  A worker
+    serving a packed CSR substrate additionally reports ``graph_path`` and
+    ``graph_version`` (the ``.stgq`` file and its content hash), letting a
+    gateway spot shards that disagree about the graph.  A version
     mismatch is answered with an ``error`` frame and the connection closes.
 
 ``{"type": "ping", "id": ...}`` / ``{"type": "pong", "id": ...}``
     Liveness probe; ``id`` is echoed verbatim.
+
+``{"type": "cache_clear", "id": ...}``
+    Drop the worker's ego-network caches; answered with ``cache_cleared``.
+    May optionally carry ``graph_path`` and ``graph_version``: the worker
+    then re-opens that substrate file (memory-mapped, verifying the
+    version hash) before clearing, turning the invalidation into a full
+    graph refresh that ships a file *reference* instead of the graph.
+    Optional keys added by newer gateways are ignored by older workers, so
+    this rides on protocol v1 without a version bump.
 
 ``{"type": "stats"}``
     Snapshot of the worker's service counters and cache info.

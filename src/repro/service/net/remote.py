@@ -387,14 +387,17 @@ class RemoteBackend:
                 self._cache_sizes = {**self._cache_sizes, **cache_updates}
         return results  # type: ignore[return-value]
 
-    def _clear_one(self, shard: int) -> Optional[str]:
+    def _clear_one(self, shard: int, extras: Optional[Dict] = None) -> Optional[str]:
         """Clear one worker's cache; return an error description or ``None``."""
         link = self._links[shard]
         # Invalidation must actually try every worker: a link parked in its
         # reconnect-backoff window may front a worker that is healthy again.
         link.reset_backoff()
+        frame = {"type": "cache_clear", "id": shard}
+        if extras:
+            frame.update(extras)
         try:
-            reply = link.request({"type": "cache_clear", "id": shard})
+            reply = link.request(frame)
         except WorkerUnavailableError as exc:
             return str(exc)
         if reply.get("type") != "cache_cleared":
@@ -413,9 +416,18 @@ class RemoteBackend:
         retry once the workers are back).  The frames fan out over the same
         thread pool batches use, so the wall clock is bounded by the
         slowest worker, not the sum over a partitioned fleet.
+
+        When the gateway's graph is substrate-backed (it exposes a
+        ``path``), the frames carry ``graph_path``/``graph_version`` so each
+        worker re-opens that ``.stgq`` file before clearing — the clear
+        ships a *reference* to the new graph, never the graph itself.
         """
+        extras: Optional[Dict] = None
+        graph_path = getattr(service.graph, "path", None)
+        if graph_path is not None:
+            extras = {"graph_path": graph_path, "graph_version": service.graph.version}
         pool = self._ensure_pool()
-        futures = [pool.submit(self._clear_one, shard) for shard in range(self.workers)]
+        futures = [pool.submit(self._clear_one, shard, extras) for shard in range(self.workers)]
         failures = [error for error in (future.result() for future in futures) if error]
         with self._pool_lock:
             self._cache_sizes = {}

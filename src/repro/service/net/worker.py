@@ -133,6 +133,13 @@ class WorkerServer:
                 "workers": self.service.max_workers,
                 "graph_size": self.service.graph.vertex_count,
             }
+            # Substrate-backed workers advertise which ``.stgq`` file (and
+            # which version of it) they serve from, so a gateway can detect
+            # a fleet whose shards disagree about the graph.
+            graph_path = getattr(self.service.graph, "path", None)
+            if graph_path is not None:
+                reply["graph_path"] = graph_path
+                reply["graph_version"] = self.service.graph.version
             return reply, True
         if ftype == "ping":
             return {"type": "pong", "id": frame.get("id")}, True
@@ -144,8 +151,21 @@ class WorkerServer:
             # event loop must keep serving other connections' frames
             # meanwhile.  A failed clear is answered in-band so the
             # gateway can report the incomplete invalidation.
+            #
+            # When the gateway's graph is substrate-backed, the frame also
+            # carries ``graph_path``/``graph_version``: the worker re-opens
+            # that ``.stgq`` file (mmap'd, version-checked) before clearing,
+            # making the clear a true "the graph changed" invalidation —
+            # the remote twin of ProcessBackend shipping its graph in
+            # ``_worker_reload``.
             loop = asyncio.get_running_loop()
+            graph_path = frame.get("graph_path")
+            graph_version = frame.get("graph_version")
             try:
+                if graph_path is not None:
+                    await loop.run_in_executor(
+                        None, self._reload_substrate, graph_path, graph_version
+                    )
                 await loop.run_in_executor(None, self.service.clear_cache)
             except Exception as exc:
                 reply = {
@@ -172,6 +192,23 @@ class WorkerServer:
             return await self._handle_batch(frame), True
         reply = {"type": "error", "error": f"unknown frame type {ftype!r}", "id": frame.get("id")}
         return reply, True
+
+    def _reload_substrate(self, path: str, version: Optional[str]) -> None:
+        """Swap the service's graph for the substrate at ``path`` (blocking).
+
+        Runs on the executor, never on the event loop.  The version check
+        catches a file that changed (or differs across nodes) underneath
+        the fleet; the subsequent ``clear_cache`` then broadcasts the new
+        graph to any pool workers this service itself runs.
+        """
+        from ...graph.csr import load_stgq
+
+        graph = load_stgq(path, mmap=True)
+        if version is not None and graph.version != version:
+            raise ProtocolError(
+                f"substrate {path} has version {graph.version}, gateway expects {version}"
+            )
+        self.service.graph = graph
 
     def _parse_request(self, payload: Any) -> Query:
         query = query_from_request(payload)

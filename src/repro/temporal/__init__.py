@@ -1,7 +1,7 @@
 """Temporal substrate: time slots, per-person schedules, calendar store,
 pivot-slot decomposition, and schedule generators."""
 
-from .calendars import CalendarStore
+from .calendars import CalendarStore, LazyCalendarStore
 from .generators import (
     day_structured_schedule,
     generate_calendar_store,
@@ -22,6 +22,7 @@ from .slots import SLOTS_PER_DAY_DEFAULT, SlotRange, day_of_slot, slot_label, sl
 __all__ = [
     "Schedule",
     "CalendarStore",
+    "LazyCalendarStore",
     "SlotRange",
     "SLOTS_PER_DAY_DEFAULT",
     "slots_per_day",

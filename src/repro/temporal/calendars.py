@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Union
+from typing import Callable, Collection, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Union
 
 from ..exceptions import ScheduleError
 from ..types import Vertex
 from .schedule import Schedule
 from .slots import SlotRange
 
-__all__ = ["CalendarStore"]
+__all__ = ["CalendarStore", "LazyCalendarStore"]
 
 PathLike = Union[str, Path]
 
@@ -139,3 +139,80 @@ class CalendarStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CalendarStore(people={len(self._schedules)}, horizon={self._horizon})"
+
+
+class LazyCalendarStore(CalendarStore):
+    """Calendar store that materialises schedules on first access.
+
+    The scale datasets cover 10⁵–10⁶ people; building (and pickling, when a
+    process backend forks workers) a :class:`~repro.temporal.schedule.Schedule`
+    per person up front costs far more than the handful of ego networks a
+    query batch actually touches.  This store keeps only a ``factory`` — a
+    picklable callable ``factory(person) -> Schedule`` that must be
+    deterministic per person — plus the ``population`` it covers, and fills
+    the ordinary schedule cache lazily.
+
+    Pickling ships ``(horizon, population, factory)`` and drops the cache:
+    each worker re-materialises exactly the schedules its own queries need.
+    Explicit :meth:`~CalendarStore.set` calls still work and shadow the
+    factory for that person.
+    """
+
+    __slots__ = ("_population", "_factory")
+
+    def __init__(
+        self,
+        horizon: int,
+        population: Collection[Vertex],
+        factory: Callable[[Vertex], Schedule],
+    ) -> None:
+        super().__init__(horizon)
+        self._population = population
+        self._factory = factory
+
+    def get(self, person: Vertex) -> Schedule:
+        sched = self._schedules.get(person)
+        if sched is None:
+            if person not in self._population:
+                return Schedule.never_available(self._horizon)
+            sched = self._factory(person)
+            if sched.horizon != self._horizon:
+                raise ScheduleError(
+                    f"factory produced horizon {sched.horizon}, store expects {self._horizon}"
+                )
+            self._schedules[person] = sched
+        return sched
+
+    def __contains__(self, person: Vertex) -> bool:
+        return person in self._population or person in self._schedules
+
+    def __len__(self) -> int:
+        return len(self._population)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._population)
+
+    def people(self) -> List[Vertex]:
+        return list(self._population)
+
+    def available_people(self, period: SlotRange, candidates: Optional[Iterable[Vertex]] = None) -> Set[Vertex]:
+        # Default pool is the whole (lazy) population — pass ``candidates``
+        # at scale, or this materialises every schedule.
+        pool = candidates if candidates is not None else self._population
+        return {p for p in pool if self.is_available_range(p, period)}
+
+    def to_dict(self) -> Dict:
+        """Serialise, materialising the full population (expensive at scale)."""
+        return {
+            "horizon": self._horizon,
+            "schedules": {str(p): self.get(p).available_slots() for p in self._population},
+        }
+
+    def __reduce__(self):
+        return (type(self), (self._horizon, self._population, self._factory))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LazyCalendarStore(people={len(self._population)}, "
+            f"materialised={len(self._schedules)}, horizon={self._horizon})"
+        )

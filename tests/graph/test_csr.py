@@ -1,0 +1,261 @@
+"""Unit tests for the CSR graph substrate and the ``.stgq`` file format."""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph import SocialGraph, csr_available
+from repro.graph.csr import STGQ_MAGIC, CSRGraph, inspect_stgq, load_stgq, pack_graph
+
+from ..conftest import make_random_graph
+
+pytestmark = pytest.mark.skipif(not csr_available(), reason="CSR substrate needs numpy")
+
+
+def _csr(graph):
+    return CSRGraph.from_social_graph(graph)
+
+
+class TestConstruction:
+    def test_from_social_graph_matches(self):
+        graph = make_random_graph(3, n=12, edge_prob=0.4)
+        csr = _csr(graph)
+        assert csr.vertex_count == graph.vertex_count
+        assert csr.edge_count == graph.edge_count
+        assert csr == graph
+        assert graph == csr.to_social_graph()
+
+    def test_from_edge_arrays_identity_ids(self):
+        import numpy as np
+
+        csr = CSRGraph.from_edge_arrays(
+            4, np.array([0, 1, 2]), np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0])
+        )
+        assert csr.identity_ids
+        assert csr.vertices() == [0, 1, 2, 3]
+        assert csr.distance(1, 2) == 2.0
+
+    def test_from_edge_arrays_rejects_self_loops(self):
+        import numpy as np
+
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_arrays(3, np.array([1]), np.array([1]), np.array([1.0]))
+
+    def test_from_edge_arrays_rejects_duplicates(self):
+        import numpy as np
+
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_arrays(
+                3, np.array([0, 1]), np.array([1, 0]), np.array([1.0, 1.0])
+            )
+
+    def test_from_edge_arrays_rejects_bad_weights(self):
+        import numpy as np
+
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(GraphError):
+                CSRGraph.from_edge_arrays(3, np.array([0]), np.array([1]), np.array([bad]))
+
+    def test_from_edge_arrays_rejects_out_of_range(self):
+        import numpy as np
+
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_arrays(3, np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_non_int_vertices_rejected(self):
+        graph = SocialGraph()
+        graph.add_edge("a", "b", 1.0)
+        with pytest.raises(GraphError):
+            _csr(graph)
+
+    def test_non_contiguous_labels(self):
+        graph = SocialGraph(edges=[(10, 700, 2.0), (700, 35, 1.5)])
+        csr = _csr(graph)
+        assert not csr.identity_ids
+        assert csr.vertices() == [10, 35, 700]
+        assert csr.neighbors(700) == frozenset({10, 35})
+        assert csr == graph
+
+
+class TestSubstrateSurface:
+    @pytest.fixture
+    def pair(self):
+        graph = make_random_graph(7, n=14, edge_prob=0.35)
+        return graph, _csr(graph)
+
+    def test_contains_len_iter(self, pair):
+        graph, csr = pair
+        assert len(csr) == len(graph)
+        assert set(csr) == set(graph)
+        assert 0 in csr
+        assert 999 not in csr
+
+    def test_adjacency_and_neighbors(self, pair):
+        graph, csr = pair
+        for v in graph:
+            assert csr.adjacency(v) == graph.adjacency(v)
+            assert csr.neighbors(v) == graph.neighbors(v)
+            assert csr.degree(v) == graph.degree(v)
+
+    def test_edges_and_total_distance(self, pair):
+        graph, csr = pair
+        assert sorted(csr.edges()) == sorted(graph.edges())
+        assert csr.total_distance() == pytest.approx(graph.total_distance())
+
+    def test_has_edge_and_distance(self, pair):
+        graph, csr = pair
+        u, v, d = graph.edges()[0]
+        assert csr.has_edge(u, v) and csr.has_edge(v, u)
+        assert csr.distance(u, v) == d
+        with pytest.raises(EdgeNotFoundError):
+            csr.distance(u, u)
+
+    def test_unknown_vertex_raises(self, pair):
+        _, csr = pair
+        with pytest.raises(VertexNotFoundError):
+            csr.neighbors(999)
+        with pytest.raises(VertexNotFoundError):
+            csr.adjacency(-1)
+
+    def test_subgraph_matches_social_subgraph(self, pair):
+        graph, csr = pair
+        keep = [v for v in graph.vertices() if v % 2 == 0]
+        assert csr.subgraph(keep) == graph.subgraph(keep)
+        # Vertices absent from the graph are ignored, as SocialGraph does.
+        assert csr.subgraph(keep + [999]) == graph.subgraph(keep + [999])
+
+    def test_bounded_distances_validation(self, pair):
+        _, csr = pair
+        with pytest.raises(VertexNotFoundError):
+            csr.bounded_distances(999, 2)
+        with pytest.raises(ValueError):
+            csr.bounded_distances(0, 0)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        graph = make_random_graph(11, n=10, edge_prob=0.5)
+        csr = _csr(graph)
+        path = tmp_path / "g.stgq"
+        version = csr.save(path)
+        for mmap in (True, False):
+            back = load_stgq(path, mmap=mmap)
+            assert back == graph
+            assert back.version == version
+            assert back.path == str(path)
+
+    def test_magic_bytes(self, tmp_path):
+        path = tmp_path / "g.stgq"
+        _csr(make_random_graph(0, n=6)).save(path)
+        assert path.read_bytes()[: len(STGQ_MAGIC)] == STGQ_MAGIC
+
+    def test_version_is_content_hash(self, tmp_path):
+        graph = make_random_graph(5, n=8, edge_prob=0.5)
+        v1 = _csr(graph).save(tmp_path / "a.stgq")
+        v2 = _csr(graph).save(tmp_path / "b.stgq")
+        assert v1 == v2  # same content, path-independent
+        other = make_random_graph(6, n=8, edge_prob=0.5)
+        v3 = _csr(other).save(tmp_path / "c.stgq")
+        assert v3 != v1
+
+    def test_inspect_matches_graph(self, tmp_path):
+        graph = make_random_graph(2, n=9, edge_prob=0.4)
+        csr = _csr(graph)
+        path = tmp_path / "g.stgq"
+        version = csr.save(path)
+        info = inspect_stgq(path)
+        assert info["n"] == graph.vertex_count
+        assert info["m"] == graph.edge_count
+        assert info["version"] == version
+        assert info["identity_ids"]
+        assert set(info["dtypes"]) == {"indptr", "indices", "weights"}
+
+    def test_pack_graph_helper(self, tmp_path):
+        graph = make_random_graph(4, n=7, edge_prob=0.5)
+        path = tmp_path / "g.stgq"
+        csr = pack_graph(graph, path)
+        assert csr.path == str(path)
+        assert load_stgq(path) == graph
+        # Packing an already-CSR graph persists it as-is.
+        repacked = pack_graph(csr, tmp_path / "again.stgq")
+        assert repacked is csr
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        graph = SocialGraph(vertices=[0, 1, 2])
+        path = tmp_path / "empty.stgq"
+        pack_graph(graph, path)
+        back = load_stgq(path)
+        assert back.vertex_count == 3
+        assert back.edge_count == 0
+        assert back == graph
+
+    def test_not_a_substrate_file(self, tmp_path):
+        path = tmp_path / "junk.stgq"
+        path.write_bytes(b"definitely not a substrate file")
+        with pytest.raises(GraphError):
+            load_stgq(path)
+        with pytest.raises(GraphError):
+            inspect_stgq(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "g.stgq"
+        _csr(make_random_graph(1, n=8, edge_prob=0.5)).save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 64])
+        with pytest.raises(GraphError):
+            load_stgq(path)
+
+
+class TestPickling:
+    def test_unsaved_graph_pickles_by_value(self):
+        graph = make_random_graph(8, n=9, edge_prob=0.4)
+        csr = _csr(graph)
+        clone = pickle.loads(pickle.dumps(csr))
+        assert clone == graph
+        assert clone.path is None
+
+    def test_saved_graph_pickles_as_path(self, tmp_path):
+        graph = make_random_graph(9, n=9, edge_prob=0.4)
+        csr = _csr(graph)
+        csr.save(tmp_path / "g.stgq")
+        blob = pickle.dumps(csr)
+        # Path + version, not megabytes of arrays.
+        assert len(blob) < 512
+        clone = pickle.loads(blob)
+        assert clone == graph
+        assert clone.path == csr.path
+        assert clone.version == csr.version
+
+    def test_tampered_file_fails_version_check(self, tmp_path):
+        graph = make_random_graph(10, n=9, edge_prob=0.4)
+        csr = _csr(graph)
+        path = tmp_path / "g.stgq"
+        csr.save(path)
+        blob = pickle.dumps(csr)
+        # Replace the file with a different graph: the version embedded in
+        # the pickle no longer matches the file, and unpickling must refuse
+        # to serve the silently-changed substrate.
+        _csr(make_random_graph(99, n=9, edge_prob=0.4)).save(path)
+        with pytest.raises(GraphError):
+            pickle.loads(blob)
+
+
+class TestFastPaths:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_bounded_distances_match_generic(self, seed, radius):
+        from repro.graph.distance import bounded_distances
+
+        graph = make_random_graph(seed, n=12, edge_prob=0.35)
+        csr = _csr(graph)
+        assert bounded_distances(csr, 0, radius) == bounded_distances(graph, 0, radius)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_hop_counts_match_generic(self, seed):
+        from repro.graph.distance import hop_counts
+
+        graph = make_random_graph(seed, n=12, edge_prob=0.35)
+        csr = _csr(graph)
+        assert hop_counts(csr, 0) == hop_counts(graph, 0)
+        assert hop_counts(csr, 0, max_edges=1) == hop_counts(graph, 0, max_edges=1)

@@ -32,11 +32,16 @@ class TestBoundedDistances:
         # With two edges the cheaper q-a-b path wins.
         assert two_edges["b"] == 2.0
 
-    def test_unreachable_vertex_is_infinite(self):
+    def test_unreachable_vertex_is_absent(self):
+        # Reachable-only contract: vertices outside the bound get no entry
+        # (an entry per graph vertex would be O(|V|) per query), and the
+        # conventional infinite default comes from dict.get.
         graph = SocialGraph(vertices=["q", "island"])
         graph.add_edge("q", "a", 1.0)
         dist = bounded_distances(graph, "q", 3)
-        assert dist["island"] == math.inf
+        assert "island" not in dist
+        assert dist.get("island", math.inf) == math.inf
+        assert set(dist) == {"q", "a"}
 
     def test_unknown_source_raises(self, triangle_graph):
         with pytest.raises(VertexNotFoundError):
@@ -52,8 +57,9 @@ class TestBoundedDistances:
         d2 = bounded_distances(graph, "v7", 2)
         d3 = bounded_distances(graph, "v7", 3)
         for v in graph:
-            assert d2[v] <= d1[v]
-            assert d3[v] <= d2[v]
+            assert d2.get(v, math.inf) <= d1.get(v, math.inf)
+            assert d3.get(v, math.inf) <= d2.get(v, math.inf)
+        assert set(d1) <= set(d2) <= set(d3)
 
     def test_matches_networkx_when_radius_large(self, toy_dataset):
         """With a radius at least |V| - 1 the bound is vacuous and the result
@@ -95,7 +101,9 @@ class TestDistanceTable:
         graph = toy_dataset.graph
         table = bounded_distance_table(graph, "v7", 2)
         direct = bounded_distances(graph, "v7", 2)
-        assert table[2] == direct
+        # The DP table keeps every vertex (inf for unreached); the frontier
+        # walk returns reached vertices only.
+        assert {v: d for v, d in table[2].items() if d < math.inf} == direct
 
     def test_negative_radius_rejected(self, triangle_graph):
         with pytest.raises(ValueError):

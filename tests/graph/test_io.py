@@ -9,6 +9,7 @@ from repro.graph.io import (
     graph_to_dict,
     read_edge_list,
     read_json,
+    read_snap_edge_list,
     write_edge_list,
     write_json,
 )
@@ -80,3 +81,79 @@ class TestJson:
     def test_malformed_edge_entry(self):
         with pytest.raises(GraphError):
             graph_from_dict({"vertices": ["a", "b"], "edges": [["a", "b"]]})
+
+
+class TestSnapEdgeList:
+    """Dirty-input coverage for the SNAP-style loader: every anomaly public
+    network dumps actually contain is either normalised or rejected with a
+    GraphError naming the line."""
+
+    def _load(self, tmp_path, text, **kwargs):
+        path = tmp_path / "snap.txt"
+        path.write_text(text)
+        return read_snap_edge_list(path, **kwargs)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        graph = self._load(tmp_path, "# SNAP header\n# n=3\n\n1 2 1.5\n\n2 3 2.0\n")
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 2
+
+    def test_missing_weight_defaults_to_unit_distance(self, tmp_path):
+        graph = self._load(tmp_path, "1 2\n2 3 4.0\n")
+        assert graph.distance(1, 2) == 1.0
+        assert graph.distance(2, 3) == 4.0
+
+    def test_custom_default_distance(self, tmp_path):
+        graph = self._load(tmp_path, "1 2\n", default_distance=2.5)
+        assert graph.distance(1, 2) == 2.5
+
+    def test_self_loops_dropped_vertex_kept(self, tmp_path):
+        graph = self._load(tmp_path, "1 1 3.0\n1 2 1.0\n7 7\n")
+        assert graph.edge_count == 1
+        assert 7 in graph  # the vertex survives even if its only line loops
+
+    def test_duplicate_identical_edges_ignored(self, tmp_path):
+        graph = self._load(tmp_path, "1 2 1.5\n1 2 1.5\n2 1 1.5\n")
+        assert graph.edge_count == 1
+        assert graph.distance(1, 2) == 1.5
+
+    def test_reversed_duplicate_with_conflicting_distance_rejected(self, tmp_path):
+        with pytest.raises(GraphError, match="line 2"):
+            self._load(tmp_path, "1 2 1.5\n2 1 9.0\n")
+
+    def test_non_contiguous_and_one_based_ids_kept_verbatim(self, tmp_path):
+        graph = self._load(tmp_path, "1 700 2.0\n700 35 1.5\n")
+        assert sorted(graph.vertices()) == [1, 35, 700]
+
+    def test_non_integer_id_rejected_with_line(self, tmp_path):
+        with pytest.raises(GraphError, match="line 2"):
+            self._load(tmp_path, "1 2 1.0\nalpha 3 1.0\n")
+
+    def test_malformed_distance_rejected_with_line(self, tmp_path):
+        with pytest.raises(GraphError, match="line 1"):
+            self._load(tmp_path, "1 2 fast\n")
+
+    def test_non_positive_distance_rejected(self, tmp_path):
+        with pytest.raises(GraphError, match="line 1"):
+            self._load(tmp_path, "1 2 0.0\n")
+        with pytest.raises(GraphError, match="line 1"):
+            self._load(tmp_path, "1 2 -3.0\n")
+
+    def test_non_finite_distance_rejected(self, tmp_path):
+        with pytest.raises(GraphError, match="line 1"):
+            self._load(tmp_path, "1 2 inf\n")
+        with pytest.raises(GraphError, match="line 1"):
+            self._load(tmp_path, "1 2 nan\n")
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        with pytest.raises(GraphError, match="line 1"):
+            self._load(tmp_path, "1 2 1.0 extra\n")
+        with pytest.raises(GraphError, match="line 1"):
+            self._load(tmp_path, "1\n")
+
+    def test_bad_default_distance_rejected(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("1 2\n")
+        for bad in (0.0, -1.0, float("inf")):
+            with pytest.raises(GraphError):
+                read_snap_edge_list(path, default_distance=bad)

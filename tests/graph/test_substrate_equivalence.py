@@ -1,0 +1,219 @@
+"""Byte-identical results across graph substrates (dict vs CSR).
+
+The CSR substrate is a drop-in for :class:`SocialGraph` from the loaders to
+the workers, so the assertions here mirror the kernel-equivalence suite's
+strictness: identical bounded-distance maps, identical feasible graphs
+(including vertex *order* — candidate tie-breaks depend on it), identical
+SGQ/STGQ results with identical search statistics, and identical batches
+through a :class:`QueryService` whether the graph is the adjacency dict or
+an mmap'd ``.stgq`` file behind the process backend.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery, STGSelect
+from repro.graph import SocialGraph, bounded_distances, csr_available, extract_feasible_graph
+from repro.temporal import CalendarStore, Schedule
+
+from ..conftest import make_random_calendars, make_random_graph
+
+pytestmark = pytest.mark.skipif(not csr_available(), reason="CSR substrate needs numpy")
+
+
+def _csr(graph):
+    from repro.graph.csr import CSRGraph
+
+    return CSRGraph.from_social_graph(graph)
+
+
+def _strip(stats):
+    d = stats.as_dict()
+    d.pop("elapsed_seconds")
+    return d
+
+
+def assert_extraction_identical(graph, source, radius):
+    """The FeasibleGraph must match exactly, substrate notwithstanding."""
+    fd = extract_feasible_graph(graph, source, radius)
+    fc = extract_feasible_graph(_csr(graph), source, radius)
+    assert fd.distances == fc.distances
+    assert list(fd.distances) == list(fc.distances)  # canonical vertex order
+    assert fd.graph.vertices() == fc.graph.vertices()
+    assert fd.candidates == fc.candidates  # ties included
+    for v in fd.graph:
+        assert fd.graph.adjacency(v) == fc.graph.adjacency(v)
+    return fd, fc
+
+
+def assert_sg_identical(graph, query, **param_kwargs):
+    params = SearchParameters(**param_kwargs)
+    rd = SGSelect(graph, params).solve(query)
+    rc = SGSelect(_csr(graph), params).solve(query)
+    assert rc.feasible == rd.feasible
+    assert rc.members == rd.members
+    assert rc.total_distance == rd.total_distance
+    assert _strip(rc.stats) == _strip(rd.stats)
+    return rd
+
+
+def assert_stg_identical(graph, calendars, query, **param_kwargs):
+    params = SearchParameters(**param_kwargs)
+    rd = STGSelect(graph, calendars, params).solve(query)
+    rc = STGSelect(_csr(graph), calendars, params).solve(query)
+    assert rc.feasible == rd.feasible
+    assert rc.members == rd.members
+    assert rc.total_distance == rd.total_distance
+    assert rc.period == rd.period
+    assert rc.pivot == rd.pivot
+    assert rc.shared_slots == rd.shared_slots
+    assert _strip(rc.stats) == _strip(rd.stats)
+    return rd
+
+
+@st.composite
+def int_graphs(draw, min_vertices=4, max_vertices=10):
+    """Random int-vertex graphs; small distance range forces distance ties,
+    the case where candidate order (and with it the whole search) would
+    diverge between substrates without the canonical extraction order."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    graph = SocialGraph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                graph.add_edge(u, v, draw(st.integers(1, 4)))
+    return graph
+
+
+class TestDistances:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_bounded_distances_equal(self, seed, radius):
+        graph = make_random_graph(seed, n=13, edge_prob=0.35)
+        assert bounded_distances(_csr(graph), 0, radius) == bounded_distances(graph, 0, radius)
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(int_graphs(), st.integers(1, 4))
+    def test_bounded_distances_equal_hypothesis(self, graph, radius):
+        assert bounded_distances(_csr(graph), 0, radius) == bounded_distances(graph, 0, radius)
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_seeded_grid(self, seed, radius):
+        graph = make_random_graph(seed, n=13, edge_prob=0.35)
+        assert_extraction_identical(graph, 0, radius)
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(int_graphs(), st.integers(1, 3))
+    def test_hypothesis_graphs(self, graph, radius):
+        assert_extraction_identical(graph, 0, radius)
+
+    def test_tie_heavy_graph_candidate_order(self):
+        # Unit distances everywhere: every candidate ties, so the order is
+        # purely the canonical one — ascending id on both substrates.
+        graph = SocialGraph(vertices=range(8))
+        for v in range(1, 8):
+            graph.add_edge(0, v, 1.0)
+        fd, fc = assert_extraction_identical(graph, 0, 1)
+        assert fd.candidates == sorted(fd.candidates)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("p,k,s", [(3, 0, 1), (5, 2, 2), (4, 3, 3)])
+    def test_sgq_grid(self, seed, p, k, s):
+        graph = make_random_graph(seed, n=13, edge_prob=0.35)
+        assert_sg_identical(graph, SGQuery(initiator=0, group_size=p, radius=s, acquaintance=k))
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("p,k,m", [(3, 0, 2), (4, 1, 3), (5, 2, 2)])
+    def test_stgq_grid(self, seed, p, k, m):
+        graph = make_random_graph(seed, n=11, edge_prob=0.4)
+        calendars = make_random_calendars(seed + 500, list(graph), horizon=12, availability=0.6)
+        query = STGQuery(initiator=0, group_size=p, radius=2, acquaintance=k, activity_length=m)
+        assert_stg_identical(graph, calendars, query)
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(int_graphs(), st.integers(1, 5), st.integers(1, 3), st.integers(0, 2))
+    def test_sgq_hypothesis(self, graph, p, s, k):
+        assert_sg_identical(graph, SGQuery(initiator=0, group_size=p, radius=s, acquaintance=k))
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(int_graphs(max_vertices=8), st.data())
+    def test_stgq_hypothesis(self, graph, data):
+        horizon = data.draw(st.integers(4, 10))
+        store = CalendarStore(horizon)
+        for person in graph:
+            slots = data.draw(st.lists(st.integers(1, horizon), unique=True, max_size=horizon))
+            store.set(person, Schedule(horizon, slots))
+        query = STGQuery(
+            initiator=0,
+            group_size=data.draw(st.integers(1, 5)),
+            radius=data.draw(st.integers(1, 3)),
+            acquaintance=data.draw(st.integers(0, 2)),
+            activity_length=data.draw(st.integers(1, min(3, horizon))),
+        )
+        assert_stg_identical(graph, store, query)
+
+
+class TestServiceOverSubstrate:
+    """A service batch answers identically from the dict graph on the serial
+    backend and from a path-backed (mmap'd) CSR substrate on the process
+    backend — results and merged stats both."""
+
+    @pytest.fixture
+    def workload(self, tmp_path):
+        from repro.graph.csr import pack_graph
+
+        graph = make_random_graph(21, n=24, edge_prob=0.3)
+        calendars = make_random_calendars(22, list(graph), horizon=12, availability=0.6)
+        csr = pack_graph(graph, tmp_path / "g.stgq")
+        queries = []
+        for i in range(12):
+            if i % 2:
+                queries.append(
+                    SGQuery(initiator=i % 5, group_size=3, radius=2, acquaintance=2)
+                )
+            else:
+                queries.append(
+                    STGQuery(
+                        initiator=i % 5, group_size=3, radius=2, acquaintance=2,
+                        activity_length=2,
+                    )
+                )
+        return graph, calendars, csr, queries
+
+    def _solve(self, graph, calendars, queries, backend, workers=None):
+        from repro.service import QueryService
+
+        service = QueryService(graph, calendars, backend=backend, max_workers=workers)
+        with service:
+            results = service.solve_many(queries)
+            stats = service.stats()
+        return results, stats
+
+    def test_process_backend_over_substrate_matches_serial_dict(self, workload):
+        graph, calendars, csr, queries = workload
+        serial_results, serial_stats = self._solve(graph, calendars, queries, "serial")
+        process_results, process_stats = self._solve(csr, calendars, queries, "process", workers=2)
+        for rs, rp in zip(serial_results, process_results):
+            assert rp.feasible == rs.feasible
+            assert rp.members == rs.members
+            assert rp.total_distance == rs.total_distance
+            assert getattr(rp, "period", None) == getattr(rs, "period", None)
+        sd, pd = serial_stats.as_dict(), process_stats.as_dict()
+        for d in (sd, pd):
+            d.pop("solve_seconds", None)
+            d.pop("elapsed_seconds", None)
+        assert pd == sd
+
+    def test_serial_backend_over_substrate_matches_dict(self, workload):
+        graph, calendars, csr, queries = workload
+        dict_results, _ = self._solve(graph, calendars, queries, "serial")
+        csr_results, _ = self._solve(csr, calendars, queries, "serial")
+        for rd, rc in zip(dict_results, csr_results):
+            assert rc.members == rd.members
+            assert rc.total_distance == rd.total_distance

@@ -1,0 +1,168 @@
+"""Substrate-aware wire behaviour: graph_path on hello, substrate reload on
+cache_clear, and per-worker RSS accounting on the process backend.
+
+These extend the protocol-v1 contract without a version bump — the new keys
+are optional, so an old gateway talking to a new worker (or vice versa)
+keeps working; the tests pin both the happy path and the version-mismatch
+refusal that keeps a fleet from silently serving a swapped substrate file.
+"""
+
+import pytest
+
+from repro.core import SGQuery
+from repro.graph import SocialGraph, csr_available
+from repro.service import QueryService, RemoteBackend
+from repro.service.codec import request_for
+from repro.service.net.protocol import PROTOCOL_VERSION, recv_frame, send_frame
+
+from .test_net import WorkerHarness, _client_socket, _MiniDataset
+
+pytestmark = pytest.mark.skipif(not csr_available(), reason="CSR substrate needs numpy")
+
+
+def _line_graph(weight=1.0):
+    graph = SocialGraph()
+    graph.add_edge(0, 1, weight)
+    graph.add_edge(1, 2, weight)
+    return graph
+
+
+def _packed(graph, path):
+    from repro.graph.csr import pack_graph
+
+    return pack_graph(graph, path)
+
+
+@pytest.fixture
+def substrate_worker(tmp_path):
+    csr = _packed(_line_graph(), tmp_path / "g.stgq")
+    harness = WorkerHarness(_MiniDataset(csr)).start()
+    yield harness, csr
+    harness.stop()
+
+
+class TestHelloGraphPath:
+    def test_hello_advertises_substrate(self, substrate_worker):
+        harness, csr = substrate_worker
+        sock = _client_socket(harness.address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            hello = recv_frame(sock)
+            assert hello["graph_path"] == csr.path
+            assert hello["graph_version"] == csr.version
+        finally:
+            sock.close()
+
+    def test_hello_omits_graph_path_for_dict_graph(self):
+        harness = WorkerHarness(_MiniDataset(_line_graph())).start()
+        try:
+            sock = _client_socket(harness.address)
+            try:
+                send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+                hello = recv_frame(sock)
+                assert "graph_path" not in hello
+                assert "graph_version" not in hello
+            finally:
+                sock.close()
+        finally:
+            harness.stop()
+
+
+class TestSubstrateReload:
+    def test_cache_clear_reloads_substrate(self, substrate_worker, tmp_path):
+        """Repack the file, send cache_clear with the new version: the worker
+        must serve the new graph, not the cached mmap of the old one."""
+        harness, csr = substrate_worker
+        new_csr = _packed(_line_graph(weight=7.0), tmp_path / "g.stgq")
+        assert new_csr.version != csr.version
+        sock = _client_socket(harness.address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            recv_frame(sock)
+            send_frame(
+                sock,
+                {
+                    "type": "cache_clear",
+                    "id": 1,
+                    "graph_path": csr.path,
+                    "graph_version": new_csr.version,
+                },
+            )
+            assert recv_frame(sock) == {"type": "cache_cleared", "id": 1}
+            query = SGQuery(initiator=0, group_size=2, radius=1, acquaintance=0)
+            send_frame(sock, {"type": "batch", "id": 2, "requests": [request_for(query)]})
+            reply = recv_frame(sock)
+            (result,) = reply["results"]
+            assert result["total_distance"] == 7.0
+        finally:
+            sock.close()
+
+    def test_version_mismatch_refused(self, substrate_worker):
+        harness, csr = substrate_worker
+        sock = _client_socket(harness.address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            recv_frame(sock)
+            send_frame(
+                sock,
+                {
+                    "type": "cache_clear",
+                    "id": 1,
+                    "graph_path": csr.path,
+                    "graph_version": "0" * 16,
+                },
+            )
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert "version" in reply["error"]
+            # The worker keeps serving its current substrate afterwards.
+            query = SGQuery(initiator=0, group_size=2, radius=1, acquaintance=0)
+            send_frame(sock, {"type": "batch", "id": 2, "requests": [request_for(query)]})
+            assert recv_frame(sock)["results"][0]["total_distance"] == 1.0
+        finally:
+            sock.close()
+
+    def test_gateway_clear_cache_ships_substrate(self, tmp_path):
+        """End to end: gateway over a path-backed substrate propagates the
+        (path, version) pair to TCP workers on clear_cache()."""
+        path = tmp_path / "g.stgq"
+        csr = _packed(_line_graph(), path)
+        harness = WorkerHarness(_MiniDataset(csr)).start()
+        try:
+            from repro.core import SGSelect
+
+            query = SGQuery(initiator=0, group_size=3, radius=2, acquaintance=1)
+            old_expected = SGSelect(csr).solve(query)
+            assert old_expected.feasible
+            backend = RemoteBackend([harness.address])
+            with QueryService(csr, backend=backend) as gateway:
+                assert gateway.solve(query).total_distance == old_expected.total_distance
+                # Repack the same path with new weights and point the gateway
+                # at the fresh substrate, as a deploy would.
+                new_csr = _packed(_line_graph(weight=3.0), path)
+                new_expected = SGSelect(new_csr).solve(query)
+                assert new_expected.total_distance != old_expected.total_distance
+                gateway.graph = new_csr
+                gateway.clear_cache()
+                assert gateway.solve(query).total_distance == new_expected.total_distance
+        finally:
+            harness.stop()
+
+
+class TestWorkerRss:
+    def test_empty_before_start(self):
+        from repro.service.backends import ProcessBackend
+
+        backend = ProcessBackend()
+        assert backend.worker_rss() == {}
+
+    def test_reports_positive_rss_per_shard(self, tmp_path):
+        from repro.service.backends import ProcessBackend
+
+        csr = _packed(_line_graph(), tmp_path / "g.stgq")
+        backend = ProcessBackend(workers=2)
+        with QueryService(csr, backend=backend) as service:
+            service.solve(SGQuery(initiator=0, group_size=2, radius=1, acquaintance=0))
+            rss = backend.worker_rss()
+            assert len(rss) == 2
+            assert all(bytes_ > 1_000_000 for bytes_ in rss.values())

@@ -92,3 +92,82 @@ class TestPersistence:
         cal.set(7, Schedule(3, [2]))
         back = CalendarStore.from_dict(cal.to_dict(), vertex_type=int)
         assert back.is_available(7, 2)
+
+
+class TestLazyCalendarStore:
+    @pytest.fixture
+    def lazy(self):
+        """(store, calls) pair: ``calls`` records factory invocations."""
+        from repro.temporal import LazyCalendarStore
+
+        calls = []
+
+        def factory(person):
+            calls.append(person)
+            return Schedule(6, [person % 6 + 1])
+
+        return LazyCalendarStore(6, range(10), factory), calls
+
+    def test_materialises_on_first_access_only(self, lazy):
+        store, calls = lazy
+        assert store.get(3).available_slots() == [4]
+        assert store.get(3).available_slots() == [4]
+        assert calls == [3]
+
+    def test_population_surface(self, lazy):
+        store, calls = lazy
+        assert len(store) == 10
+        assert 4 in store and 99 not in store
+        assert store.people() == list(range(10))
+        assert list(iter(store)) == list(range(10))
+        assert calls == []  # surface queries touch no schedules
+
+    def test_out_of_population_never_available(self, lazy):
+        store, calls = lazy
+        sched = store.get(99)
+        assert sched.available_slots() == []
+        assert calls == []
+
+    def test_explicit_set_shadows_factory(self, lazy):
+        store, calls = lazy
+        store.set(5, Schedule.from_string("OOOOOO"))
+        assert store.get(5).available_slots() == [1, 2, 3, 4, 5, 6]
+        assert calls == []
+
+    def test_factory_horizon_mismatch_rejected(self):
+        from repro.temporal import LazyCalendarStore
+
+        store = LazyCalendarStore(6, [0], lambda person: Schedule(4, [1]))
+        with pytest.raises(ScheduleError):
+            store.get(0)
+
+    def test_pickle_drops_cache_and_rematerialises(self):
+        import pickle
+
+        from repro.datasets.scale import _person_schedule
+        import functools
+
+        from repro.temporal import LazyCalendarStore
+
+        factory = functools.partial(_person_schedule, days=1, slots_per_day=6, seed=11)
+        store = LazyCalendarStore(6, range(20), factory)
+        before = store.get(7).available_slots()
+        clone = pickle.loads(pickle.dumps(store))
+        assert len(clone._schedules) == 0  # cache not shipped
+        assert clone.get(7).available_slots() == before  # deterministic re-materialisation
+
+    def test_to_dict_materialises_population(self, lazy):
+        store, calls = lazy
+        payload = store.to_dict()
+        assert payload["horizon"] == 6
+        assert len(payload["schedules"]) == 10
+        assert sorted(calls) == list(range(10))
+
+    def test_available_people_defaults_to_population(self, lazy):
+        store, calls = lazy
+        avail = store.available_people(SlotRange(1, 6))
+        assert avail <= set(range(10))
+        # candidates restricts materialisation to the pool handed in
+        before = calls.copy()
+        assert store.available_people(SlotRange(1, 6), candidates=[0, 1]) <= {0, 1}
+        assert set(calls) == set(before)

@@ -255,3 +255,113 @@ class TestStatsCommand:
         captured = capsys.readouterr()
         assert code == 1
         assert "UNREACHABLE" in captured.err
+
+
+class TestSubstrateParser:
+    def test_pack_arguments(self):
+        args = build_parser().parse_args(["pack", "edges.txt", "out.stgq"])
+        assert args.command == "pack"
+        assert args.edgelist == "edges.txt"
+        assert args.output == "out.stgq"
+
+    def test_pack_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pack", "edges.txt"])
+
+    def test_inspect_arguments(self):
+        args = build_parser().parse_args(["inspect", "g.stgq", "--json"])
+        assert args.command == "inspect"
+        assert args.file == "g.stgq"
+        assert args.json
+
+    def test_serve_and_worker_accept_graph(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve", "--graph", "g.stgq"]).graph == "g.stgq"
+        assert parser.parse_args(["worker", "--graph", "g.stgq"]).graph == "g.stgq"
+        assert parser.parse_args(["serve"]).graph is None
+
+
+class TestSubstrateCommands:
+    """pack/inspect round trips and error paths, plus serve --graph."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        from repro.graph import csr_available
+
+        if not csr_available():
+            pytest.skip("CSR substrate needs numpy")
+
+    @pytest.fixture
+    def edgelist(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# tiny SNAP-style file\n0 1 1.5\n1 2\n2 0 2.0\n2 2\n")
+        return path
+
+    def test_pack_then_inspect(self, edgelist, tmp_path, capsys):
+        out = tmp_path / "g.stgq"
+        code = main(["pack", str(edgelist), str(out)])
+        pack_out = capsys.readouterr().out
+        assert code == 0
+        assert "packed 3 vertices / 3 edges" in pack_out
+        assert "version:" in pack_out
+        assert out.exists()
+
+        code = main(["inspect", str(out)])
+        inspect_out = capsys.readouterr().out
+        assert code == 0
+        assert "vertices:   3" in inspect_out
+        assert "edges:      3" in inspect_out
+        assert "version:" in inspect_out
+
+    def test_inspect_json(self, edgelist, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "g.stgq"
+        assert main(["pack", str(edgelist), str(out)]) == 0
+        capsys.readouterr()
+        code = main(["inspect", str(out), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["n"] == 3
+        assert payload["m"] == 3
+        assert payload["format"] == 1
+
+    def test_pack_missing_input(self, tmp_path, capsys):
+        code = main(["pack", str(tmp_path / "nope.txt"), str(tmp_path / "g.stgq")])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_pack_dirty_input_reports_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 1 1.0\nalpha 2 1.0\n")
+        code = main(["pack", str(bad), str(tmp_path / "g.stgq")])
+        assert code == 1
+        assert "line 2" in capsys.readouterr().err
+
+    def test_inspect_junk_file(self, tmp_path, capsys):
+        junk = tmp_path / "junk.stgq"
+        junk.write_bytes(b"not a substrate")
+        code = main(["inspect", str(junk)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_over_packed_substrate(self, tmp_path, capsys):
+        from repro.datasets import generate_real_dataset
+        from repro.graph.csr import pack_graph
+
+        dataset = generate_real_dataset(n_people=60, seed=3)
+        out = tmp_path / "g.stgq"
+        pack_graph(dataset.graph, out)
+        code = main(
+            ["serve", "--graph", str(out), "--queries", "6", "--initiators", "3",
+             "--seed", "3", "-p", "3", "-k", "2", "--backend", "serial"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "6 SGQ queries" in captured
+        assert "queries/s" in captured
+
+    def test_serve_missing_substrate_exits_two(self, tmp_path, capsys):
+        code = main(["serve", "--graph", str(tmp_path / "nope.stgq"), "--queries", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

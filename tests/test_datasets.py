@@ -1,5 +1,7 @@
 """Unit tests for the dataset builders."""
 
+import pytest
+
 
 from repro.datasets import (
     NETWORK_SIZE_SWEEP,
@@ -102,3 +104,104 @@ class TestCoauthorshipDataset:
     def test_multi_day_schedules(self):
         ds = generate_coauthorship_dataset(n_people=100, schedule_days=2, seed=6)
         assert ds.calendars.horizon == 96
+
+
+class TestScaleDatasets:
+    """Seeded scale generator + substrate-backed datasets (CSR required)."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        from repro.graph import csr_available
+
+        if not csr_available():
+            pytest.skip("scale datasets need numpy")
+
+    def test_generator_is_deterministic(self, tmp_path):
+        from repro.datasets import generate_scale_graph
+        from repro.graph.csr import pack_graph
+
+        g1 = generate_scale_graph(2000, seed=7)
+        g2 = generate_scale_graph(2000, seed=7)
+        v1 = pack_graph(g1, tmp_path / "a.stgq").version
+        v2 = pack_graph(g2, tmp_path / "b.stgq").version
+        assert v1 == v2  # same seed, byte-identical substrate
+        g3 = generate_scale_graph(2000, seed=8)
+        assert pack_graph(g3, tmp_path / "c.stgq").version != v1
+
+    def test_power_law_shape_and_initiator_floor(self):
+        from repro.datasets import SCALE_INITIATOR, generate_scale_graph
+
+        graph = generate_scale_graph(3000, mean_degree=6.0, seed=7)
+        assert graph.vertex_count == 3000
+        degrees = [graph.degree(v) for v in range(3000)]
+        mean = sum(degrees) / len(degrees)
+        assert 3.0 < mean <= 6.5  # dedup eats some draws, but not most
+        assert graph.degree(SCALE_INITIATOR) >= 16
+        # Hub at vertex 0: the low ids carry far more edges than the tail.
+        head = sum(degrees[:30])
+        tail = sum(degrees[-30:])
+        assert head > 5 * tail
+
+    def test_bad_parameters_rejected(self):
+        from repro.datasets import generate_scale_graph
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError):
+            generate_scale_graph(1)
+        with pytest.raises(GraphError):
+            generate_scale_graph(100, mean_degree=0)
+        with pytest.raises(GraphError):
+            generate_scale_graph(100, exponent=1.0)
+
+    def test_dataset_metadata_and_lazy_calendars(self):
+        from repro.datasets import SCALE_INITIATOR, generate_scale_dataset
+        from repro.temporal import LazyCalendarStore
+
+        ds = generate_scale_dataset(500, seed=9, schedule_days=2)
+        assert ds.metadata["initiator"] == SCALE_INITIATOR
+        assert ds.metadata["seed"] == 9
+        assert ds.graph.vertex_count == 500
+        assert isinstance(ds.calendars, LazyCalendarStore)
+        assert len(ds.calendars) == 500
+        assert ds.calendars.horizon == 2 * 48
+        # Nothing materialised yet; one access materialises exactly one.
+        assert len(ds.calendars._schedules) == 0
+        ds.calendars.get(3)
+        assert len(ds.calendars._schedules) == 1
+
+    def test_schedules_deterministic_per_person(self):
+        from repro.datasets import generate_scale_dataset
+
+        a = generate_scale_dataset(300, seed=5)
+        b = generate_scale_dataset(300, seed=5)
+        for person in (0, 7, 299):
+            assert a.calendars.get(person).available_slots() == b.calendars.get(person).available_slots()
+
+    def test_dataset_from_substrate(self, tmp_path):
+        from repro.datasets import dataset_from_substrate, generate_scale_graph
+        from repro.graph.csr import pack_graph
+
+        graph = generate_scale_graph(400, seed=7)
+        path = tmp_path / "scale.stgq"
+        version = pack_graph(graph, path).version
+        ds = dataset_from_substrate(path, seed=7)
+        assert ds.graph.vertex_count == 400
+        assert ds.graph.path == str(path)
+        assert ds.metadata["graph_path"] == str(path)
+        assert ds.metadata["graph_version"] == version
+        assert ds.metadata["initiator"] == 0
+        assert len(ds.calendars) == 400
+
+    def test_scale_query_end_to_end(self):
+        from repro.core import STGQuery, STGSelect
+        from repro.datasets import generate_scale_dataset
+
+        ds = generate_scale_dataset(1500, seed=7)
+        query = STGQuery(
+            initiator=ds.metadata["initiator"], group_size=3, radius=2,
+            acquaintance=1, activity_length=2,
+        )
+        result = STGSelect(ds.graph, ds.calendars).solve(query)
+        if result.feasible:
+            assert len(result.members) == 3
+            assert ds.metadata["initiator"] in result.members

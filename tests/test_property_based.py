@@ -111,8 +111,11 @@ class TestDistanceProperties:
     def test_bounded_distances_monotone_and_triangle(self, graph, radius):
         d_small = bounded_distances(graph, 0, radius)
         d_big = bounded_distances(graph, 0, radius + 1)
+        # Reachable-only maps: a looser bound reaches a superset of vertices
+        # and never increases a distance.
+        assert set(d_small) <= set(d_big)
         for v in graph:
-            assert d_big[v] <= d_small[v]
+            assert d_big.get(v, math.inf) <= d_small.get(v, math.inf)
         # Direct edges bound the one-hop distance from above.
         for v, c in graph.adjacency(0).items():
             assert d_small[v] <= c
