@@ -1,0 +1,149 @@
+"""Mutation smoke: live-graph deltas against a 2-worker TCP cluster.
+
+The live-graph contract (``docs/live_graph.md``) has two halves and this
+demo proves both on the smallest real cluster:
+
+* **Correctness** — a seeded mutation trace is streamed batch-by-batch into
+  a gateway whose :class:`~repro.service.net.RemoteBackend` distributes
+  each batch to two ``stgq worker`` subprocesses as versioned delta frames.
+  Between batches a query round runs through the cluster and is compared,
+  result by result, against a *from-scratch rebuild*: a fresh serial
+  service on the same seeded dataset with the same trace prefix applied.
+  Any divergence — a stale cached ego, a missed invalidation, a worker at
+  the wrong version — fails the run.
+* **Targeted invalidation** — mutations must evict only the cached ego
+  networks that contain a touched vertex, not nuke the caches.  The run
+  asserts the fleet-wide evictions per mutation stay well under 10% of the
+  per-worker cache size (a full clear per mutation would evict every warm
+  entry, two orders of magnitude above this gate).
+
+The query rounds use radius-1 egos deliberately: on a 194-person graph a
+radius-2 ego covers most vertices, so most mutations would *legitimately*
+evict most entries and the gate would measure the workload, not the
+invalidation strategy.
+
+CI runs this file as the mutation smoke test (it exits non-zero on any
+divergence), so it stays a working recipe.
+
+Run with::
+
+    PYTHONPATH=src python examples/mutation_smoke.py
+"""
+
+import random
+import time
+
+from repro.core import SGQuery
+from repro.datasets import generate_real_dataset
+from repro.graph import generate_mutation_trace
+from repro.service import QueryService, RemoteBackend
+from repro.service.net import start_local_workers
+
+N_WORKERS = 2
+CACHE_SIZE = 64
+SEED = 42
+TRACE_SEED = 7
+N_MUTATIONS = 24
+MUTATIONS_PER_BATCH = 4
+N_INITIATORS = 32
+
+
+def canon(result):
+    """The deterministic projection of a result (timings legitimately differ)."""
+    return (result.feasible, result.members, result.total_distance)
+
+
+def main() -> None:
+    # 1. One seeded dataset; the workers rebuild the same one from the seed.
+    dataset = generate_real_dataset(n_people=194, schedule_days=1, seed=SEED)
+    print(f"dataset: {dataset.graph.vertex_count} people, seed {SEED}")
+
+    # 2. A fixed query round (radius 1, see module docstring) plus a seeded
+    #    mutation trace — same flags as `stgq mutate --count 24 --trace-seed 7`.
+    initiators = random.Random(SEED).sample(list(dataset.people), N_INITIATORS)
+    queries = [
+        SGQuery(initiator=person, group_size=4, radius=1, acquaintance=2)
+        for person in initiators
+    ]
+    trace = generate_mutation_trace(
+        dataset.graph, N_MUTATIONS, seed=TRACE_SEED, horizon=dataset.calendars.horizon
+    )
+    kinds = {kind: sum(1 for m in trace if m.kind == kind) for kind in
+             ("add_edge", "remove_edge", "update_availability")}
+    print(f"trace: {len(trace)} mutations {kinds}, "
+          f"{MUTATIONS_PER_BATCH} per distributed batch")
+
+    def reference_results(prefix_length):
+        """From-scratch rebuild: fresh dataset + trace prefix, serial backend."""
+        ref_dataset = generate_real_dataset(n_people=194, schedule_days=1, seed=SEED)
+        with QueryService(
+            ref_dataset.graph, ref_dataset.calendars, backend="serial",
+            cache_size=CACHE_SIZE,
+        ) as ref:
+            if prefix_length:
+                ref.apply_mutations(trace[:prefix_length])
+            return [canon(r) for r in ref.solve_many(queries)]
+
+    # 3. Boot the cluster and interleave query rounds with mutation batches.
+    print(f"\nbooting {N_WORKERS} workers (cache size {CACHE_SIZE}) ...")
+    start_time = time.perf_counter()
+    with start_local_workers(
+        N_WORKERS, people=194, days=1, seed=SEED, cache_size=CACHE_SIZE
+    ) as cluster:
+        print(f"workers ready at {cluster.connect_spec()}")
+        backend = RemoteBackend(cluster.connect_spec())
+        with QueryService(
+            dataset.graph, dataset.calendars, backend=backend, cache_size=CACHE_SIZE
+        ) as gateway:
+            worker_invalidations = 0
+            mutations_applied = 0
+            for offset in range(0, len(trace) + 1, MUTATIONS_PER_BATCH):
+                live = [canon(r) for r in gateway.solve_many(queries)]
+                expected = reference_results(offset)
+                diverged = [
+                    (query.initiator, ours, theirs)
+                    for query, ours, theirs in zip(queries, live, expected)
+                    if ours != theirs
+                ]
+                assert not diverged, (
+                    f"cluster diverged from the from-scratch rebuild at version "
+                    f"{gateway.live_version}: {diverged[:3]}"
+                )
+                if offset >= len(trace):
+                    break
+                report = gateway.apply_mutations(trace[offset : offset + MUTATIONS_PER_BATCH])
+                worker_invalidations += report.worker_invalidations
+                mutations_applied += report.mutations
+                print(
+                    f"  version {report.from_version} -> {report.to_version}: "
+                    f"{report.worker_invalidations} worker egos evicted"
+                )
+            assert gateway.live_version == len(trace), (
+                f"gateway at version {gateway.live_version}, trace has {len(trace)}"
+            )
+    elapsed = time.perf_counter() - start_time
+    print(f"\n{mutations_applied} mutations applied, every query round identical "
+          f"to its from-scratch rebuild ({elapsed:.1f}s) ✓")
+
+    # 4. The invalidation gate: targeted eviction, not cache nukes.  The
+    #    rounds keep the worker caches warm (N_INITIATORS egos across the
+    #    fleet), so a full clear per mutation would evict every entry.
+    assert mutations_applied == len(trace)
+    assert worker_invalidations > 0, (
+        "no worker egos were ever evicted: mutations are not reaching the "
+        "workers' caches (warm caches + 24 edge mutations must touch some)"
+    )
+    per_mutation = worker_invalidations / mutations_applied
+    gate = 0.1 * CACHE_SIZE
+    print(f"targeted invalidation: {worker_invalidations} evictions / "
+          f"{mutations_applied} mutations = {per_mutation:.2f} per mutation "
+          f"(gate: < {gate:.1f})")
+    assert per_mutation < gate, (
+        f"invalidation is not targeted: {per_mutation:.2f} evictions per "
+        f"mutation >= 10% of the {CACHE_SIZE}-entry cache"
+    )
+    print("invalidations per mutation ≪ cache size ✓")
+
+
+if __name__ == "__main__":
+    main()

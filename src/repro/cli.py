@@ -33,6 +33,14 @@ Three sub-commands mirror how the library is typically used:
     pretty-print each worker's service counters and cache effectiveness —
     no Python REPL required.
 
+``stgq mutate``
+    Apply live-graph mutations (see ``docs/live_graph.md``): generate a
+    seeded mutation trace (or load one with ``--trace FILE.jsonl``,
+    save one with ``--save``), apply it batch-by-batch to the seeded
+    dataset's service and — with ``--connect`` — distribute each batch to
+    the running workers as versioned delta frames, verifying the whole
+    fleet ends at the same live version.
+
 ``stgq pack``
     Convert a SNAP-style edge list into a packed ``.stgq`` CSR substrate
     file that ``serve``/``worker`` open memory-mapped via ``--graph``.
@@ -380,6 +388,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit one JSON object per worker instead of the table",
+    )
+
+    mutate = subparsers.add_parser(
+        "mutate",
+        help="apply (and optionally distribute) a live-graph mutation trace",
+        description=(
+            "Replay a mutation trace against the seeded dataset's service. "
+            "Without --trace a seeded trace is generated (--count/--trace-seed), "
+            "so the same flags produce the same mutations everywhere; --save "
+            "writes the trace as JSONL for later replay. With --connect the "
+            "trace is distributed batch-by-batch to running stgq workers as "
+            "versioned delta frames (gaps bridged by log replay or snapshot), "
+            "and the command verifies every worker ends at the gateway's live "
+            "version. Prints applied counts, targeted-invalidation totals and "
+            "the final fleet version."
+        ),
+    )
+    add_dataset_arguments(mutate)
+    add_substrate_argument(mutate)
+    mutate.add_argument(
+        "--count",
+        type=_positive_int,
+        default=32,
+        help="mutations to generate when no --trace is given (default 32)",
+    )
+    mutate.add_argument(
+        "--trace-seed",
+        type=int,
+        default=7,
+        help="seed for the generated mutation trace (default 7)",
+    )
+    mutate.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.jsonl",
+        help="replay this JSONL mutation trace instead of generating one",
+    )
+    mutate.add_argument(
+        "--save",
+        default=None,
+        metavar="FILE.jsonl",
+        help="write the trace as JSONL (one mutation per line) and continue",
+    )
+    mutate.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=8,
+        help="mutations per distributed batch (default 8)",
+    )
+    mutate.add_argument(
+        "--connect",
+        default=None,
+        help="distribute to these workers as delta frames, e.g. "
+        "'127.0.0.1:9001,127.0.0.1:9002'",
+    )
+    mutate.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds for --connect (default 30)",
+    )
+    mutate.add_argument(
+        "--cache-size", type=_positive_int, default=128, help="feasible-graph cache entries"
     )
 
     pack = subparsers.add_parser(
@@ -758,6 +829,115 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0 if reached else 1
 
 
+def _command_mutate(args: argparse.Namespace) -> int:
+    import socket as socket_module
+
+    from .graph.mutations import (
+        generate_mutation_trace,
+        load_mutation_trace,
+        save_mutation_trace,
+    )
+    from .service.net.protocol import client_handshake
+
+    try:
+        dataset = _load_service_dataset(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.trace:
+        try:
+            trace = load_mutation_trace(args.trace)
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot load trace {args.trace!r}: {exc}", file=sys.stderr)
+            return 1
+        print(f"loaded {len(trace)} mutations from {args.trace}")
+    else:
+        trace = generate_mutation_trace(
+            dataset.graph,
+            args.count,
+            seed=args.trace_seed,
+            horizon=dataset.calendars.horizon,
+        )
+        print(f"generated {len(trace)} mutations (trace seed {args.trace_seed})")
+    if args.save:
+        try:
+            save_mutation_trace(args.save, trace)
+        except OSError as exc:
+            print(f"error: cannot save trace to {args.save!r}: {exc}", file=sys.stderr)
+            return 1
+        print(f"saved trace -> {args.save}")
+    if not trace:
+        print("empty trace; nothing to apply")
+        return 0
+
+    if args.connect:
+        try:
+            backend = RemoteBackend(args.connect, timeout=args.timeout)
+        except QueryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        backend = "serial"
+    service = QueryService(
+        dataset.graph, dataset.calendars, cache_size=args.cache_size, backend=backend
+    )
+    batches = 0
+    worker_invalidations = 0
+    with service, _graceful_shutdown():
+        try:
+            for start in range(0, len(trace), args.batch_size):
+                report = service.apply_mutations(trace[start : start + args.batch_size])
+                batches += 1
+                worker_invalidations += report.worker_invalidations
+        except ReproError as exc:
+            print(f"error applying batch {batches + 1}: {exc}", file=sys.stderr)
+            return 1
+        except SystemExit as exc:
+            return _shutdown_code(exc)
+        stats = service.stats()
+        version = service.live_version
+        print(
+            f"applied {stats.mutations} mutations in {batches} batches "
+            f"-> live version {version}"
+        )
+        print(
+            f"targeted invalidation: {stats.invalidations} gateway entries"
+            + (f", {worker_invalidations} worker entries" if args.connect else "")
+            + f" ({stats.invalidations_per_mutation:.2f} per mutation)"
+        )
+        if args.connect:
+            # The distribution already guarantees this (apply_mutations
+            # raises on an incomplete fleet), but the operator gets the
+            # receipt: every worker's advertised live version.
+            mismatched = []
+            for host, port in parse_addresses(args.connect):
+                label = f"{host}:{port}"
+                try:
+                    with socket_module.create_connection(
+                        (host, port), timeout=args.timeout
+                    ) as sock:
+                        sock.settimeout(args.timeout)
+                        hello = client_handshake(sock)
+                except (OSError, ReproError) as exc:
+                    print(f"worker {label}  UNREACHABLE: {exc}", file=sys.stderr)
+                    mismatched.append(label)
+                    continue
+                worker_version = hello.get("live_version")
+                marker = "ok" if worker_version == version else "MISMATCH"
+                if worker_version != version:
+                    mismatched.append(label)
+                print(f"worker {label}  live version {worker_version}  [{marker}]")
+            if mismatched:
+                print(
+                    f"fleet inconsistent: {len(mismatched)} worker(s) not at "
+                    f"version {version}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"fleet consistent at live version {version}")
+    return 0
+
+
 def _command_pack(args: argparse.Namespace) -> int:
     from .graph.csr import csr_available, pack_graph
     from .graph.io import read_snap_edge_list
@@ -836,6 +1016,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_cluster(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "mutate":
+        return _command_mutate(args)
     if args.command == "pack":
         return _command_pack(args)
     if args.command == "inspect":

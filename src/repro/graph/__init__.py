@@ -16,6 +16,18 @@ from .generators import (
     small_world_network,
 )
 from .kplex import greedy_max_kplex, is_kplex, maximal_kplexes, non_neighbor_counts, violates
+from .mutations import (
+    MUTATION_KINDS,
+    Mutation,
+    MutationBatch,
+    apply_mutation,
+    generate_mutation_trace,
+    graph_from_snapshot,
+    graph_to_snapshot,
+    load_mutation_trace,
+    save_mutation_trace,
+)
+from .overlay import GraphOverlay
 from .metrics import (
     GraphSummary,
     average_clustering,
@@ -32,6 +44,16 @@ from .social_graph import SocialGraph
 __all__ = [
     "SocialGraph",
     "CSRGraph",
+    "GraphOverlay",
+    "Mutation",
+    "MutationBatch",
+    "MUTATION_KINDS",
+    "apply_mutation",
+    "generate_mutation_trace",
+    "save_mutation_trace",
+    "load_mutation_trace",
+    "graph_to_snapshot",
+    "graph_from_snapshot",
     "GraphSubstrate",
     "is_substrate",
     "csr_available",

@@ -1,0 +1,311 @@
+"""Typed live-graph mutations, versioned batches, traces and snapshots.
+
+The live-graph subsystem (``docs/live_graph.md``) moves the fleet from
+"nuke everything on any change" to *incremental* maintenance.  Its unit of
+change is the :class:`Mutation` — one of three operator-visible ops:
+
+``add_edge``
+    Add (or re-weight) an undirected social edge ``{u, v}``.
+``remove_edge``
+    Remove an existing edge; absent edges raise
+    :class:`~repro.exceptions.GraphError` (via ``EdgeNotFoundError``).
+``update_availability``
+    Replace one person's availability schedule with an explicit slot list.
+
+Mutations are grouped into :class:`MutationBatch` es tagged with the
+``from_version``/``to_version`` of the mutation stream they span — every
+mutation advances the stream position by exactly one, so
+``to_version - from_version == len(mutations)`` always holds and replicas
+can detect gaps by integer comparison alone.
+
+Everything here is wire-friendly: mutations and batches round-trip through
+plain JSON objects (``as_wire``/``from_wire``), traces persist as JSONL
+(one mutation per line), and :func:`graph_to_snapshot` /
+:func:`graph_from_snapshot` serialise a full graph for the snapshot
+fallback when a replica's gap cannot be bridged by deltas.  Vertex ids
+must be JSON-stable scalars (ints or strings) — the same constraint the
+query wire codec already imposes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import GraphError, ProtocolError
+from ..types import Vertex
+from .social_graph import SocialGraph
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "Mutation",
+    "MutationBatch",
+    "MUTATION_KINDS",
+    "apply_mutation",
+    "generate_mutation_trace",
+    "save_mutation_trace",
+    "load_mutation_trace",
+    "graph_to_snapshot",
+    "graph_from_snapshot",
+]
+
+MUTATION_KINDS = ("add_edge", "remove_edge", "update_availability")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One live-graph mutation; build via the classmethod constructors."""
+
+    kind: str
+    u: Optional[Vertex] = None
+    v: Optional[Vertex] = None
+    distance: Optional[float] = None
+    person: Optional[Vertex] = None
+    slots: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise GraphError(f"unknown mutation kind {self.kind!r}")
+        if self.kind in ("add_edge", "remove_edge"):
+            if self.u is None or self.v is None:
+                raise GraphError(f"{self.kind} mutation requires both endpoints")
+            if self.kind == "add_edge" and self.distance is None:
+                raise GraphError("add_edge mutation requires a distance")
+        else:
+            if self.person is None or self.slots is None:
+                raise GraphError("update_availability mutation requires person and slots")
+            object.__setattr__(self, "slots", tuple(int(s) for s in self.slots))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def add_edge(cls, u: Vertex, v: Vertex, distance: float) -> "Mutation":
+        return cls(kind="add_edge", u=u, v=v, distance=float(distance))
+
+    @classmethod
+    def remove_edge(cls, u: Vertex, v: Vertex) -> "Mutation":
+        return cls(kind="remove_edge", u=u, v=v)
+
+    @classmethod
+    def update_availability(cls, person: Vertex, slots: Iterable[int]) -> "Mutation":
+        return cls(kind="update_availability", person=person, slots=tuple(slots))
+
+    # ------------------------------------------------------------------
+    # wire codec
+    # ------------------------------------------------------------------
+    def as_wire(self) -> Dict:
+        """Encode as a JSON-ready dict (inverse of :meth:`from_wire`)."""
+        if self.kind == "add_edge":
+            return {"kind": self.kind, "u": self.u, "v": self.v, "distance": self.distance}
+        if self.kind == "remove_edge":
+            return {"kind": self.kind, "u": self.u, "v": self.v}
+        return {"kind": self.kind, "person": self.person, "slots": list(self.slots or ())}
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "Mutation":
+        """Decode a wire dict; malformed payloads raise :class:`ProtocolError`."""
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"mutation payload must be an object, got {type(payload).__name__}")
+        kind = payload.get("kind")
+        try:
+            if kind == "add_edge":
+                return cls.add_edge(payload["u"], payload["v"], payload["distance"])
+            if kind == "remove_edge":
+                return cls.remove_edge(payload["u"], payload["v"])
+            if kind == "update_availability":
+                return cls.update_availability(payload["person"], payload["slots"])
+        except (KeyError, TypeError, ValueError, GraphError) as exc:
+            raise ProtocolError(f"malformed {kind!r} mutation: {exc}") from exc
+        raise ProtocolError(f"unknown mutation kind {kind!r}")
+
+    def touched_vertices(self) -> Tuple[Vertex, ...]:
+        """Vertices whose cached egos this mutation can possibly change.
+
+        Edge mutations touch both endpoints.  Availability updates touch
+        *no* ego entries: feasible graphs depend only on topology — the
+        solvers read calendars live at solve time.
+        """
+        if self.kind in ("add_edge", "remove_edge"):
+            return (self.u, self.v)
+        return ()
+
+
+def apply_mutation(graph, calendars, mutation: Mutation) -> Tuple[Vertex, ...]:
+    """Apply one mutation to ``(graph, calendars)``; return touched vertices.
+
+    ``graph`` must expose the mutation surface (``SocialGraph`` or
+    :class:`~repro.graph.overlay.GraphOverlay`); ``calendars`` a
+    :class:`~repro.temporal.calendars.CalendarStore` (may be ``None`` when
+    the deployment has no temporal layer — availability updates then raise).
+    """
+    if mutation.kind == "add_edge":
+        graph.add_edge(mutation.u, mutation.v, mutation.distance)
+    elif mutation.kind == "remove_edge":
+        graph.remove_edge(mutation.u, mutation.v)
+    else:
+        if calendars is None:
+            raise GraphError("update_availability mutation without a calendar store")
+        from ..temporal.schedule import Schedule
+
+        calendars.set(mutation.person, Schedule(calendars.horizon, mutation.slots))
+    return mutation.touched_vertices()
+
+
+@dataclass(frozen=True)
+class MutationBatch:
+    """An ordered mutation run spanning ``from_version -> to_version``.
+
+    Every mutation advances the live-version stream by exactly one, so the
+    span length must equal the mutation count — enforced at construction
+    and again when decoding from the wire, which is what lets replicas
+    detect gaps (and already-applied batches) with two integer compares.
+    """
+
+    from_version: int
+    to_version: int
+    mutations: Tuple[Mutation, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mutations", tuple(self.mutations))
+        if self.to_version - self.from_version != len(self.mutations):
+            raise GraphError(
+                f"batch spans {self.from_version}->{self.to_version} but carries "
+                f"{len(self.mutations)} mutations"
+            )
+
+    def as_wire(self) -> Dict:
+        return {
+            "from_version": self.from_version,
+            "to_version": self.to_version,
+            "mutations": [m.as_wire() for m in self.mutations],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "MutationBatch":
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"delta payload must be an object, got {type(payload).__name__}")
+        try:
+            from_version = int(payload["from_version"])
+            to_version = int(payload["to_version"])
+            raw = payload["mutations"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed mutation batch: {exc}") from exc
+        if not isinstance(raw, list):
+            raise ProtocolError("mutation batch 'mutations' must be a list")
+        mutations = tuple(Mutation.from_wire(m) for m in raw)
+        try:
+            return cls(from_version, to_version, mutations)
+        except GraphError as exc:
+            raise ProtocolError(str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# seeded traces
+# ----------------------------------------------------------------------
+def generate_mutation_trace(
+    graph,
+    count: int,
+    seed: int = 0,
+    horizon: Optional[int] = None,
+    max_distance: float = 3.0,
+) -> List[Mutation]:
+    """Generate a seeded, *valid-in-sequence* mutation trace for ``graph``.
+
+    The generator simulates the trace against a private copy of the edge
+    set, so every ``remove_edge`` targets an edge that exists at that point
+    in the stream and every ``add_edge`` creates a genuinely new edge.
+    Roughly 45% adds / 35% removes / 20% availability updates (the last
+    only when ``horizon`` is given).  The input graph is not mutated.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    if len(vertices) < 2:
+        raise GraphError("mutation trace needs a graph with at least two vertices")
+    edges: List[Tuple[Vertex, Vertex]] = [(u, v) for u, v, _ in graph.edges()]
+    edged = {frozenset(e) for e in edges}
+
+    trace: List[Mutation] = []
+    for _ in range(count):
+        roll = rng.random()
+        if horizon is not None and roll < 0.20:
+            person = rng.choice(vertices)
+            width = rng.randrange(0, horizon + 1)
+            slots = sorted(rng.sample(range(1, horizon + 1), width))
+            trace.append(Mutation.update_availability(person, slots))
+            continue
+        if roll < 0.65 and edges:
+            idx = rng.randrange(len(edges))
+            u, v = edges[idx]
+            edges[idx] = edges[-1]
+            edges.pop()
+            edged.discard(frozenset((u, v)))
+            trace.append(Mutation.remove_edge(u, v))
+            continue
+        for _attempt in range(64):
+            u, v = rng.choice(vertices), rng.choice(vertices)
+            if u != v and frozenset((u, v)) not in edged:
+                break
+        else:  # pragma: no cover - saturated graph
+            raise GraphError("could not sample a non-edge; graph too dense for trace")
+        distance = round(rng.uniform(0.2, max_distance), 3)
+        edges.append((u, v))
+        edged.add(frozenset((u, v)))
+        trace.append(Mutation.add_edge(u, v, distance))
+    return trace
+
+
+def save_mutation_trace(path: PathLike, mutations: Sequence[Mutation]) -> None:
+    """Write a trace as JSONL — one ``Mutation.as_wire()`` object per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for mutation in mutations:
+            handle.write(json.dumps(mutation.as_wire(), sort_keys=True) + "\n")
+
+
+def load_mutation_trace(path: PathLike) -> List[Mutation]:
+    """Load a JSONL mutation trace written by :func:`save_mutation_trace`."""
+    trace: List[Mutation] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            trace.append(Mutation.from_wire(payload))
+    return trace
+
+
+# ----------------------------------------------------------------------
+# snapshots (the last-resort fallback when deltas cannot bridge a gap)
+# ----------------------------------------------------------------------
+def graph_to_snapshot(graph) -> Dict:
+    """Serialise a substrate's full topology as a JSON-ready dict."""
+    return {
+        "vertices": list(graph.vertices()),
+        "edges": [[u, v, d] for u, v, d in graph.edges()],
+    }
+
+
+def graph_from_snapshot(payload: object) -> SocialGraph:
+    """Rebuild a :class:`SocialGraph` from :func:`graph_to_snapshot` output."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"snapshot payload must be an object, got {type(payload).__name__}")
+    try:
+        vertices = payload["vertices"]
+        edges = payload["edges"]
+        graph = SocialGraph(
+            edges=[(u, v, float(d)) for u, v, d in edges],
+            vertices=vertices,
+        )
+    except (KeyError, TypeError, ValueError, GraphError) as exc:
+        raise ProtocolError(f"malformed graph snapshot: {exc}") from exc
+    return graph

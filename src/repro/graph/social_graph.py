@@ -49,7 +49,7 @@ class SocialGraph:
     3.0
     """
 
-    __slots__ = ("_adj", "_dist")
+    __slots__ = ("_adj", "_dist", "_graph_version")
 
     def __init__(
         self,
@@ -61,21 +61,32 @@ class SocialGraph:
         self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
         # _dist caches frozenset neighbour views; invalidated on mutation.
         self._dist: Dict[Vertex, FrozenSet[Vertex]] = {}
+        self._graph_version = 0
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
         if edges is not None:
             for u, v, d in edges:
                 self.add_edge(u, v, d)
+        # The version counts *mutations since construction*: two graphs built
+        # from the same edge list start at 0 regardless of how many add_edge
+        # calls the constructor issued, so identically-seeded replicas agree.
+        self._graph_version = 0
 
     # ------------------------------------------------------------------
     # construction / mutation
     # ------------------------------------------------------------------
+    @property
+    def graph_version(self) -> int:
+        """Monotonic counter bumped by every mutating call since construction."""
+        return self._graph_version
+
     def add_vertex(self, v: Vertex) -> None:
         """Add ``v`` to the graph (no-op if already present)."""
         if v not in self._adj:
             self._adj[v] = {}
             self._dist.pop(v, None)
+            self._graph_version += 1
 
     def add_edge(self, u: Vertex, v: Vertex, distance: float) -> None:
         """Add (or update) the undirected edge ``{u, v}`` with ``distance``.
@@ -91,12 +102,15 @@ class SocialGraph:
         dist = float(distance)
         if not dist > 0 or dist != dist or dist == float("inf"):
             raise GraphError(f"edge distance must be positive and finite, got {distance!r}")
-        self.add_vertex(u)
-        self.add_vertex(v)
+        # Implicit vertex creation does not bump the version separately: one
+        # mutating call advances graph_version by exactly one.
+        self._adj.setdefault(u, {})
+        self._adj.setdefault(v, {})
         self._adj[u][v] = dist
         self._adj[v][u] = dist
         self._dist.pop(u, None)
         self._dist.pop(v, None)
+        self._graph_version += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``{u, v}``; raise :class:`EdgeNotFoundError` if absent."""
@@ -106,6 +120,7 @@ class SocialGraph:
         del self._adj[v][u]
         self._dist.pop(u, None)
         self._dist.pop(v, None)
+        self._graph_version += 1
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and all incident edges."""
@@ -116,6 +131,7 @@ class SocialGraph:
             self._dist.pop(u, None)
         del self._adj[v]
         self._dist.pop(v, None)
+        self._graph_version += 1
 
     # ------------------------------------------------------------------
     # queries

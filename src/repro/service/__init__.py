@@ -30,6 +30,13 @@ the solvers into that shape:
   routing, per-request failure containment), and ``stgq cluster`` boots a
   local N-worker cluster plus gateway in one command.  See
   ``docs/service.md`` for the architecture page and wire-protocol spec.
+* **Live-graph mutations** — ``apply_mutations`` applies
+  add-edge/remove-edge/availability changes to the serving graph, evicts
+  exactly the cached egos that contain a touched vertex (reverse vertex
+  index), and fans the versioned delta out to every worker — process-pool
+  broadcast locally, ``delta``/``snapshot`` frames over TCP, with a
+  mutation-log replay and a substrate-reload fallback bridging version
+  gaps.  See ``docs/live_graph.md`` and ``stgq mutate``.
 * **Observability** — ``stats()`` and ``cache_info()`` expose query counts,
   feasibility ratios, solver time and cache hit rates, the numbers a
   capacity planner needs — aggregated across workers whichever backend runs.
@@ -81,7 +88,7 @@ from .net import (
     run_worker,
     start_local_workers,
 )
-from .query_service import CacheInfo, QueryService
+from .query_service import MUTATION_LOG_CAPACITY, CacheInfo, MutationReport, QueryService
 from .sharding import ShardMap, stable_shard
 
 __all__ = [
@@ -92,6 +99,8 @@ __all__ = [
     "ExecutionContext",
     "ExecutorBackend",
     "LocalWorkerCluster",
+    "MUTATION_LOG_CAPACITY",
+    "MutationReport",
     "ProcessBackend",
     "QueryService",
     "RemoteBackend",

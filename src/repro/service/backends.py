@@ -50,6 +50,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from ..exceptions import QueryError
+from ..graph.mutations import MutationBatch
 from .context import ExecutionContext
 from .sharding import ShardMap
 
@@ -117,6 +118,20 @@ class ExecutorBackend(Protocol):
         """
         ...
 
+    def apply_mutations(self, service: "QueryService", batch: MutationBatch) -> int:
+        """Replicate an applied mutation batch to every backend worker.
+
+        Called by :meth:`QueryService.apply_mutations` *after* the service
+        has applied the batch locally and evicted its own touched entries.
+        Sharded backends forward the versioned delta to each worker (which
+        applies it with targeted invalidation of its private cache); a
+        worker that reports a version gap is resynced via the full-reload
+        path.  Returns the total number of worker cache entries evicted.
+        In-process backends answer from the service's own cache — already
+        invalidated — and return 0.
+        """
+        ...
+
     def close(self) -> None:
         """Release pools and worker processes (no-op for stateless backends)."""
         ...
@@ -143,6 +158,9 @@ class SerialBackend:
 
     def clear_caches(self, service: "QueryService") -> None:
         pass  # answers from the service's own cache, already cleared
+
+    def apply_mutations(self, service: "QueryService", batch: MutationBatch) -> int:
+        return 0  # answers from the service's own cache, already invalidated
 
     def close(self) -> None:
         pass
@@ -189,6 +207,9 @@ class ThreadBackend:
     def clear_caches(self, service: "QueryService") -> None:
         pass  # answers from the service's own cache, already cleared
 
+    def apply_mutations(self, service: "QueryService", batch: MutationBatch) -> int:
+        return 0  # answers from the service's own cache, already invalidated
+
     def close(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
@@ -208,8 +229,14 @@ class ThreadBackend:
 _WORKER_SERVICE: Optional["QueryService"] = None
 
 
-def _init_worker(graph, calendars, parameters, cache_size: int) -> None:
-    """Pool initializer: build this worker's private serial service."""
+def _init_worker(graph, calendars, parameters, cache_size: int, live_version: int = 0) -> None:
+    """Pool initializer: build this worker's private serial service.
+
+    ``live_version`` pins the worker at the parent's position in the
+    mutation stream: pools that start lazily *after* mutations were applied
+    receive the already-mutated graph, so the worker must not believe it is
+    at version 0 (the next delta would look like a gap).
+    """
     global _WORKER_SERVICE
     from .query_service import QueryService
 
@@ -220,24 +247,47 @@ def _init_worker(graph, calendars, parameters, cache_size: int) -> None:
         cache_size=cache_size,
         backend="serial",
     )
+    _WORKER_SERVICE._live_version = int(live_version)
 
 
-def _worker_reload(graph, calendars) -> None:
+def _worker_reload(graph, calendars, live_version: int = 0) -> None:
     """Refresh this worker's graph snapshot and drop its ego-network cache.
 
-    The broadcast target of :meth:`ProcessBackend.clear_caches`: each worker
-    process holds a *copy* of the graph shipped at pool start, so merely
-    clearing its LRU would re-extract the same pre-change topology.  The
-    parent ships its current graph/calendars along with the clear, making
-    ``QueryService.clear_cache()`` a true "the graph changed" invalidation
-    on the process backend.
+    The broadcast target of :meth:`ProcessBackend.clear_caches` and the
+    version-gap fallback of :meth:`ProcessBackend.apply_mutations`: each
+    worker process holds a *copy* of the graph shipped at pool start, so
+    merely clearing its LRU would re-extract the same pre-change topology.
+    The parent ships its current graph/calendars along with the clear —
+    making ``QueryService.clear_cache()`` a true "the graph changed"
+    invalidation on the process backend — and pins the worker at the
+    parent's live version so subsequent deltas apply contiguously.
     """
     service = _WORKER_SERVICE
     if service is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("process-pool worker used before initialisation")
-    service.graph = graph
-    service.calendars = calendars
-    service.clear_cache()
+    with service._mutation_lock:
+        service.graph = graph
+        service.calendars = calendars
+        service._live_version = int(live_version)
+        service._mutation_log.clear()
+        service._availability_overrides = {}
+        service._vertex_epochs.clear()
+        service.clear_cache()
+
+
+def _worker_apply_delta(batch_wire: Dict) -> Tuple[str, int, int]:
+    """Apply one replicated mutation batch inside the worker process.
+
+    Returns ``(status, entries_evicted, live_version)`` where ``status`` is
+    the :meth:`QueryService.apply_delta` verdict (``applied`` / ``noop`` /
+    ``gap``).  On a gap the parent falls back to :func:`_worker_reload`.
+    """
+    service = _WORKER_SERVICE
+    if service is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("process-pool worker used before initialisation")
+    batch = MutationBatch.from_wire(batch_wire)
+    status, invalidated = service.apply_delta(batch)
+    return status, invalidated, service.live_version
 
 
 def _worker_rss() -> int:
@@ -338,7 +388,13 @@ class ProcessBackend:
                 return self._pools
             context = self._mp_context or _default_mp_context()
             per_worker_cache = max(1, -(-service.cache_size // self.workers))
-            initargs = (service.graph, service.calendars, service.parameters, per_worker_cache)
+            initargs = (
+                service.graph,
+                service.calendars,
+                service.parameters,
+                per_worker_cache,
+                service.live_version,
+            )
             self._pools = [
                 ProcessPoolExecutor(
                     max_workers=1,
@@ -428,9 +484,42 @@ class ProcessBackend:
                 return
             self._cache_sizes = {}
         graph, calendars = service.graph, service.calendars
-        futures = [pool.submit(_worker_reload, graph, calendars) for pool in pools]
+        live = service.live_version
+        futures = [pool.submit(_worker_reload, graph, calendars, live) for pool in pools]
         for future in futures:
             future.result()
+
+    def apply_mutations(self, service: "QueryService", batch: MutationBatch) -> int:
+        """Broadcast a versioned delta to every pool worker.
+
+        Pools that have not started yet have no worker state to update —
+        they will boot from the already-mutated graph at the current live
+        version.  Every mutation can touch egos on any shard (the reverse
+        index keys by *contained* vertex, not initiator), so the delta goes
+        to all workers; a worker reporting a version gap is resynced with a
+        full :func:`_worker_reload`.  Returns total worker entries evicted.
+        """
+        with self._lock:
+            pools = self._pools
+        if pools is None:
+            return 0
+        wire = batch.as_wire()
+        futures = [pool.submit(_worker_apply_delta, wire) for pool in pools]
+        total = 0
+        stale: List[int] = []
+        for shard, future in enumerate(futures):
+            status, invalidated, _version = future.result()
+            if status == "applied":
+                total += invalidated
+            elif status == "gap":
+                stale.append(shard)
+        if stale:
+            graph, calendars = service.graph, service.calendars
+            live = service.live_version
+            reloads = [pools[shard].submit(_worker_reload, graph, calendars, live) for shard in stale]
+            for future in reloads:
+                future.result()
+        return total
 
     def close(self) -> None:
         with self._lock:

@@ -67,6 +67,18 @@ class ServiceStats:
     cache_misses: int = 0
     solve_seconds: float = 0.0
     nodes_expanded: int = 0
+    mutations: int = 0
+    invalidations: int = 0
+
+    @property
+    def invalidations_per_mutation(self) -> float:
+        """Average cache entries evicted per applied mutation (0.0 when none).
+
+        The live-graph health signal: targeted invalidation keeps this far
+        below the cache size, whereas a full nuke per mutation would pin it
+        at the (pre-mutation) entry count.
+        """
+        return self.invalidations / self.mutations if self.mutations else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Return the counters as a plain dict (for CSV/JSON reporting)."""
@@ -80,6 +92,8 @@ class ServiceStats:
             "cache_misses": self.cache_misses,
             "solve_seconds": self.solve_seconds,
             "nodes_expanded": self.nodes_expanded,
+            "mutations": self.mutations,
+            "invalidations": self.invalidations,
         }
 
     def merge_dict(self, delta: Dict[str, float]) -> None:
@@ -93,6 +107,8 @@ class ServiceStats:
         self.cache_misses += int(delta.get("cache_misses", 0))
         self.solve_seconds += float(delta.get("solve_seconds", 0.0))
         self.nodes_expanded += int(delta.get("nodes_expanded", 0))
+        self.mutations += int(delta.get("mutations", 0))
+        self.invalidations += int(delta.get("invalidations", 0))
 
 
 class ExecutionContext(SearchContext):

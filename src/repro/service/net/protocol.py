@@ -32,6 +32,28 @@ All frames are JSON objects with a ``"type"`` key:
     Optional keys added by newer gateways are ignored by older workers, so
     this rides on protocol v1 without a version bump.
 
+``{"type": "delta", "id": ..., "batch": {...}}``
+    Live-graph replication (see ``docs/live_graph.md``): one versioned
+    mutation batch (``from_version``/``to_version``/``mutations`` per
+    ``MutationBatch.as_wire``).  Answered with ``{"type": "delta_result",
+    "id": ..., "status": "applied"|"noop"|"gap", "invalidated": N,
+    "version": V}`` — the version handshake makes retries idempotent
+    (``noop``) and turns out-of-order delivery into an explicit ``gap``
+    the gateway bridges with a log replay or a ``snapshot``.
+
+``{"type": "snapshot", "id": ..., "payload": {...}}``
+    Catch-up fallback when deltas cannot bridge a version gap.  The
+    payload carries ``version`` plus availability overrides and either
+    inline topology (``vertices``/``edges``) or — when the frame also
+    carries ``graph_path``/``graph_version`` — a reference to a ``.stgq``
+    substrate file the worker re-opens instead (the same reload path
+    ``cache_clear`` uses).  Answered with ``{"type": "snapshot_applied",
+    "id": ..., "version": V, "invalidated": N}``.
+
+    Both mutation frames ride on protocol v1: workers that predate them
+    answer ``error`` with the connection kept open, which the gateway
+    surfaces as an incomplete distribution.
+
 ``{"type": "stats"}``
     Snapshot of the worker's service counters and cache info.
 

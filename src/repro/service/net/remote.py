@@ -434,6 +434,151 @@ class RemoteBackend:
         if failures:
             raise WorkerUnavailableError("cache clear incomplete: " + "; ".join(failures))
 
+    # ------------------------------------------------------------------
+    # live-graph mutation distribution (docs/live_graph.md)
+    # ------------------------------------------------------------------
+    def _delta_one(self, shard: int, batch_wire: Dict) -> Tuple[str, int, int]:
+        """Ship one delta frame; returns (status, invalidated, worker_version)."""
+        link = self._links[shard]
+        # Like cache invalidation, mutation distribution is a correctness
+        # operation: every worker must actually be attempted, backoff or not.
+        link.reset_backoff()
+        reply = link.request({"type": "delta", "id": shard, "batch": batch_wire})
+        if reply.get("type") != "delta_result":
+            raise WorkerUnavailableError(
+                f"worker {link.label} answered a delta with {reply.get('type')!r}"
+            )
+        try:
+            return (
+                str(reply.get("status")),
+                int(reply.get("invalidated", 0)),
+                int(reply.get("version", -1)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise WorkerUnavailableError(
+                f"worker {link.label} sent a malformed delta result: {exc}"
+            ) from exc
+
+    def _catch_up(self, shard: int, frames: List[Dict], target: int) -> int:
+        """Replay pre-built catch-up frames to one worker; returns evictions.
+
+        The frames are either a contiguous chain of delta frames (log
+        replay) or a single snapshot frame; either way the worker must end
+        at ``target`` or the distribution is incomplete.
+        """
+        link = self._links[shard]
+        invalidated = 0
+        version = -1
+        for frame in frames:
+            reply = link.request(frame)
+            rtype = reply.get("type")
+            if rtype == "delta_result":
+                if reply.get("status") == "gap":
+                    raise WorkerUnavailableError(
+                        f"worker {link.label} reported a gap mid-replay "
+                        f"(at version {reply.get('version')})"
+                    )
+            elif rtype != "snapshot_applied":
+                raise WorkerUnavailableError(
+                    f"worker {link.label} answered catch-up with {rtype!r}"
+                )
+            try:
+                invalidated += int(reply.get("invalidated", 0))
+                version = int(reply.get("version", -1))
+            except (TypeError, ValueError) as exc:
+                raise WorkerUnavailableError(
+                    f"worker {link.label} sent a malformed catch-up result: {exc}"
+                ) from exc
+        if version < target:
+            raise WorkerUnavailableError(
+                f"worker {link.label} is at version {version} after catch-up "
+                f"(target {target})"
+            )
+        return invalidated
+
+    def _snapshot_frame(self, service: "QueryService") -> Dict:
+        """Build the snapshot catch-up frame (reference form when possible).
+
+        A substrate-backed gateway whose graph was never overlay-wrapped
+        ships a ``graph_path`` reference (the worker re-opens the same
+        ``.stgq`` file — the PR 6 reload path) plus version/availability;
+        otherwise the full topology goes inline.
+        """
+        graph_path = getattr(service.graph, "path", None)
+        if graph_path is not None:
+            return {
+                "type": "snapshot",
+                "graph_path": graph_path,
+                "graph_version": service.graph.version,
+                "payload": service.snapshot_payload(inline_graph=False),
+            }
+        return {"type": "snapshot", "payload": service.snapshot_payload()}
+
+    def apply_mutations(self, service: "QueryService", batch) -> int:
+        """Distribute one mutation batch to every worker; returns evictions.
+
+        Runs the catch-up ladder per worker: the versioned delta frame
+        first (idempotent — a worker that already has it answers "noop"),
+        then, for workers reporting a version gap, a mutation-log replay
+        when the gateway's log still bridges the gap, else a snapshot.
+        Like :meth:`clear_caches` this is all-or-error: every worker is
+        attempted, and if any could not be brought to the batch's target
+        version a :class:`~repro.exceptions.WorkerUnavailableError` naming
+        them is raised — the fleet must not serve mixed graph versions.
+
+        Called by :meth:`QueryService.apply_mutations` while it holds the
+        service's mutation lock (an RLock owned by *this* thread), so the
+        catch-up material — log chains, the snapshot payload — is built
+        here on the calling thread; pool threads only ship pre-built
+        frames and never touch the service.
+        """
+        pool = self._ensure_pool()
+        wire = batch.as_wire()
+        futures = {
+            shard: pool.submit(self._delta_one, shard, wire) for shard in range(self.workers)
+        }
+        gaps: Dict[int, int] = {}
+        failures: Dict[int, str] = {}
+        total = 0
+        for shard, future in futures.items():
+            try:
+                status, invalidated, version = future.result()
+            except WorkerUnavailableError as exc:
+                failures[shard] = str(exc)
+                continue
+            if status == "gap":
+                gaps[shard] = version
+            else:
+                total += invalidated
+        if gaps:
+            plans: Dict[int, List[Dict]] = {}
+            snapshot_frame: Optional[Dict] = None
+            for shard, version in gaps.items():
+                chain = service.mutation_log_since(version) if version >= 0 else None
+                if chain:
+                    plans[shard] = [
+                        {"type": "delta", "id": shard, "batch": b.as_wire()} for b in chain
+                    ]
+                else:
+                    if snapshot_frame is None:
+                        snapshot_frame = self._snapshot_frame(service)
+                    plans[shard] = [dict(snapshot_frame, id=shard)]
+            catch_futures = {
+                shard: pool.submit(self._catch_up, shard, frames, batch.to_version)
+                for shard, frames in plans.items()
+            }
+            for shard, future in catch_futures.items():
+                try:
+                    total += future.result()
+                except WorkerUnavailableError as exc:
+                    failures[shard] = str(exc)
+        if failures:
+            raise WorkerUnavailableError(
+                "mutation distribution incomplete: "
+                + "; ".join(failures[shard] for shard in sorted(failures))
+            )
+        return total
+
     def worker_stats(self) -> List[Optional[Dict]]:
         """Per-worker ``stats`` control-frame snapshots (``None`` when down)."""
         snapshots: List[Optional[Dict]] = []

@@ -15,6 +15,12 @@ the event loop keeps reading other connections, solving *their* batches,
 and answering control frames.  A batch frame may set ``"stats": true`` to
 additionally receive the batch's merged kernel statistics
 (``SearchStats``), straight from the solvers that recorded them.
+
+Live-graph replication (``docs/live_graph.md``) rides on the same
+connection: ``delta`` frames apply versioned mutation batches — idempotent
+via the version handshake in :meth:`QueryService.apply_delta` — and
+``snapshot`` frames are the catch-up fallback, inline or as a ``.stgq``
+file reference.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import sys
 from typing import Any, Dict, List, Optional, Set, TextIO, Tuple
 
 from ...exceptions import ProtocolError, ReproError
+from ...graph.mutations import MutationBatch
 from ..codec import encode_result, query_from_request, wants_stats
 from ..context import ExecutionContext
 from ..query_service import Query, QueryService
@@ -140,6 +147,10 @@ class WorkerServer:
             if graph_path is not None:
                 reply["graph_path"] = graph_path
                 reply["graph_version"] = self.service.graph.version
+            # Position in the mutation stream, so a gateway (or ``stgq
+            # mutate``) can see on connect whether this worker needs a
+            # catch-up before the fleet serves one consistent version.
+            reply["live_version"] = self.service.live_version
             return reply, True
         if ftype == "ping":
             return {"type": "pong", "id": frame.get("id")}, True
@@ -175,6 +186,70 @@ class WorkerServer:
                 }
                 return reply, True
             return {"type": "cache_cleared", "id": frame.get("id")}, True
+        if ftype == "delta":
+            # Live-graph replication (docs/live_graph.md): one versioned
+            # mutation batch.  apply_delta's version handshake makes the
+            # frame idempotent (a retried delta is a "noop") and turns any
+            # out-of-order delivery into an explicit "gap" the gateway
+            # answers with a log replay or a snapshot.  Runs off-loop: the
+            # service takes its mutation lock and may broadcast to its own
+            # process pools, and other connections' batches must keep
+            # flowing meanwhile.
+            loop = asyncio.get_running_loop()
+            try:
+                batch = MutationBatch.from_wire(frame.get("batch"))
+                status, invalidated = await loop.run_in_executor(
+                    None, self.service.apply_delta, batch
+                )
+            except (ProtocolError, ReproError) as exc:
+                reply = {
+                    "type": "error",
+                    "error": f"delta failed: {exc}",
+                    "id": frame.get("id"),
+                }
+                return reply, True
+            reply = {
+                "type": "delta_result",
+                "id": frame.get("id"),
+                "status": status,
+                "invalidated": invalidated,
+                "version": self.service.live_version,
+            }
+            return reply, True
+        if ftype == "snapshot":
+            # Catch-up fallback when deltas cannot bridge the version gap.
+            # Two forms: inline (payload carries vertices/edges) and
+            # reference (``graph_path``/``graph_version`` name a ``.stgq``
+            # substrate this worker re-opens — the PR 6 reload path — with
+            # the payload carrying only version/availability).
+            loop = asyncio.get_running_loop()
+            payload = frame.get("payload")
+            if not isinstance(payload, dict):
+                reply = {
+                    "type": "error",
+                    "error": "snapshot frame must carry a 'payload' object",
+                    "id": frame.get("id"),
+                }
+                return reply, True
+            graph_path = frame.get("graph_path")
+            try:
+                dropped = await loop.run_in_executor(
+                    None, self._apply_snapshot, payload, graph_path, frame.get("graph_version")
+                )
+            except (ProtocolError, ReproError) as exc:
+                reply = {
+                    "type": "error",
+                    "error": f"snapshot failed: {exc}",
+                    "id": frame.get("id"),
+                }
+                return reply, True
+            reply = {
+                "type": "snapshot_applied",
+                "id": frame.get("id"),
+                "version": self.service.live_version,
+                "invalidated": dropped,
+            }
+            return reply, True
         if ftype == "stats":
             info = self.service.cache_info()
             reply = {
@@ -209,6 +284,26 @@ class WorkerServer:
                 f"substrate {path} has version {graph.version}, gateway expects {version}"
             )
         self.service.graph = graph
+
+    def _apply_snapshot(self, payload: Dict[str, Any], graph_path: Any, graph_version: Any) -> int:
+        """Apply a snapshot frame's state swap (blocking; runs on the executor).
+
+        The reference form re-opens the named ``.stgq`` substrate (mmap'd,
+        version-checked) and hands it to :meth:`QueryService.apply_snapshot`
+        in place of inline topology, so a full catch-up ships a file
+        reference instead of the graph.
+        """
+        graph = None
+        if graph_path is not None:
+            from ...graph.csr import load_stgq
+
+            graph = load_stgq(str(graph_path), mmap=True)
+            if graph_version is not None and graph.version != graph_version:
+                raise ProtocolError(
+                    f"substrate {graph_path} has version {graph.version}, "
+                    f"gateway expects {graph_version}"
+                )
+        return self.service.apply_snapshot(payload, graph=graph)
 
     def _parse_request(self, payload: Any) -> Query:
         query = query_from_request(payload)

@@ -14,17 +14,25 @@ from __future__ import annotations
 import asyncio
 import functools
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.query import SearchParameters, SGQuery, STGQuery
 from ..core.result import GroupResult, STGroupResult
 from ..core.sgselect import SGSelect
 from ..core.stgselect import STGSelect
-from ..exceptions import QueryError, VertexNotFoundError
+from ..exceptions import ProtocolError, QueryError, ReproError, VertexNotFoundError
 from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
 from ..graph.extraction import FeasibleGraph, extract_feasible_graph
+from ..graph.mutations import (
+    Mutation,
+    MutationBatch,
+    apply_mutation,
+    graph_from_snapshot,
+    graph_to_snapshot,
+)
+from ..graph.overlay import GraphOverlay
 from ..graph.packed import PackedAdjacency, pack_adjacency
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
@@ -32,7 +40,19 @@ from ..types import Vertex
 from .backends import ExecutorBackend, ThreadBackend, make_backend
 from .context import ExecutionContext, ServiceStats
 
-__all__ = ["QueryService", "ServiceStats", "CacheInfo", "ExecutionContext"]
+__all__ = [
+    "QueryService",
+    "ServiceStats",
+    "CacheInfo",
+    "ExecutionContext",
+    "MutationReport",
+    "MUTATION_LOG_CAPACITY",
+]
+
+#: How many applied MutationBatches the service keeps for delta catch-up.
+#: A replica whose version gap is no longer covered by the log falls back
+#: to a full snapshot (see ``docs/live_graph.md``).
+MUTATION_LOG_CAPACITY = 1024
 
 Query = Union[SGQuery, STGQuery]
 Result = Union[GroupResult, STGroupResult]
@@ -61,6 +81,28 @@ class CacheInfo:
         """Fraction of lookups served from the cache (0.0 when none yet)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class MutationReport:
+    """What one :meth:`QueryService.apply_mutations` call did.
+
+    ``invalidated`` counts front-end cache entries evicted by targeted
+    invalidation; ``worker_invalidations`` sums the counts the backend's
+    workers reported for the same batch (0 on serial/thread, whose cache
+    *is* the front-end one).
+    """
+
+    mutations: int
+    invalidated: int
+    worker_invalidations: int
+    from_version: int
+    to_version: int
+
+    @property
+    def invalidations_per_mutation(self) -> float:
+        """Front-end cache entries evicted per mutation (0.0 when none)."""
+        return self.invalidated / self.mutations if self.mutations else 0.0
 
 
 class QueryService:
@@ -114,8 +156,11 @@ class QueryService:
     interleaving-independent.  The cached :class:`FeasibleGraph` /
     :class:`CompiledFeasibleGraph` values are immutable after construction,
     so concurrent searches share them without synchronisation.  The
-    underlying graph must not be mutated while the service is live (mutating
-    a served graph is a deployment error; build a new service instead).
+    underlying graph must not be mutated behind the service's back — route
+    all live changes through :meth:`apply_mutations`, which serializes the
+    mutation stream, evicts exactly the touched cached egos (reverse vertex
+    index + vertex epochs) and replicates the change to every backend
+    worker as a versioned delta (see ``docs/live_graph.md``).
 
     The service is a context manager; ``close()`` (or leaving the ``with``
     block) releases backend pools and worker processes.
@@ -140,6 +185,20 @@ class QueryService:
         self._cache_lock = threading.Lock()
         self._cache_generation = 0
         self._pending_builds: Dict[CacheKey, threading.Event] = {}
+        # Live-graph state (docs/live_graph.md).  _vertex_index is the
+        # reverse index powering targeted invalidation: vertex -> cached
+        # (initiator, radius) keys whose ego contains it (guarded by
+        # _cache_lock, maintained on insert/evict).  _vertex_epochs records
+        # the live version of the last mutation touching each vertex so an
+        # in-flight build can detect, at insert time, that its ego went
+        # stale mid-build.  _mutation_lock serializes the mutation stream;
+        # _mutation_log keeps recent batches for replica catch-up.
+        self._vertex_index: Dict[Vertex, Set[CacheKey]] = {}
+        self._vertex_epochs: Dict[Vertex, int] = {}
+        self._mutation_lock = threading.RLock()
+        self._mutation_log: Deque[MutationBatch] = deque(maxlen=MUTATION_LOG_CAPACITY)
+        self._live_version = 0
+        self._availability_overrides: Dict[Vertex, Tuple[int, ...]] = {}
         self._stats_lock = threading.Lock()
         self._stats = ServiceStats()
         self._backend = make_backend(backend, max_workers)
@@ -173,7 +232,12 @@ class QueryService:
         result to its own caller (computed from the graph at call time) but
         must not re-insert the now-stale entry, so insertion is skipped
         unless the generation still matches the one the build started
-        under.
+        under.  Mutations extend the same idea per vertex: the build also
+        captures the live version it started at, and insertion is skipped
+        when any vertex of the extracted ego was touched by a later
+        mutation (``_vertex_epochs``) — a targeted invalidation cannot see
+        a pending key, so without this check an in-flight build could
+        resurrect a stale ego right after the mutation evicted it.
         """
         key = (initiator, radius)
         while True:
@@ -184,6 +248,7 @@ class QueryService:
                     self._cache.move_to_end(key)
                 else:
                     generation = self._cache_generation
+                    epoch = self._live_version
                     pending = self._pending_builds.get(key)
                     if pending is None:
                         event = self._pending_builds[key] = threading.Event()
@@ -206,11 +271,13 @@ class QueryService:
             compiled = compile_feasible_graph(feasible) if kernel != "reference" else None
             packed = pack_adjacency(compiled) if kernel == "numpy" else None
             with self._cache_lock:
-                if self._cache_generation == generation:
+                if self._cache_generation == generation and not self._stale_since(feasible, epoch):
                     self._cache[key] = (feasible, compiled, packed)
                     self._cache.move_to_end(key)
+                    self._index_entry(key, feasible)
                     while len(self._cache) > self.cache_size:
-                        self._cache.popitem(last=False)
+                        evicted_key, evicted = self._cache.popitem(last=False)
+                        self._unindex_entry(evicted_key, evicted[0])
         finally:
             # Always release waiters, even when the build raised (they will
             # retry and surface their own error).  Only pop the event if it
@@ -221,6 +288,22 @@ class QueryService:
                     del self._pending_builds[key]
             event.set()
         return feasible, compiled, packed
+
+    # -- reverse index + staleness (all callers hold _cache_lock) --------
+    def _index_entry(self, key: CacheKey, feasible: FeasibleGraph) -> None:
+        for v in feasible.graph:
+            self._vertex_index.setdefault(v, set()).add(key)
+
+    def _unindex_entry(self, key: CacheKey, feasible: FeasibleGraph) -> None:
+        for v in feasible.graph:
+            keys = self._vertex_index.get(v)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._vertex_index[v]
+
+    def _stale_since(self, feasible: FeasibleGraph, epoch: int) -> bool:
+        return any(self._vertex_epochs.get(v, 0) > epoch for v in feasible.graph)
 
     def cache_info(self) -> CacheInfo:
         """Snapshot of cache effectiveness (aggregated across process workers)."""
@@ -256,7 +339,213 @@ class QueryService:
         with self._cache_lock:
             self._cache_generation += 1
             self._cache.clear()
+            self._vertex_index.clear()
         self._backend.clear_caches(self)
+
+    # ------------------------------------------------------------------
+    # live-graph mutations (docs/live_graph.md)
+    # ------------------------------------------------------------------
+    @property
+    def live_version(self) -> int:
+        """Position in the mutation stream: mutations applied since boot.
+
+        Replicas built from the same seeded dataset (or the same ``.stgq``
+        substrate) start at 0 and advance by exactly one per mutation, so
+        two services at the same live version hold identical graph and
+        availability state.  Distinct from the per-object
+        ``graph.graph_version`` counter (which also counts direct mutating
+        calls on the substrate) and from the CSR content-hash ``version``.
+        """
+        with self._mutation_lock:
+            return self._live_version
+
+    def apply_mutations(self, mutations: Sequence[Mutation]) -> MutationReport:
+        """Apply a mutation run to the live graph and distribute it.
+
+        The operator-facing entry point: applies each mutation to the
+        service's graph/calendars (wrapping an immutable substrate in a
+        :class:`GraphOverlay` on first edge mutation), advances the live
+        version by one per mutation, evicts exactly the cached egos that
+        contain a touched vertex (via the reverse vertex index), appends
+        the batch to the catch-up log, and fans the versioned delta out
+        through the backend (process-pool broadcast / TCP delta frames).
+
+        Error semantics: mutations apply in order; if one fails (e.g.
+        ``remove_edge`` on a missing edge raises
+        :class:`~repro.exceptions.GraphError`), the *applied prefix* is
+        still versioned, logged and distributed — keeping every replica
+        consistent with this service — and the error is then re-raised.
+
+        Raises
+        ------
+        GraphError
+            From the failing mutation, after the applied prefix has been
+            distributed.
+        WorkerUnavailableError
+            On the ``remote`` backend when a worker could not be brought to
+            the target version (the fleet would be serving mixed versions).
+        """
+        run: List[Mutation] = list(mutations)
+        for mutation in run:
+            if not isinstance(mutation, Mutation):
+                raise QueryError(f"expected a Mutation, got {type(mutation).__name__}")
+        with self._mutation_lock:
+            from_version = self._live_version
+            if any(m.kind != "update_availability" for m in run):
+                if not hasattr(self.graph, "add_edge"):
+                    self.graph = GraphOverlay(self.graph)
+            applied: List[Mutation] = []
+            touched: List[Vertex] = []
+            error: Optional[ReproError] = None
+            for mutation in run:
+                try:
+                    touched.extend(apply_mutation(self.graph, self.calendars, mutation))
+                except ReproError as exc:
+                    error = exc
+                    break
+                applied.append(mutation)
+                if mutation.kind == "update_availability":
+                    self._availability_overrides[mutation.person] = mutation.slots or ()
+            invalidated = 0
+            worker_invalidations = 0
+            to_version = from_version
+            if applied:
+                to_version = from_version + len(applied)
+                self._live_version = to_version
+                batch = MutationBatch(from_version, to_version, tuple(applied))
+                self._mutation_log.append(batch)
+                invalidated = self._invalidate_vertices(touched, to_version)
+                with self._stats_lock:
+                    self._stats.mutations += len(applied)
+                    self._stats.invalidations += invalidated
+                worker_invalidations = self._backend.apply_mutations(self, batch)
+        if error is not None:
+            raise error
+        return MutationReport(
+            mutations=len(applied),
+            invalidated=invalidated,
+            worker_invalidations=worker_invalidations,
+            from_version=from_version,
+            to_version=to_version,
+        )
+
+    def _invalidate_vertices(self, vertices: Iterable[Vertex], epoch: int) -> int:
+        """Evict every cached ego containing a touched vertex; return count.
+
+        Also stamps the touched vertices with ``epoch`` so in-flight builds
+        of egos containing them skip their insert (see :meth:`_lookup`).
+        """
+        dropped = 0
+        with self._cache_lock:
+            for v in set(vertices):
+                self._vertex_epochs[v] = epoch
+                for key in tuple(self._vertex_index.get(v, ())):
+                    entry = self._cache.pop(key, None)
+                    if entry is not None:
+                        dropped += 1
+                        self._unindex_entry(key, entry[0])
+        return dropped
+
+    def apply_delta(self, batch: MutationBatch) -> Tuple[str, int]:
+        """Apply a replicated :class:`MutationBatch`; return (status, evicted).
+
+        The replica-facing counterpart of :meth:`apply_mutations`, with the
+        version handshake that makes delta application idempotent:
+
+        * ``batch.to_version <= live_version`` — already applied (e.g. a
+          retried frame): ``("noop", 0)``, nothing touched.
+        * ``batch.from_version == live_version`` — contiguous: applied,
+          ``("applied", n_evicted)``.
+        * anything else — a gap this batch cannot bridge: ``("gap", 0)``;
+          the caller must catch up from the mutation log or fall back to a
+          snapshot/substrate reload.
+        """
+        with self._mutation_lock:
+            current = self._live_version
+            if batch.to_version <= current:
+                return ("noop", 0)
+            if batch.from_version != current:
+                return ("gap", 0)
+            report = self.apply_mutations(batch.mutations)
+            return ("applied", report.invalidated)
+
+    def mutation_log_since(self, version: int) -> Optional[List[MutationBatch]]:
+        """Contiguous logged batches taking ``version`` to the live version.
+
+        Returns ``None`` when the log cannot bridge the gap (the replica is
+        older than the log's tail, or ``version`` is not a batch boundary)
+        — the caller must fall back to a snapshot.
+        """
+        with self._mutation_lock:
+            if version > self._live_version:
+                return None
+            chain: List[MutationBatch] = []
+            at = version
+            for batch in self._mutation_log:
+                if batch.to_version <= at:
+                    continue
+                if batch.from_version != at:
+                    return None
+                chain.append(batch)
+                at = batch.to_version
+            return chain if at == self._live_version else None
+
+    def snapshot_payload(self, inline_graph: bool = True) -> Dict:
+        """Full live state as a JSON-ready dict (the last-resort fallback).
+
+        Carries the complete topology, the availability overrides applied
+        since boot, and the live version to pin the receiving replica at.
+        Pass ``inline_graph=False`` to omit the topology — the remote
+        backend does this when the receiving worker can re-open the same
+        ``.stgq`` substrate file instead (the snapshot then ships a file
+        *reference* plus this payload's version/availability).
+        """
+        with self._mutation_lock:
+            payload = graph_to_snapshot(self.graph) if inline_graph else {}
+            payload["version"] = self._live_version
+            if self._availability_overrides:
+                payload["availability"] = [
+                    [person, list(slots)]
+                    for person, slots in self._availability_overrides.items()
+                ]
+            return payload
+
+    def apply_snapshot(self, payload: Dict, graph: Optional[object] = None) -> int:
+        """Replace the live state with a snapshot; return evicted entry count.
+
+        ``graph`` overrides the payload's inline topology — the TCP worker
+        passes the freshly re-opened ``.stgq`` substrate here when the
+        snapshot arrived as a ``graph_path`` reference (the PR 6 reload
+        path) instead of inline edges.  The cache is fully cleared (with a
+        generation bump, so in-flight builds cannot resurrect pre-snapshot
+        egos) and the live version is pinned to the snapshot's.
+        """
+        try:
+            version = int(payload["version"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"snapshot payload missing a usable version: {exc}") from exc
+        with self._mutation_lock:
+            new_graph = graph if graph is not None else graph_from_snapshot(payload)
+            availability = payload.get("availability", [])
+            if availability and self.calendars is None:
+                raise ProtocolError("snapshot carries availability but service has no calendars")
+            from ..temporal.schedule import Schedule
+
+            self.graph = new_graph
+            self._availability_overrides = {}
+            for person, slots in availability:
+                self.calendars.set(person, Schedule(self.calendars.horizon, slots))
+                self._availability_overrides[person] = tuple(slots)
+            self._live_version = version
+            self._mutation_log.clear()
+            with self._cache_lock:
+                dropped = len(self._cache)
+                self._cache_generation += 1
+                self._cache.clear()
+                self._vertex_index.clear()
+                self._vertex_epochs.clear()
+            self._backend.clear_caches(self)
+        return dropped
 
     # ------------------------------------------------------------------
     # solving

@@ -1,0 +1,268 @@
+"""Tests for live-graph mutations: Mutation/MutationBatch, overlay, traces."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    ProtocolError,
+    VertexNotFoundError,
+)
+from repro.graph import (
+    GraphOverlay,
+    Mutation,
+    MutationBatch,
+    SocialGraph,
+    apply_mutation,
+    generate_mutation_trace,
+    graph_from_snapshot,
+    graph_to_snapshot,
+    load_mutation_trace,
+    save_mutation_trace,
+)
+from repro.graph.csr import csr_available
+from repro.temporal.calendars import CalendarStore
+from repro.temporal.schedule import Schedule
+
+from ..conftest import make_random_graph
+
+
+def path_graph(n=6):
+    """0-1-2-...-(n-1) with unit distances."""
+    return SocialGraph([(i, i + 1, 1.0) for i in range(n - 1)])
+
+
+# ----------------------------------------------------------------------
+# Mutation / MutationBatch
+# ----------------------------------------------------------------------
+class TestMutation:
+    def test_constructors_and_touched_vertices(self):
+        add = Mutation.add_edge(1, 2, 0.5)
+        rem = Mutation.remove_edge(3, 4)
+        avail = Mutation.update_availability(5, (1, 2, 3))
+        assert add.touched_vertices() == (1, 2)
+        assert rem.touched_vertices() == (3, 4)
+        # Availability changes topology-independent state: no ego is stale.
+        assert avail.touched_vertices() == ()
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            Mutation(kind="nonsense")
+        with pytest.raises(GraphError):
+            Mutation(kind="add_edge", u=1)  # missing endpoint
+        with pytest.raises(GraphError):
+            Mutation(kind="add_edge", u=1, v=2)  # missing distance
+        with pytest.raises(GraphError):
+            Mutation(kind="update_availability", person=1)  # missing slots
+        # Graph-level validity (self-loops, bad distances) is apply-time:
+        # the target graph raises, and prefix semantics report the position.
+        with pytest.raises(GraphError):
+            apply_mutation(SocialGraph(), None, Mutation.add_edge(1, 1, 0.5))
+        with pytest.raises(GraphError):
+            apply_mutation(SocialGraph(), None, Mutation.add_edge(1, 2, 0.0))
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            Mutation.add_edge(1, 2, 0.5),
+            Mutation.remove_edge(3, 4),
+            Mutation.update_availability(5, (1, 2, 3)),
+        ],
+    )
+    def test_wire_round_trip(self, mutation):
+        assert Mutation.from_wire(mutation.as_wire()) == mutation
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {"kind": "unknown_kind"},
+            {"kind": "add_edge", "u": 1},  # missing v/distance
+            {"kind": "update_availability", "person": 1},  # missing slots
+        ],
+    )
+    def test_from_wire_rejects_malformed(self, payload):
+        with pytest.raises(ProtocolError):
+            Mutation.from_wire(payload)
+
+    def test_batch_span_must_match_count(self):
+        mutations = (Mutation.add_edge(1, 2, 1.0), Mutation.remove_edge(1, 2))
+        MutationBatch(3, 5, mutations)  # exact span: fine
+        with pytest.raises(GraphError):
+            MutationBatch(3, 6, mutations)
+        with pytest.raises(GraphError):
+            MutationBatch(5, 3, ())
+
+    def test_batch_wire_round_trip(self):
+        batch = MutationBatch(7, 9, (Mutation.add_edge(1, 2, 1.0), Mutation.remove_edge(3, 4)))
+        decoded = MutationBatch.from_wire(batch.as_wire())
+        assert decoded == batch
+        with pytest.raises(ProtocolError):
+            MutationBatch.from_wire({"from_version": 0, "to_version": 2, "mutations": "nope"})
+
+
+# ----------------------------------------------------------------------
+# apply_mutation on the plain SocialGraph
+# ----------------------------------------------------------------------
+class TestApplyMutation:
+    def test_add_and_remove_edge(self):
+        graph = path_graph()
+        assert apply_mutation(graph, None, Mutation.add_edge(0, 3, 2.0)) == (0, 3)
+        assert graph.distance(0, 3) == 2.0
+        assert apply_mutation(graph, None, Mutation.remove_edge(0, 1)) == (0, 1)
+        assert not graph.has_edge(0, 1)
+
+    def test_remove_nonexistent_edge_raises_graph_error(self):
+        graph = path_graph()
+        with pytest.raises(GraphError):
+            apply_mutation(graph, None, Mutation.remove_edge(0, 5))
+        # The specific subclass survives too.
+        with pytest.raises(EdgeNotFoundError):
+            apply_mutation(graph, None, Mutation.remove_edge(0, 5))
+
+    def test_update_availability_writes_calendar(self):
+        graph = path_graph()
+        calendars = CalendarStore(8)
+        calendars.set(2, Schedule(8, [1, 2]))
+        touched = apply_mutation(graph, calendars, Mutation.update_availability(2, (3, 4, 5)))
+        assert touched == ()
+        assert calendars.get(2).available_slots() == [3, 4, 5]
+
+    def test_graph_version_counts_one_per_call(self):
+        graph = path_graph()
+        assert graph.graph_version == 0  # construction never counts
+        graph.add_edge(0, 5, 1.0)  # implicit endpoints exist: one bump
+        assert graph.graph_version == 1
+        graph.add_edge(0, "new", 1.0)  # implicit vertex creation: still one bump
+        assert graph.graph_version == 2
+        graph.remove_edge(0, "new")
+        assert graph.graph_version == 3
+
+
+# ----------------------------------------------------------------------
+# GraphOverlay
+# ----------------------------------------------------------------------
+class TestGraphOverlay:
+    def test_base_stays_immutable(self):
+        base = path_graph()
+        before = sorted(tuple(sorted((u, v))) + (d,) for u, v, d in base.edges())
+        overlay = GraphOverlay(base)
+        overlay.add_edge(0, 3, 2.0)
+        overlay.remove_edge(1, 2)
+        after = sorted(tuple(sorted((u, v))) + (d,) for u, v, d in base.edges())
+        assert before == after
+        assert overlay.base is base
+
+    def test_matches_social_graph_under_same_mutations(self):
+        base = make_random_graph(13, n=12, edge_prob=0.4)
+        overlay = GraphOverlay(base)
+        mirror = base.copy()
+        trace = generate_mutation_trace(base, 20, seed=3)
+        for mutation in trace:
+            apply_mutation(overlay, None, mutation)
+            apply_mutation(mirror, None, mutation)
+        assert set(overlay.vertices()) == set(mirror.vertices())
+        assert overlay.edge_count == mirror.edge_count
+
+        def canon(edges):
+            return sorted((*sorted((u, v), key=repr), d) for u, v, d in edges)
+
+        assert canon(overlay.edges()) == canon(mirror.edges())
+        for v in mirror.vertices():
+            assert overlay.neighbors(v) == mirror.neighbors(v)
+            assert overlay.adjacency(v) == dict(mirror.adjacency(v))
+            assert overlay.degree(v) == mirror.degree(v)
+
+    def test_tombstone_revive_and_reweight(self):
+        overlay = GraphOverlay(path_graph())
+        overlay.remove_edge(1, 2)
+        assert not overlay.has_edge(1, 2)
+        with pytest.raises(EdgeNotFoundError):
+            overlay.distance(1, 2)
+        overlay.add_edge(1, 2, 9.0)  # revive with a new weight
+        assert overlay.distance(1, 2) == 9.0
+        overlay.add_edge(2, 3, 4.0)  # shadow a live base edge's weight
+        assert overlay.distance(2, 3) == 4.0
+        assert overlay.graph_version == 3
+
+    def test_remove_nonexistent_raises(self):
+        overlay = GraphOverlay(path_graph())
+        with pytest.raises(EdgeNotFoundError):
+            overlay.remove_edge(0, 5)
+        overlay.remove_edge(0, 1)
+        with pytest.raises(EdgeNotFoundError):
+            overlay.remove_edge(0, 1)  # already tombstoned
+
+    def test_new_vertices_and_subgraph(self):
+        overlay = GraphOverlay(path_graph(4))
+        overlay.add_edge(3, "ext", 1.5)
+        assert "ext" in overlay
+        assert overlay.vertex_count == 5
+        assert sorted(overlay.neighbors("ext"), key=repr) == [3]
+        with pytest.raises(VertexNotFoundError):
+            overlay.neighbors("ghost")
+        sub = overlay.subgraph([2, 3, "ext"])
+        assert isinstance(sub, SocialGraph)
+        assert sub.has_edge(3, "ext") and sub.has_edge(2, 3)
+        assert sub.vertex_count == 3
+
+    @pytest.mark.skipif(not csr_available(), reason="numpy not installed")
+    def test_overlay_over_csr_substrate(self, tmp_path):
+        from repro.graph.csr import load_stgq, pack_graph
+
+        base = make_random_graph(5, n=10, edge_prob=0.5)
+        pack_graph(base, tmp_path / "g.stgq")
+        csr = load_stgq(tmp_path / "g.stgq", mmap=True)
+        overlay = GraphOverlay(csr)
+        u, v, _ = base.edges()[0]
+        overlay.remove_edge(u, v)
+        assert not overlay.has_edge(u, v)
+        assert csr.has_edge(u, v)  # the mmap'd base is untouched
+        overlay.add_edge(u, 999, 1.0)
+        assert overlay.has_edge(u, 999)
+        assert overlay.edge_count == csr.edge_count  # one removed, one added
+
+
+# ----------------------------------------------------------------------
+# seeded traces + snapshots
+# ----------------------------------------------------------------------
+class TestTraces:
+    def test_trace_is_deterministic_and_valid_in_sequence(self):
+        graph = make_random_graph(17, n=16, edge_prob=0.4)
+        trace_a = generate_mutation_trace(graph, 30, seed=5, horizon=10)
+        trace_b = generate_mutation_trace(graph, 30, seed=5, horizon=10)
+        assert trace_a == trace_b
+        assert len(trace_a) == 30
+        assert generate_mutation_trace(graph, 30, seed=6, horizon=10) != trace_a
+        # Valid in sequence: every mutation applies cleanly in order.
+        target = graph.copy()
+        calendars = CalendarStore(10)
+        for person in graph.vertices():
+            calendars.set(person, Schedule(10, []))
+        for mutation in trace_a:
+            apply_mutation(target, calendars, mutation)
+
+    def test_trace_without_horizon_has_no_availability(self):
+        graph = make_random_graph(19, n=12, edge_prob=0.4)
+        trace = generate_mutation_trace(graph, 20, seed=1)
+        assert all(m.kind != "update_availability" for m in trace)
+
+    def test_save_load_round_trip(self, tmp_path):
+        graph = make_random_graph(23, n=12, edge_prob=0.4)
+        trace = generate_mutation_trace(graph, 15, seed=2, horizon=8)
+        path = tmp_path / "trace.jsonl"
+        save_mutation_trace(path, trace)
+        assert load_mutation_trace(path) == trace
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "add_edge", "u": 1, "v": 2, "distance": 1.0}\nnot json\n')
+        with pytest.raises(ProtocolError):
+            load_mutation_trace(path)
+
+    def test_snapshot_round_trip(self):
+        graph = make_random_graph(29, n=12, edge_prob=0.4)
+        rebuilt = graph_from_snapshot(graph_to_snapshot(graph))
+        assert rebuilt == graph
+        with pytest.raises(ProtocolError):
+            graph_from_snapshot({"vertices": [1]})  # no edges key

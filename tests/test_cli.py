@@ -365,3 +365,50 @@ class TestSubstrateCommands:
         code = main(["serve", "--graph", str(tmp_path / "nope.stgq"), "--queries", "1"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestMutateCommand:
+    def test_mutate_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["mutate", "--count", "8", "--trace-seed", "3", "--batch-size", "2"]
+        )
+        assert args.command == "mutate"
+        assert args.count == 8
+        assert args.trace_seed == 3
+        assert args.batch_size == 2
+        assert args.connect is None
+
+    def test_mutate_local_run(self, capsys):
+        code = main(
+            ["mutate", "--people", "60", "--seed", "3", "--count", "12",
+             "--trace-seed", "7", "--batch-size", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "generated 12 mutations" in out
+        assert "applied 12 mutations in 3 batches -> live version 12" in out
+        assert "targeted invalidation" in out
+
+    def test_mutate_save_then_replay_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["mutate", "--people", "60", "--seed", "3", "--count", "6",
+             "--save", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["mutate", "--people", "60", "--seed", "3", "--trace", str(trace_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"loaded 6 mutations from {trace_path}" in out
+        assert "live version 6" in out
+
+    def test_mutate_unreadable_trace_exits_one(self, tmp_path, capsys):
+        code = main(
+            ["mutate", "--people", "60", "--seed", "3",
+             "--trace", str(tmp_path / "missing.jsonl")]
+        )
+        assert code == 1
+        assert "cannot load trace" in capsys.readouterr().err
