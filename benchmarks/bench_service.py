@@ -30,6 +30,16 @@ synthetic batches — the first step toward feeding measured production
 traces.  ``--json PATH`` writes the numbers for CI artifacts
 (``BENCH_service.json``).
 
+``--http URL[,URL]`` replays the same workload through running HTTP
+gateways (``stgq http``) instead of an in-process backend: batches are
+chunked into ``POST /v1/queries`` requests fired concurrently round-robin
+across the given gateways, and the report gains served/shed counts and
+HTTP throughput.  ``--http-spawn G`` spawns G local gateways over a
+spawned TCP worker fleet first (the CI ``http-smoke`` topology).  The run
+fails when shed (429) requests exceed ``--http-shed-limit`` percent
+(default 5) — the admission-control acceptance gate behind the
+``BENCH_service_http.json`` artifact.
+
 Run directly (it is a script, not a pytest-benchmark module)::
 
     PYTHONPATH=src python benchmarks/bench_service.py               # full
@@ -48,11 +58,14 @@ comparison on its own (the ``BENCH_kernels.json`` artifact).
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
 import json
 import os
 import random
 import sys
 import time
+import urllib.error
+import urllib.request
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery
@@ -66,6 +79,7 @@ from repro.experiments.workloads import (
 )
 from repro.graph.packed import numpy_kernel_available
 from repro.service import QueryService, RemoteBackend, ShardMap
+from repro.service.codec import request_for
 from repro.service.net import start_local_workers
 
 SPEEDUP_FLOOR = 3.0
@@ -283,6 +297,84 @@ def measure_backend(
     return measured
 
 
+def _post_chunk(url: str, queries: List, timeout: float) -> Tuple[int, int, int]:
+    """POST one chunk as a batch request; ``(status, answered, errors)``.
+
+    A 429 (shed or rate-limited) is a *counted outcome*, not a failure —
+    the gate at the end judges the shed fraction.  Transport errors count
+    as errors so a dead gateway fails the run loudly.
+    """
+    payload = {
+        "queries": [request_for(query, request_id=i) for i, query in enumerate(queries)],
+        "page_size": 1024,
+    }
+    request = urllib.request.Request(
+        f"{url}/v1/queries",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            body = json.loads(reply.read())
+            results = body.get("results", [])
+            return 200, len(results), sum(1 for r in results if "error" in r)
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code, 0, 0 if exc.code == 429 else len(queries)
+    except (urllib.error.URLError, OSError, ValueError):
+        return 0, 0, len(queries)
+
+
+def measure_http(
+    urls: List[str],
+    batches: Dict[str, List],
+    chunk_size: int = 16,
+    concurrency: int = 8,
+    timeout: float = 120.0,
+) -> Dict[str, object]:
+    """Replay the workload through HTTP gateways; report served/shed counts.
+
+    Chunks of ``chunk_size`` queries go out as concurrent batch POSTs,
+    round-robin across ``urls`` — the stateless-tier deployment shape: any
+    gateway must serve any chunk.  One warm pass per workload first, so the
+    measured pass sees the same warm ego-network caches the in-process
+    backends are measured with.
+    """
+    measured: Dict[str, object] = {"urls": list(urls), "chunk_size": chunk_size}
+    total_requests = 0
+    total_shed = 0
+    for kind, queries in batches.items():
+        chunks = [queries[i : i + chunk_size] for i in range(0, len(queries), chunk_size)]
+        targets = [urls[i % len(urls)] for i in range(len(chunks))]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=concurrency) as pool:
+            list(pool.map(lambda cu: _post_chunk(cu[1], cu[0], timeout), zip(chunks, targets)))
+            start = time.perf_counter()
+            outcomes = list(
+                pool.map(lambda cu: _post_chunk(cu[1], cu[0], timeout), zip(chunks, targets))
+            )
+            wall = time.perf_counter() - start
+        answered = sum(count for _, count, _ in outcomes)
+        errors = sum(err for _, _, err in outcomes)
+        shed = sum(1 for status, _, _ in outcomes if status == 429)
+        failed = sum(1 for status, _, _ in outcomes if status not in (200, 429))
+        total_requests += len(chunks)
+        total_shed += shed
+        measured[kind] = {
+            "queries": len(queries),
+            "requests": len(chunks),
+            "answered": answered,
+            "shed_requests": shed,
+            "failed_requests": failed,
+            "errors": errors,
+            "wall_s": round(wall, 4),
+            "qps": round(answered / wall, 1) if wall > 0 else 0.0,
+        }
+    measured["total_requests"] = total_requests
+    measured["total_shed"] = total_shed
+    measured["shed_pct"] = round(100.0 * total_shed / total_requests, 2) if total_requests else 0.0
+    return measured
+
+
 def serial_cold(dataset, batches: Dict[str, List]) -> Dict[str, Dict[str, float]]:
     """Cold single-pass baseline: fresh serial service, empty cache."""
     measured: Dict[str, Dict[str, float]] = {}
@@ -337,6 +429,31 @@ def main(argv=None) -> int:
         "repro.experiments.workloads.save_workload) as the single measured "
         "batch instead of the synthetic SGQ/STGQ pair — the path for feeding "
         "measured production traces into the harness",
+    )
+    parser.add_argument(
+        "--http",
+        metavar="URL[,URL]",
+        default=None,
+        help="replay the workload through these running HTTP gateways "
+        "(comma-separated base URLs), round-robin, and report HTTP "
+        "throughput plus served/shed request counts",
+    )
+    parser.add_argument(
+        "--http-spawn",
+        type=int,
+        default=None,
+        metavar="G",
+        help="spawn G local HTTP gateways over a spawned TCP worker fleet "
+        "(--workers workers, default 2) and replay the workload through "
+        "them — the CI http-smoke topology",
+    )
+    parser.add_argument(
+        "--http-shed-limit",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="fail the run when shed (429) requests exceed this percentage "
+        "of HTTP requests (default 5)",
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None, help="write results as JSON to PATH"
@@ -468,6 +585,8 @@ def main(argv=None) -> int:
     report["serial_cold"] = serial_cold(dataset, batches)
 
     cluster = None
+    http_fleet = None
+    gateway_cluster = None
     try:
         if args.backend == "remote":
             n_remote_workers = args.workers or 2
@@ -491,7 +610,55 @@ def main(argv=None) -> int:
             else:
                 workers = args.workers if backend == args.backend else None
                 report["backends"][backend] = measure_backend(dataset, batches, backend, workers)
+
+        http_urls = None
+        if args.http:
+            http_urls = [url.strip().rstrip("/") for url in args.http.split(",") if url.strip()]
+        elif args.http_spawn:
+            from repro.service.http import start_local_gateways
+
+            if cluster is not None:
+                connect = cluster.connect_spec()  # reuse the remote-leg fleet
+            else:
+                n_http_workers = args.workers or 2
+                print(f"\nspawning {n_http_workers} local TCP workers for the HTTP tier ...")
+                http_fleet = start_local_workers(
+                    n_http_workers,
+                    people=DATASET_PEOPLE,
+                    days=DATASET_DAYS,
+                    seed=args.seed,
+                    backend="serial",
+                )
+                connect = http_fleet.connect_spec()
+            print(f"spawning {args.http_spawn} HTTP gateways over {connect} ...")
+            gateway_cluster = start_local_gateways(
+                args.http_spawn,
+                connect=connect,
+                people=DATASET_PEOPLE,
+                days=DATASET_DAYS,
+                seed=args.seed,
+            )
+            http_urls = gateway_cluster.urls
+        if http_urls:
+            print(f"\n== HTTP tier: replay via {len(http_urls)} gateway(s) ==")
+            http_report = measure_http(http_urls, batches)
+            report["http"] = http_report
+            for kind in batches:
+                h = http_report[kind]
+                print(
+                    f"{kind:>7}: {h['qps']:>8.1f} q/s over HTTP  "
+                    f"({h['requests']} requests, {h['shed_requests']} shed, "
+                    f"{h['failed_requests']} failed, {h['errors']} errors)"
+                )
+            print(
+                f"shed: {http_report['total_shed']}/{http_report['total_requests']} "
+                f"requests ({http_report['shed_pct']}%, limit {args.http_shed_limit}%)"
+            )
     finally:
+        if gateway_cluster is not None:
+            gateway_cluster.close()
+        if http_fleet is not None:
+            http_fleet.close()
         if cluster is not None:
             cluster.close()
 
@@ -565,6 +732,26 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: numpy kernel at {ratio:.2f}x compiled throughput, "
                 f"below the {NUMPY_KERNEL_FLOOR:.1f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+    if "http" in report:
+        http_report = report["http"]
+        broken = sum(
+            http_report[kind]["failed_requests"] + http_report[kind]["errors"]
+            for kind in batches
+        )
+        if broken:
+            print(
+                f"FAIL: {broken} HTTP request(s)/result(s) failed outright "
+                "(only 200 and 429 are acceptable outcomes)",
+                file=sys.stderr,
+            )
+            return 1
+        if http_report["shed_pct"] > args.http_shed_limit:
+            print(
+                f"FAIL: {http_report['shed_pct']}% of HTTP requests shed, "
+                f"above the {args.http_shed_limit}% limit",
                 file=sys.stderr,
             )
             return 1

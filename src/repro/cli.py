@@ -27,6 +27,15 @@ Three sub-commands mirror how the library is typically used:
     One-command local cluster: spawn N ``stgq worker`` subprocesses plus a
     gateway connected to them (equivalent to ``serve --backend remote``).
 
+``stgq http``
+    Run one HTTP/JSON gateway (``--listen HOST:PORT``): ``POST
+    /v1/queries`` (single + batch with cursor pagination), ``GET /health``
+    and ``GET /stats``, with bounded-queue admission control (429 +
+    ``Retry-After`` load-shedding), optional per-API-key rate limiting and
+    a structured JSONL access log.  ``--backend remote --connect ...``
+    makes it the stateless front door of a worker fleet; run several for
+    the multi-gateway topology (``docs/http.md``).
+
 ``stgq stats``
     Operator's view of a running fleet: send the ``stats`` control frame to
     one or more workers (``--connect HOST:PORT[,HOST:PORT...]``) and
@@ -49,9 +58,12 @@ Three sub-commands mirror how the library is typically used:
     Print a ``.stgq`` file's header (vertex/edge counts, array dtypes,
     format revision, content version hash) without loading the arrays.
 
-``serve``/``worker``/``cluster`` install SIGINT/SIGTERM handlers that close
-the service first (draining executor pools, worker processes and sockets),
-so Ctrl-C never leaks forkserver workers.
+``serve``/``worker``/``cluster``/``http`` install SIGINT/SIGTERM handlers
+that close the service first (draining executor pools, worker processes and
+sockets), so Ctrl-C never leaks forkserver workers.  The serving loops
+(``serve --jsonl``, ``worker``, ``http``) drain *in-flight requests* before
+exiting — see :mod:`repro.service.drain` — so a mid-batch SIGTERM drops no
+accepted work.
 
 Run ``python -m repro --help`` (or ``stgq --help`` once installed) for the
 full argument reference.
@@ -83,6 +95,7 @@ from .service import (
     RemoteBackend,
     serve_jsonl,
 )
+from .service.drain import ShutdownSignal
 from .service.net import parse_addresses, run_worker, start_local_workers
 
 __all__ = ["main", "build_parser"]
@@ -362,6 +375,110 @@ def build_parser() -> argparse.ArgumentParser:
     add_traffic_arguments(cluster)
     add_service_arguments(cluster)
 
+    http = subparsers.add_parser(
+        "http",
+        help="run an HTTP/JSON gateway with admission control and load-shedding",
+        description=(
+            "Serve the query service over HTTP: POST /v1/queries answers one "
+            "query object or a {'queries': [...]} batch (cursor pagination, "
+            "bounded page size), GET /health reports fleet/cache/live-version "
+            "state and GET /stats the service counters. Requests beyond "
+            "--max-concurrency wait in a bounded queue of --max-queue; the "
+            "rest are shed immediately with 429 + Retry-After, so overload "
+            "costs the fleet nothing. --rate-limit adds per-client token "
+            "buckets keyed on the X-API-Key header. Every request is logged "
+            "as one JSON line (latency, status, shed/ratelimited outcome). "
+            "Prints 'STGQ-HTTP-READY host port' once listening (port 0 picks "
+            "an ephemeral port); SIGTERM drains in-flight requests before "
+            "exit. Gateways are stateless: run N of them over one --connect "
+            "worker fleet for the multi-gateway topology (docs/http.md)."
+        ),
+    )
+    http.add_argument(
+        "--listen",
+        type=_listen_address,
+        default=("127.0.0.1", 8080),
+        metavar="HOST:PORT",
+        help="address to bind (default 127.0.0.1:8080; port 0 = ephemeral)",
+    )
+    add_dataset_arguments(http)
+    add_substrate_argument(http)
+    http.add_argument(
+        "--backend",
+        choices=list(ALL_BACKEND_NAMES),
+        default="serial",
+        help="executor backend behind the gateway; 'remote' fronts a TCP "
+        "worker fleet via --connect (default serial)",
+    )
+    http.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="executor width for thread/process backends (default: auto)",
+    )
+    http.add_argument(
+        "--connect",
+        default=None,
+        help="worker addresses for --backend remote, e.g. "
+        "'127.0.0.1:9001,127.0.0.1:9002'",
+    )
+    http.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds for --backend remote (default 30)",
+    )
+    add_service_arguments(http)
+    http.add_argument(
+        "--max-concurrency",
+        type=_positive_int,
+        default=8,
+        help="requests solving at once before newcomers queue (default 8)",
+    )
+    http.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a solve slot; beyond this they "
+        "are shed with 429 + Retry-After (default 16; 0 = shed immediately "
+        "at full concurrency)",
+    )
+    http.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        help="Retry-After hint in seconds on shed responses (default 1)",
+    )
+    http.add_argument(
+        "--rate-limit",
+        default=None,
+        metavar="RATE[:BURST]",
+        help="per-client token bucket keyed on the X-API-Key header (fall "
+        "back: client IP): RATE tokens/s with BURST capacity, e.g. '10' or "
+        "'10:25' (default: disabled)",
+    )
+    http.add_argument(
+        "--admit-timeout",
+        type=float,
+        default=10.0,
+        help="max seconds a request waits in the admission queue before "
+        "being shed anyway (default 10)",
+    )
+    http.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="max seconds the SIGTERM drain waits for in-flight requests "
+        "(default 30)",
+    )
+    http.add_argument(
+        "--access-log",
+        default="-",
+        metavar="PATH",
+        help="JSONL access-log destination: '-' for stderr (default), "
+        "'none' to disable, or a file path (appended)",
+    )
+
     stats = subparsers.add_parser(
         "stats",
         help="fetch and pretty-print live worker stats over the wire",
@@ -467,6 +584,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack.add_argument("edgelist", help="input edge-list file")
     pack.add_argument("output", metavar="OUT.stgq", help="destination substrate file")
+    pack.add_argument(
+        "--quantize",
+        action="store_true",
+        help="store edge weights as int32 against a header scale factor "
+        "(format 2): halves the file's dominant array at a bounded ~2**-31 "
+        "relative weight error; 'stgq inspect' reports the dtype",
+    )
 
     inspect_parser = subparsers.add_parser(
         "inspect",
@@ -589,7 +713,17 @@ def _service_session(args: argparse.Namespace, dataset, service: QueryService) -
     """The serve/cluster gateway body: JSONL loop or a generated batch."""
     with service:
         if args.jsonl:
-            served = serve_jsonl(service, sys.stdin, sys.stdout, batch_size=args.batch_size)
+            # Deferred-signal serving: SIGTERM/SIGINT stop the read loop and
+            # drain the in-flight batch plus every line already read (see
+            # repro.service.drain) instead of raising mid-batch — so an
+            # orchestrator's TERM drops no accepted requests.  Installed
+            # inside any _graceful_shutdown scope; restored on exit.
+            with ShutdownSignal() as stop:
+                served = serve_jsonl(
+                    service, sys.stdin, sys.stdout, batch_size=args.batch_size, stop=stop
+                )
+            if stop.triggered:
+                print("signal received; drained in-flight requests", file=sys.stderr)
             stats = service.stats()
             info = service.cache_info()
             print(
@@ -717,6 +851,90 @@ def _command_worker(args: argparse.Namespace) -> int:
             f"cache hit rate {info.hit_rate:.0%}",
             file=sys.stderr,
         )
+    return code
+
+
+def _command_http(args: argparse.Namespace) -> int:
+    from .service.http import AccessLog, GatewayConfig, parse_rate_spec, run_gateway
+
+    rate = burst = None
+    if args.rate_limit is not None:
+        try:
+            rate, burst = parse_rate_spec(args.rate_limit)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.max_queue < 0:
+        print(f"error: --max-queue must be >= 0, got {args.max_queue}", file=sys.stderr)
+        return 2
+    if args.backend == "remote":
+        if not args.connect:
+            print(
+                "error: --backend remote requires --connect host:port[,host:port...]",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            backend = RemoteBackend(args.connect, timeout=args.timeout)
+        except QueryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        backend = args.backend
+    try:
+        dataset = _load_service_dataset(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    log_stream = None
+    opened = None
+    if args.access_log == "-":
+        log_stream = sys.stderr
+    elif args.access_log != "none":
+        try:
+            opened = log_stream = open(args.access_log, "a", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot open access log {args.access_log!r}: {exc}", file=sys.stderr)
+            return 2
+
+    host, port = args.listen
+    config = GatewayConfig(
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        retry_after=args.retry_after,
+        rate=rate,
+        burst=burst,
+        admit_timeout=args.admit_timeout,
+        drain_timeout=args.drain_timeout,
+    )
+    service = _build_gateway_service(args, dataset, backend)
+    try:
+        # run_gateway owns the drained SIGTERM/SIGINT shutdown and closes
+        # the service (executor pools, worker connections) on the way out.
+        code = run_gateway(
+            service,
+            host=host,
+            port=port,
+            config=config,
+            access_log=AccessLog(log_stream),
+            announce=True,
+        )
+    except OSError as exc:  # e.g. port already bound
+        print(f"error: cannot listen on {host}:{port}: {exc}", file=sys.stderr)
+        service.close()
+        return 1
+    finally:
+        if opened is not None:
+            opened.close()
+    stats = service.stats()
+    info = service.cache_info()
+    print(
+        f"gateway stopping (backend={service.backend_name}); answered "
+        f"{stats.queries} queries, solver time {stats.solve_seconds:.3f} s, "
+        f"cache hit rate {info.hit_rate:.0%}",
+        file=sys.stderr,
+    )
     return code
 
 
@@ -954,11 +1172,13 @@ def _command_pack(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     try:
-        csr = pack_graph(graph, args.output)
+        csr = pack_graph(graph, args.output, quantize=args.quantize)
     except (OSError, ReproError) as exc:
         print(f"error: cannot pack to {args.output!r}: {exc}", file=sys.stderr)
         return 1
     print(f"packed {csr.vertex_count} vertices / {csr.edge_count} edges -> {args.output}")
+    if args.quantize:
+        print("weights: int32-quantized (dequantised on load via the header scale)")
     print(f"version: {csr.version}")
     return 0
 
@@ -994,6 +1214,8 @@ def _command_inspect(args: argparse.Namespace) -> int:
     print(f"vertices:   {info['n']}  ({'identity ids 0..n-1' if info['identity_ids'] else 'labelled ids'})")
     print(f"edges:      {info['m']}")
     print(f"arrays:     {dtypes}")
+    if info.get("quantized"):
+        print(f"weights:    int32-quantized (scale {info.get('weight_scale')})")
     print(f"version:    {info['version']}")
     return 0
 
@@ -1014,6 +1236,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_worker(args)
     if args.command == "cluster":
         return _command_cluster(args)
+    if args.command == "http":
+        return _command_http(args)
     if args.command == "stats":
         return _command_stats(args)
     if args.command == "mutate":

@@ -48,6 +48,7 @@ __all__ = [
     "inspect_stgq",
     "STGQ_MAGIC",
     "STGQ_FORMAT",
+    "STGQ_FORMAT_QUANTIZED",
 ]
 
 PathLike = Union[str, Path]
@@ -59,6 +60,20 @@ STGQ_MAGIC = b"STGQCSR1"
 
 #: On-disk format revision (bumped on incompatible layout changes).
 STGQ_FORMAT = 1
+
+#: Format revision of weight-quantised files (``stgq pack --quantize``):
+#: the ``weights`` array is stored as int32 against a ``weight_scale``
+#: header field instead of float64, halving the dominant array on disk.
+#: Plain files keep writing format 1, so older readers only reject files
+#: that actually use the new encoding.
+STGQ_FORMAT_QUANTIZED = 2
+
+_SUPPORTED_FORMATS = (STGQ_FORMAT, STGQ_FORMAT_QUANTIZED)
+
+#: Quantisation grid: weights map to ``round(w / scale)`` with
+#: ``scale = max_weight / _QUANT_MAX``, so the largest weight uses the full
+#: int32 range and the worst-case relative error is ~2**-31.
+_QUANT_MAX = 2**31 - 1
 
 #: Array payloads start on this alignment so memory-mapped loads are
 #: page/vector friendly.
@@ -453,13 +468,22 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # persistence & pickling
     # ------------------------------------------------------------------
-    def save(self, path: PathLike) -> str:
+    def save(self, path: PathLike, quantize: bool = False) -> str:
         """Write the substrate to ``path`` (``.stgq`` format); returns the
         version hash.  The instance becomes path-backed: subsequent pickles
-        ship ``(path, version)`` instead of the arrays."""
-        version = _write_stgq(self, path)
-        self._path = str(path)
-        self._version = version
+        ship ``(path, version)`` instead of the arrays.
+
+        ``quantize=True`` stores the weights as int32 against a header
+        scale factor (format revision ``STGQ_FORMAT_QUANTIZED``), halving
+        the dominant on-disk array.  The returned version hashes the
+        *dequantised* content — what a loader reconstructs — so it will not
+        match this instance's full-precision arrays; the instance therefore
+        stays unbound (not path-backed) and callers wanting the file-backed
+        graph reload it (see :func:`pack_graph`)."""
+        version = _write_stgq(self, path, quantize=quantize)
+        if not quantize:
+            self._path = str(path)
+            self._version = version
         return version
 
     def __reduce__(self):
@@ -520,9 +544,39 @@ def _array_table(graph: CSRGraph) -> "Dict[str, object]":
     return table
 
 
-def _write_stgq(graph: CSRGraph, path: PathLike) -> str:
+def _quantize_weights(weights):
+    """int32 grid + scale for ``weights``; ``(quantised, scale)``.
+
+    The grid pins the largest weight to the full int32 range, so relative
+    error is bounded by ~2**-31 — far below anything the solvers' float64
+    distance sums can surface.  An empty or all-zero array quantises with
+    scale 1.0 (nothing to preserve).
+    """
+    dense = np.ascontiguousarray(weights, dtype=np.float64)
+    peak = float(dense.max()) if len(dense) else 0.0
+    scale = peak / _QUANT_MAX if peak > 0 else 1.0
+    return np.round(dense / scale).astype(np.int32), scale
+
+
+def _write_stgq(graph: CSRGraph, path: PathLike, quantize: bool = False) -> str:
     arrays = _array_table(graph)
-    version = graph.version
+    extra = {}
+    if quantize:
+        quantised, scale = _quantize_weights(arrays["weights"])
+        arrays["weights"] = quantised
+        extra["weight_scale"] = scale
+        # The version must hash what a loader reconstructs (the dequantised
+        # weights), not the full-precision originals — that keeps
+        # ``verify=True``, the pickle-by-reference version pin and a
+        # re-save of the loaded graph all self-consistent.
+        version = _compute_version(
+            graph._indptr,
+            graph._indices,
+            quantised.astype(np.float64) * scale,
+            graph._labels,
+        )
+    else:
+        version = graph.version
 
     def _layout(header_block: int):
         offset = header_block
@@ -532,11 +586,12 @@ def _write_stgq(graph: CSRGraph, path: PathLike) -> str:
             meta[name] = {"dtype": arr.dtype.str, "shape": [len(arr)], "offset": offset}
             offset += arr.nbytes
         header = {
-            "format": STGQ_FORMAT,
+            "format": STGQ_FORMAT_QUANTIZED if quantize else STGQ_FORMAT,
             "n": graph.vertex_count,
             "m": graph.edge_count,
             "version": version,
             "arrays": meta,
+            **extra,
         }
         return json.dumps(header, sort_keys=True).encode("utf-8")
 
@@ -580,10 +635,11 @@ def _read_header(path: PathLike) -> Dict:
         header = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise GraphError(f"{path}: malformed substrate header: {exc}") from exc
-    if not isinstance(header, dict) or header.get("format") != STGQ_FORMAT:
+    if not isinstance(header, dict) or header.get("format") not in _SUPPORTED_FORMATS:
+        supported = "/".join(str(f) for f in _SUPPORTED_FORMATS)
         raise GraphError(
             f"{path}: unsupported substrate format {header.get('format')!r} "
-            f"(this build reads format {STGQ_FORMAT})"
+            f"(this build reads formats {supported})"
         )
     return header
 
@@ -631,6 +687,15 @@ def load_stgq(path: PathLike, mmap: bool = True, verify: bool = False) -> CSRGra
                     arrays[name] = np.fromfile(fh, dtype=dtype, count=count)
     except (KeyError, TypeError, ValueError) as exc:
         raise GraphError(f"{path}: malformed substrate header: {exc}") from exc
+    if header.get("format") == STGQ_FORMAT_QUANTIZED:
+        # Dequantise eagerly: the float64 weights materialise privately per
+        # process (indptr/indices stay memory-mapped and shared), trading a
+        # little resident memory for the halved file/transfer size.
+        try:
+            scale = float(header.get("weight_scale", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise GraphError(f"{path}: malformed weight_scale: {exc}") from exc
+        arrays["weights"] = arrays["weights"].astype(np.float64) * scale
     graph = CSRGraph(
         arrays["indptr"],
         arrays["indices"],
@@ -668,15 +733,23 @@ def _load_verified(path: str, version: Optional[str]) -> CSRGraph:
     return graph
 
 
-def pack_graph(graph: GraphSubstrate, path: PathLike) -> CSRGraph:
+def pack_graph(graph: GraphSubstrate, path: PathLike, quantize: bool = False) -> CSRGraph:
     """Persist ``graph`` at ``path`` in the CSR substrate format.
 
     Adjacency-dict graphs are converted first; a graph that is already CSR
     is written as-is.  The returned instance is path-backed (pickles as
     ``(path, version)``).
+
+    ``quantize=True`` writes int32 weights against a header scale factor
+    (``stgq pack --quantize``): the file's dominant array halves, at a
+    bounded ~2**-31 relative weight error.  The returned graph is then the
+    *reloaded* file-backed substrate, so its weights are exactly what every
+    worker opening the file will see.
     """
     csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_social_graph(graph)
-    csr.save(path)
+    csr.save(path, quantize=quantize)
+    if quantize:
+        return load_stgq(path)
     return csr
 
 
@@ -684,7 +757,7 @@ def inspect_stgq(path: PathLike) -> Dict[str, object]:
     """Read a substrate file's header without touching the array payloads."""
     header = _read_header(path)
     arrays = header.get("arrays", {})
-    return {
+    info: Dict[str, object] = {
         "path": str(path),
         "format": header.get("format"),
         "n": header.get("n"),
@@ -692,5 +765,9 @@ def inspect_stgq(path: PathLike) -> Dict[str, object]:
         "version": header.get("version"),
         "dtypes": {name: meta.get("dtype") for name, meta in arrays.items()},
         "identity_ids": "labels" not in arrays,
+        "quantized": header.get("format") == STGQ_FORMAT_QUANTIZED,
         "file_bytes": os.path.getsize(path),
     }
+    if "weight_scale" in header:
+        info["weight_scale"] = header["weight_scale"]
+    return info

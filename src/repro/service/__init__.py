@@ -30,6 +30,12 @@ the solvers into that shape:
   routing, per-request failure containment), and ``stgq cluster`` boots a
   local N-worker cluster plus gateway in one command.  See
   ``docs/service.md`` for the architecture page and wire-protocol spec.
+* **HTTP gateway tier** — :mod:`repro.service.http` is the product front
+  door: stateless HTTP/JSON gateways (``stgq http``) with request
+  validation, cursor pagination, per-API-key rate limiting and bounded-
+  queue admission control that sheds overload with 429 + ``Retry-After``
+  instead of melting the fleet.  N gateways front one TCP worker fleet;
+  see ``docs/http.md``.
 * **Live-graph mutations** — ``apply_mutations`` applies
   add-edge/remove-edge/availability changes to the serving graph, evicts
   exactly the cached egos that contain a touched vertex (reverse vertex
@@ -80,6 +86,15 @@ from .backends import (
 )
 from .codec import ErrorResult, query_from_request, response_for, wants_stats
 from .context import ExecutionContext, ServiceStats
+from .drain import ShutdownSignal, wait_for_drain
+from .http import (
+    GatewayApp,
+    GatewayConfig,
+    HTTPGateway,
+    LocalGatewayCluster,
+    run_gateway,
+    start_local_gateways,
+)
 from .jsonl import serve_jsonl
 from .net import (
     LocalWorkerCluster,
@@ -98,6 +113,10 @@ __all__ = [
     "ErrorResult",
     "ExecutionContext",
     "ExecutorBackend",
+    "GatewayApp",
+    "GatewayConfig",
+    "HTTPGateway",
+    "LocalGatewayCluster",
     "LocalWorkerCluster",
     "MUTATION_LOG_CAPACITY",
     "MutationReport",
@@ -107,14 +126,18 @@ __all__ = [
     "SerialBackend",
     "ServiceStats",
     "ShardMap",
+    "ShutdownSignal",
     "ThreadBackend",
     "WorkerServer",
     "make_backend",
     "query_from_request",
     "response_for",
+    "run_gateway",
     "run_worker",
     "serve_jsonl",
     "stable_shard",
+    "start_local_gateways",
     "start_local_workers",
+    "wait_for_drain",
     "wants_stats",
 ]

@@ -1,0 +1,77 @@
+"""Structured JSONL access log: one line per request, machine-greppable.
+
+Every HTTP request — served, shed, rate-limited, or rejected — emits one
+JSON object on its own line with the per-request latency and the admission
+outcome, so capacity questions ("what fraction of yesterday's traffic did
+gateway 2 shed?") are a ``jq`` one-liner instead of a log-regex project.
+
+Fields::
+
+    {"ts": 1754650000.123, "method": "POST", "path": "/v1/queries",
+     "status": 200, "latency_ms": 12.4, "client": "10.0.0.7",
+     "api_key": "team-a", "outcome": "ok", "queries": 64, "queued": false}
+
+``outcome`` is one of ``ok`` (served), ``client_error`` (4xx validation),
+``ratelimited`` (429 from the token bucket), ``shed`` (429 from admission),
+``draining`` (503 during SIGTERM drain) or ``error`` (unexpected 5xx) —
+the same vocabulary the CI shed-rate gate counts.
+
+The writer is a plain line-buffered text stream (stderr by default so the
+READY announcement on stdout stays machine-parseable; ``--access-log PATH``
+redirects it).  One lock serialises whole lines across handler threads —
+JSONL's only integrity requirement.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional
+
+__all__ = ["AccessLog"]
+
+
+class AccessLog:
+    """Thread-safe JSONL access-log writer (``None`` stream = disabled)."""
+
+    def __init__(self, stream: Optional[IO[str]] = sys.stderr) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+        self.lines = 0
+
+    def record(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        latency_ms: float,
+        outcome: str,
+        client: str = "",
+        api_key: Optional[str] = None,
+        **extra: Any,
+    ) -> None:
+        """Write one access-log line; never raises into the request path."""
+        if self._stream is None:
+            return
+        entry: Dict[str, Any] = {
+            "ts": round(time.time(), 3),
+            "method": method,
+            "path": path,
+            "status": status,
+            "latency_ms": round(latency_ms, 3),
+            "client": client,
+            "outcome": outcome,
+        }
+        if api_key is not None:
+            entry["api_key"] = api_key
+        entry.update(extra)
+        line = json.dumps(entry, separators=(",", ":"))
+        try:
+            with self._lock:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+                self.lines += 1
+        except (OSError, ValueError):  # closed/broken log stream: serve anyway
+            pass

@@ -1,0 +1,164 @@
+"""Admission control: a bounded queue in front of the solver, shed the rest.
+
+The gateway's capacity model follows the energy/capacity argument of Lang et
+al. (*Towards Energy-Efficient Database Cluster Design*): a fleet sized for
+its expected load must reject the excess **at the edge**, early and cheaply,
+instead of queueing unboundedly and melting every tier behind it.  Concretely:
+
+* at most ``max_concurrency`` requests solve at once (one per handler
+  thread actively inside ``QueryService``);
+* at most ``max_queue`` further requests wait for a solve slot;
+* everything beyond that is **shed** immediately with HTTP 429 and a
+  ``Retry-After`` hint — the client pays one round-trip, the fleet pays
+  nothing.
+
+The controller is transport-agnostic (plain threading primitives, no HTTP
+imports) so tests drive it directly, and it doubles as the gateway's
+in-flight ledger for the SIGTERM drain: :meth:`in_flight` counts admitted
+work that has not released yet, which :func:`repro.service.drain.wait_for_drain`
+polls to zero before the process exits.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["AdmissionController", "AdmissionTicket"]
+
+
+class AdmissionTicket:
+    """Proof of admission; release it exactly once (context manager)."""
+
+    __slots__ = ("_controller", "_released", "queued")
+
+    def __init__(self, controller: "AdmissionController", queued: bool) -> None:
+        self._controller = controller
+        self._released = False
+        #: True when the request waited in the bounded queue before running.
+        self.queued = queued
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded queue; immediate shed beyond both.
+
+    ``try_admit`` returns an :class:`AdmissionTicket` when the request may
+    run (possibly after waiting in the queue), or ``None`` when it must be
+    shed (queue full) or refused (gateway draining).  Check
+    :attr:`draining` to tell a 429 shed from a 503 drain refusal.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        max_queue: int = 16,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        #: Seconds clients are told to back off for in ``Retry-After``.
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._slot_free = threading.Condition(self._lock)
+        self._active = 0
+        self._queued = 0
+        self._draining = False
+        # Lifetime counters (monotonic; exposed on /stats).
+        self._admitted = 0
+        self._admitted_queued = 0
+        self._shed = 0
+        self._refused_draining = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def try_admit(self, timeout: Optional[float] = None) -> Optional[AdmissionTicket]:
+        """Admit now, wait in the bounded queue, or shed (``None``).
+
+        ``timeout`` bounds the queue wait (``None`` = wait until a slot
+        frees or the gateway starts draining).  A timed-out wait counts as
+        shed — the client gets the same 429 it would have gotten had the
+        queue been full on arrival.
+        """
+        with self._lock:
+            if self._draining:
+                self._refused_draining += 1
+                return None
+            if self._active < self.max_concurrency:
+                self._active += 1
+                self._admitted += 1
+                return AdmissionTicket(self, queued=False)
+            if self._queued >= self.max_queue:
+                self._shed += 1
+                return None
+            self._queued += 1
+            try:
+                admitted = self._slot_free.wait_for(
+                    lambda: self._draining or self._active < self.max_concurrency,
+                    timeout=timeout,
+                )
+            finally:
+                self._queued -= 1
+            if not admitted or self._draining:
+                if self._draining:
+                    self._refused_draining += 1
+                else:
+                    self._shed += 1
+                return None
+            self._active += 1
+            self._admitted += 1
+            self._admitted_queued += 1
+            return AdmissionTicket(self, queued=True)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._active -= 1
+            self._slot_free.notify()
+
+    # ------------------------------------------------------------------
+    # drain + observability
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Refuse all new admissions; wake queued waiters so they bail out."""
+        with self._lock:
+            self._draining = True
+            self._slot_free.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def in_flight(self) -> int:
+        """Admitted-but-unreleased work (the SIGTERM drain polls this)."""
+        with self._lock:
+            return self._active
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters for ``/stats`` (point-in-time, self-consistent)."""
+        with self._lock:
+            return {
+                "active": self._active,
+                "queued": self._queued,
+                "max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+                "admitted": self._admitted,
+                "admitted_after_queueing": self._admitted_queued,
+                "shed": self._shed,
+                "refused_draining": self._refused_draining,
+            }

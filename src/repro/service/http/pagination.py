@@ -1,0 +1,98 @@
+"""Cursor-based pagination of batch results, bounded page size.
+
+A batch ``POST /v1/queries`` may carry thousands of queries; the gateway
+answers them all but returns at most ``page_size`` results per response,
+with an opaque ``next_cursor`` the client re-posts (same body, plus
+``"cursor"``) to fetch the next page.  The cursor is **stateless** — a
+base64url-encoded ``{"o": offset}`` — so any gateway replica behind a load
+balancer can serve any page: re-solving the batch on the next gateway is
+cheap (the solvers are deterministic and the feasible-graph cache is warm
+after page one) and keeps the tier shared-nothing, which is the whole point
+of the multi-gateway topology.
+
+``page_size`` is clamped to ``MAX_PAGE_SIZE``: the bound is a protection
+for the *response* path (one page must serialise in bounded memory), so a
+client asking for more silently gets the maximum rather than an error —
+the ``next_cursor``/``total`` fields tell it pagination happened.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ...exceptions import QueryError
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "MAX_PAGE_SIZE",
+    "decode_cursor",
+    "encode_cursor",
+    "paginate",
+]
+
+#: Results per response when the client does not ask for a page size.
+DEFAULT_PAGE_SIZE = 256
+#: Hard ceiling on one page regardless of what the client asks for.
+MAX_PAGE_SIZE = 1024
+
+
+def encode_cursor(offset: int) -> str:
+    """Opaque cursor for ``offset`` (base64url JSON, no padding)."""
+    raw = json.dumps({"o": int(offset)}, separators=(",", ":")).encode("ascii")
+    return base64.urlsafe_b64encode(raw).rstrip(b"=").decode("ascii")
+
+
+def decode_cursor(cursor: str) -> int:
+    """Offset encoded by :func:`encode_cursor`; :class:`QueryError` if bogus.
+
+    Cursors are opaque but not trusted: a tampered or truncated one maps to
+    a field-level 400 on ``cursor``, never to an exception escaping the
+    handler.
+    """
+    if not isinstance(cursor, str) or not cursor:
+        raise QueryError("cursor must be a non-empty string")
+    padded = cursor + "=" * (-len(cursor) % 4)
+    try:
+        payload = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+        offset = payload["o"]
+    except (binascii.Error, ValueError, UnicodeEncodeError, KeyError, TypeError):
+        raise QueryError(f"malformed cursor {cursor!r}") from None
+    if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+        raise QueryError(f"malformed cursor {cursor!r}")
+    return offset
+
+
+def clamp_page_size(page_size: Any) -> int:
+    """Validate a requested page size; clamp to ``MAX_PAGE_SIZE``.
+
+    Raises :class:`QueryError` (→ field-level 400) for non-integer or
+    non-positive values; over-large values clamp silently (see module doc).
+    """
+    if page_size is None:
+        return DEFAULT_PAGE_SIZE
+    if not isinstance(page_size, int) or isinstance(page_size, bool) or page_size < 1:
+        raise QueryError(f"page_size must be a positive integer, got {page_size!r}")
+    return min(page_size, MAX_PAGE_SIZE)
+
+
+def paginate(
+    items: Sequence[Any],
+    cursor: Optional[str],
+    page_size: Any,
+) -> Tuple[List[Any], Optional[str], int]:
+    """Slice ``items`` at the cursor; ``(page, next_cursor, total)``.
+
+    ``next_cursor`` is ``None`` on the last page.  An offset past the end
+    (e.g. the batch shrank between pages) yields an empty final page rather
+    than an error — the client's pagination loop terminates normally.
+    """
+    size = clamp_page_size(page_size)
+    offset = decode_cursor(cursor) if cursor is not None else 0
+    total = len(items)
+    page = list(items[offset : offset + size])
+    next_offset = offset + size
+    next_cursor = encode_cursor(next_offset) if next_offset < total else None
+    return page, next_cursor, total

@@ -1,0 +1,111 @@
+"""Per-client token-bucket rate limiting keyed on the API key header.
+
+Admission control (:mod:`.admission`) protects the *fleet* from aggregate
+overload; this module protects it from one *client* — a single hot API key
+cannot monopolise the admission slots of a shared gateway.  Classic token
+bucket per key: a bucket holds up to ``burst`` tokens and refills at
+``rate`` tokens/second; each request spends one token; an empty bucket
+means 429 with a ``Retry-After`` telling the client exactly when the next
+token lands.
+
+Keys come from the ``X-API-Key`` request header, falling back to the
+client's IP so anonymous traffic is still bounded per source.  The limiter
+is disabled by default (``rate=None`` — the gateway trusts admission
+control alone); ``stgq http --rate-limit RATE[:BURST]`` turns it on.
+
+The clock is injectable (monotonic by default) so tests run instantly, and
+the bucket map is pruned once it grows past ``max_keys``: buckets idle long
+enough to have refilled completely carry no state worth keeping (a fresh
+bucket starts full), so dropping them is behaviour-preserving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["RateLimiter", "parse_rate_spec"]
+
+
+def parse_rate_spec(spec: str) -> Tuple[float, float]:
+    """Parse ``RATE`` or ``RATE:BURST`` (e.g. ``10`` or ``10:25``)."""
+    rate_text, sep, burst_text = spec.partition(":")
+    try:
+        rate = float(rate_text)
+        burst = float(burst_text) if sep else max(1.0, rate)
+    except ValueError:
+        raise ValueError(f"invalid rate-limit spec {spec!r} (want RATE or RATE:BURST)") from None
+    if rate <= 0 or burst < 1:
+        raise ValueError(f"rate-limit needs rate > 0 and burst >= 1, got {spec!r}")
+    return rate, burst
+
+
+class RateLimiter:
+    """Token bucket per client key; thread-safe; disabled when ``rate=None``."""
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        max_keys: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else (max(1.0, rate) if rate else None)
+        self.max_keys = max_keys
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> (tokens, last_refill_timestamp)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._allowed = 0
+        self._limited = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def allow(self, key: str) -> Tuple[bool, float]:
+        """Spend one token for ``key``; ``(allowed, retry_after_seconds)``.
+
+        ``retry_after`` is 0 when allowed, otherwise the time until the
+        bucket holds a whole token again — what the 429 response carries.
+        """
+        if self.rate is None:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(key, (float(self.burst), now))
+            tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[key] = (tokens - 1.0, now)
+                self._allowed += 1
+                self._maybe_prune(now)
+                return True, 0.0
+            self._buckets[key] = (tokens, now)
+            self._limited += 1
+            self._maybe_prune(now)
+            return False, (1.0 - tokens) / self.rate
+
+    def _maybe_prune(self, now: float) -> None:
+        """Drop buckets that have refilled to full (lock held by caller)."""
+        if len(self._buckets) <= self.max_keys:
+            return
+        full_after = float(self.burst) / float(self.rate)
+        stale = [
+            key for key, (_, stamp) in self._buckets.items() if now - stamp >= full_after
+        ]
+        for key in stale:
+            del self._buckets[key]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters for ``/stats``."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate": self.rate,
+                "burst": self.burst,
+                "keys": len(self._buckets),
+                "allowed": self._allowed,
+                "limited": self._limited,
+            }

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
 from ..exceptions import QueryError, ReproError
 from .codec import MAX_REQUEST_BYTES, query_from_request, response_for, wants_stats
+from .drain import ShutdownSignal
 from .query_service import Query, QueryService, Result
 
 __all__ = ["serve_jsonl", "query_from_request", "response_for"]
@@ -127,16 +128,23 @@ class _RequestReader:
         """True when the next batch can start without blocking."""
         return not self._queue.empty()
 
-    def next_batch(self, batch_size: int) -> Optional[List[_Entry]]:
+    def next_batch(
+        self, batch_size: int, timeout: Optional[float] = None
+    ) -> Optional[List[_Entry]]:
         """Block for the next batch, or return ``None`` at EOF.
 
         Fills up to ``batch_size`` entries but only from what is already
         queued — a client that pauses to read answers gets a short batch
-        instead of a stall.
+        instead of a stall.  With ``timeout`` the blocking wait is bounded
+        and an empty list means "nothing yet" — the tick the serve loop
+        uses to notice a shutdown signal between requests.
         """
         if self._exhausted:
             return None
-        first = self._queue.get()
+        try:
+            first = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return []
         if first is self._EOF:
             self._exhausted = True
             return None
@@ -151,6 +159,24 @@ class _RequestReader:
                 break
             batch.append(item)
         return batch
+
+    def drain(self) -> List[_Entry]:
+        """Everything already read off the stream, without blocking.
+
+        The shutdown path: these lines were *accepted* (pulled off stdin by
+        the reader thread, so the client cannot resend them), which obliges
+        the loop to answer them before exiting.
+        """
+        drained: List[_Entry] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return drained
+            if item is self._EOF:
+                self._exhausted = True
+                return drained
+            drained.append(item)
 
 
 async def _solve_entries(service: QueryService, entries: List[_Entry]) -> List[Union[Result, str]]:
@@ -207,10 +233,14 @@ async def _serve(
     input_stream: TextIO,
     output_stream: TextIO,
     batch_size: int,
+    stop: Optional[ShutdownSignal] = None,
 ) -> int:
     served = 0
     pending: Optional[tuple] = None
     reader = _RequestReader(input_stream)
+    # With a stop signal the blocking read is bounded so the loop notices
+    # SIGTERM between requests; without one it blocks forever (EOF-driven).
+    poll = 0.1 if stop is not None else None
 
     async def flush(item: tuple) -> None:
         nonlocal served
@@ -225,9 +255,24 @@ async def _serve(
                 # blocking for more input or neither side makes progress.
                 item, pending = pending, None
                 await flush(item)
-            entries = reader.next_batch(batch_size)
+            if stop is not None and stop.triggered:
+                # Drained shutdown: the in-flight batch flushes below
+                # (finally), but lines the reader thread already pulled off
+                # stdin would vanish unanswered — solve and answer them too,
+                # then exit 0.  Nothing accepted is dropped.
+                leftovers = reader.drain()
+                if leftovers:
+                    task = asyncio.ensure_future(_solve_entries(service, leftovers))
+                    if pending is not None:
+                        item, pending = pending, None
+                        await flush(item)
+                    pending = (leftovers, task)
+                break
+            entries = reader.next_batch(batch_size, timeout=poll)
             if entries is None:
                 break
+            if not entries:
+                continue  # timed-out tick: re-check the stop signal
             task = asyncio.ensure_future(_solve_entries(service, entries))
             # Give the task one loop tick so its batch is already running on
             # the executor while we write the previous responses and read
@@ -256,6 +301,7 @@ def serve_jsonl(
     input_stream: TextIO,
     output_stream: TextIO,
     batch_size: int = 64,
+    stop: Optional[ShutdownSignal] = None,
 ) -> int:
     """Serve JSONL requests from ``input_stream`` until EOF.
 
@@ -263,7 +309,13 @@ def serve_jsonl(
     Responses preserve request order; solving one batch overlaps with
     reading the next, so a pipelining client keeps every backend worker
     busy without waiting for round trips.
+
+    ``stop`` (a :class:`~repro.service.drain.ShutdownSignal`, installed by
+    ``stgq serve --jsonl``) makes SIGTERM a *drained* shutdown: the loop
+    stops reading, answers the in-flight batch **and** every line already
+    read off the stream, then returns normally — instead of the old
+    mid-batch ``SystemExit`` that dropped accepted requests.
     """
     if batch_size < 1:
         raise QueryError(f"batch_size must be >= 1, got {batch_size}")
-    return asyncio.run(_serve(service, input_stream, output_stream, batch_size))
+    return asyncio.run(_serve(service, input_stream, output_stream, batch_size, stop=stop))

@@ -59,6 +59,13 @@ class WorkerServer:
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
+        # In-flight frame accounting for the SIGTERM drain: a frame counts
+        # from the moment it is fully read until its reply is written, and
+        # aclose() waits for the count to hit zero before closing sockets.
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
 
     @property
     def address(self) -> str:
@@ -76,12 +83,31 @@ class WorkerServer:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
-    async def aclose(self) -> None:
-        """Stop accepting, drop live connections (idempotent)."""
+    async def aclose(self, drain_timeout: float = 30.0) -> None:
+        """Stop accepting, drain in-flight frames, close connections.
+
+        The drained-shutdown contract (shared with ``stgq serve --jsonl``
+        and the HTTP gateway, see :mod:`repro.service.drain`): every frame
+        that was fully read gets its reply written before the connection
+        is torn down — a mid-batch SIGTERM no longer drops responses whose
+        requests the worker already accepted.  ``drain_timeout`` bounds
+        the wait; a batch still running when it expires is abandoned with
+        the close (the orchestrator's SIGKILL escalation territory).
+        Idempotent.
+        """
         server, self._server = self._server, None
         if server is not None:
             server.close()
             await server.wait_closed()
+        self._draining = True
+        if self._inflight:
+            try:
+                await asyncio.wait_for(self._idle.wait(), drain_timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - pathological batch
+                print(
+                    f"worker drain timed out with {self._inflight} frames in flight",
+                    file=sys.stderr,
+                )
         for writer in list(self._writers):
             writer.close()
         self._writers.clear()
@@ -104,9 +130,20 @@ class WorkerServer:
                     # the byte stream can no longer be trusted.
                     await write_frame(writer, {"type": "error", "error": str(exc)})
                     break
-                reply, keep_open = await self._dispatch(frame)
-                await write_frame(writer, reply)
-                if not keep_open:
+                # From here the frame is "accepted": count it in-flight
+                # (synchronously — no await between the read completing and
+                # this increment, so aclose() can never observe the gap) so
+                # a drain waits for its reply to be written.
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    reply, keep_open = await self._dispatch(frame)
+                    await write_frame(writer, reply)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                if not keep_open or self._draining:
                     break
         except (ConnectionError, ProtocolError):  # peer died mid-write
             pass
@@ -387,10 +424,12 @@ def run_worker(
 
     Once listening, writes ``STGQ-WORKER-READY <host> <port>`` to
     ``announce`` (the cluster launcher reads this off the subprocess's
-    stdout to learn the ephemeral port).  Signals stop the loop cleanly:
-    the server closes its connections and the caller is expected to close
-    the service (``stgq worker`` holds it in a ``with`` block), so no
-    forkserver workers leak on Ctrl-C.
+    stdout to learn the ephemeral port).  Signals stop the loop cleanly
+    *and drained*: ``aclose`` finishes every in-flight frame's reply
+    before connections close (a mid-batch SIGTERM drops nothing), then
+    the caller closes the service (``stgq worker`` holds it in a ``with``
+    block), so no forkserver workers leak on Ctrl-C.  Exit code stays 0
+    on a signalled, drained shutdown — the contract launchers assert.
     """
 
     async def _run() -> None:

@@ -241,6 +241,111 @@ class TestPickling:
             pickle.loads(blob)
 
 
+class TestQuantization:
+    """int32 weight quantisation (``save(quantize=True)`` / ``pack --quantize``)."""
+
+    def test_quantized_file_halves_weight_storage(self, tmp_path):
+        graph = make_random_graph(12, n=40, edge_prob=0.3)
+        csr = _csr(graph)
+        plain, packed = tmp_path / "plain.stgq", tmp_path / "quant.stgq"
+        csr.save(plain)
+        csr.save(packed, quantize=True)
+        # float64 -> int32 weights: the weights section halves; the file
+        # shrinks by ~4 bytes per directed edge (header overhead aside).
+        saved = plain.stat().st_size - packed.stat().st_size
+        assert saved >= 4 * 2 * graph.edge_count - 256
+
+    def test_round_trip_preserves_weights_within_quantum(self, tmp_path):
+        graph = make_random_graph(13, n=20, edge_prob=0.4)
+        csr = _csr(graph)
+        path = tmp_path / "q.stgq"
+        csr.save(path, quantize=True)
+        back = load_stgq(path)
+        assert back.vertex_count == graph.vertex_count
+        assert back.edge_count == graph.edge_count
+        quantum = max(w for _, _, w in graph.edges()) / (2**31 - 1)
+        for u, v, w in graph.edges():
+            assert abs(back.distance(u, v) - w) <= quantum
+
+    def test_quantized_format_and_inspect(self, tmp_path):
+        graph = make_random_graph(14, n=10, edge_prob=0.5)
+        path = tmp_path / "q.stgq"
+        _csr(graph).save(path, quantize=True)
+        info = inspect_stgq(path)
+        assert info["format"] == 2
+        assert info["quantized"] is True
+        assert info["weight_scale"] > 0
+        assert info["dtypes"]["weights"].endswith("i4")  # int32 on disk
+        # A plain save stays format 1 and reports unquantized.
+        plain = tmp_path / "p.stgq"
+        _csr(graph).save(plain)
+        assert inspect_stgq(plain)["format"] == 1
+        assert inspect_stgq(plain)["quantized"] is False
+
+    def test_version_hash_covers_dequantized_weights(self, tmp_path):
+        """verify=True, re-save and pickling all agree on the version."""
+        graph = make_random_graph(15, n=12, edge_prob=0.4)
+        path = tmp_path / "q.stgq"
+        version = _csr(graph).save(path, quantize=True)
+        back = load_stgq(path, verify=True)  # recomputes over loaded arrays
+        assert back.version == version
+        # Re-saving the loaded (dequantized) graph quantized reproduces the
+        # version: the hash covers what a loader reconstructs.
+        again = back.save(tmp_path / "again.stgq", quantize=True)
+        assert again == version
+
+    def test_quantized_save_does_not_bind_instance(self, tmp_path):
+        """The in-memory float graph is NOT the quantized file's content."""
+        graph = make_random_graph(16, n=10, edge_prob=0.4)
+        csr = _csr(graph)
+        csr.save(tmp_path / "q.stgq", quantize=True)
+        assert csr.path is None  # would otherwise pickle-by-path a lie
+        csr.save(tmp_path / "p.stgq")
+        assert csr.path == str(tmp_path / "p.stgq")
+
+    def test_pack_graph_quantize_returns_file_backed_graph(self, tmp_path):
+        graph = make_random_graph(17, n=10, edge_prob=0.4)
+        path = tmp_path / "q.stgq"
+        csr = pack_graph(graph, path, quantize=True)
+        assert csr.path == str(path)
+        assert csr.version == load_stgq(path).version
+        blob = pickle.dumps(csr)
+        assert len(blob) < 512  # pickles by path, safe: version matches file
+
+    def test_quantized_substrate_serves_queries(self, tmp_path):
+        """End to end: a quantized substrate behind a QueryService."""
+        from repro.core import SGQuery
+        from repro.service import QueryService
+
+        graph = make_random_graph(18, n=14, edge_prob=0.4)
+        quantized = pack_graph(graph, tmp_path / "q.stgq", quantize=True)
+        query = SGQuery(initiator=0, group_size=4, radius=2, acquaintance=1)
+        with QueryService(graph) as reference, QueryService(quantized) as served:
+            expected = reference.solve_many([query])[0]
+            got = served.solve_many([query])[0]
+        assert got.members == expected.members
+
+    def test_bad_weight_scale_rejected(self, tmp_path):
+        import json as _json
+        import struct
+
+        from repro.graph.csr import STGQ_MAGIC as magic
+
+        path = tmp_path / "q.stgq"
+        _csr(make_random_graph(19, n=8, edge_prob=0.5)).save(path, quantize=True)
+        data = path.read_bytes()
+        (header_len,) = struct.unpack_from("<I", data, len(magic))
+        start = len(magic) + 4
+        header = _json.loads(data[start : start + header_len])
+        header["weight_scale"] = "x"
+        blob = _json.dumps(header).encode("utf-8")
+        assert len(blob) <= header_len  # shorter value: pad in place
+        padded = blob + b" " * (header_len - len(blob))
+        path.write_bytes(data[:start] + padded + data[start + header_len :])
+        with pytest.raises(GraphError):
+            load_stgq(path)
+
+
 class TestFastPaths:
     @pytest.mark.parametrize("seed", range(5))
     @pytest.mark.parametrize("radius", [1, 2, 3])

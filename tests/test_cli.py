@@ -326,6 +326,26 @@ class TestSubstrateCommands:
         assert payload["m"] == 3
         assert payload["format"] == 1
 
+    def test_pack_quantize_then_inspect(self, edgelist, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "q.stgq"
+        code = main(["pack", str(edgelist), str(out), "--quantize"])
+        pack_out = capsys.readouterr().out
+        assert code == 0
+        assert "int32-quantized" in pack_out
+
+        code = main(["inspect", str(out)])
+        inspect_out = capsys.readouterr().out
+        assert code == 0
+        assert "int32-quantized" in inspect_out
+
+        assert main(["inspect", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == 2
+        assert payload["quantized"] is True
+        assert payload["weight_scale"] > 0
+
     def test_pack_missing_input(self, tmp_path, capsys):
         code = main(["pack", str(tmp_path / "nope.txt"), str(tmp_path / "g.stgq")])
         assert code == 1
