@@ -1,0 +1,149 @@
+"""Feasible-graph extraction throughput: dict vs CSR at three scales.
+
+Times radius-2 :func:`~repro.graph.extract_feasible_graph` on the
+adjacency-dict and CSR substrates over the same seeded initiators at the
+194-person reference dataset and seeded Chung-Lu graphs of 10^4 and 10^5
+vertices, reporting extractions/second per substrate and the
+``csr_vs_dict`` speedup ratio per size — the measurement behind the
+committed ``BENCH_extraction.json`` artifact.
+
+The CSR lane builds the feasible graph straight from its row slices (one
+vectorised bounded-Bellman-Ford, one gather for the induced adjacency), so
+it must not lose to the dict substrate once the graph outgrows cache:
+``--min-ratio`` (default 1.0) is enforced at 10^4 and 10^5 vertices.  At
+194 vertices the ratio is reported but not gated — both lanes finish in
+microseconds there and the number is noise-dominated.  The script also
+exits non-zero when the substrates disagree on reached vertices.
+
+``--quick`` shrinks passes/initiators for CI;  the JSON keys are identical
+in both modes so ``check_baseline.py`` can pair every metric.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_extraction.py --json BENCH_extraction.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.datasets import generate_scale_dataset
+from repro.experiments.workloads import workload
+from repro.graph import csr_available, extract_feasible_graph
+from repro.graph.csr import CSRGraph
+
+SIZES = (194, 10_000, 100_000)
+#: ``csr_vs_dict`` is gated from this size up; below it the per-call cost
+#: is microseconds and the ratio says more about the timer than the code.
+RATIO_FLOOR_MIN_SIZE = 10_000
+DEFAULT_MIN_RATIO = 1.0
+RADIUS = 2
+
+
+def _time_extractions(graph, initiators, passes):
+    """Best-of-``passes`` wall time over the whole initiator sweep."""
+    best = float("inf")
+    reached = 0
+    for _ in range(passes):
+        start = time.perf_counter()
+        reached = 0
+        for initiator in initiators:
+            reached += len(extract_feasible_graph(graph, initiator, RADIUS))
+        best = min(best, time.perf_counter() - start)
+    return {
+        "calls": len(initiators),
+        "passes": passes,
+        "seconds": round(best, 4),
+        "per_sec": round(len(initiators) / best, 2) if best else float("inf"),
+        "vertices_reached": reached,
+    }
+
+
+def _substrate_pair(size, seed):
+    """(csr, dict) graphs plus seeded initiators for one scale point."""
+    if size == 194:
+        dataset = workload(network_size=size, seed=42)
+        dict_graph = dataset.graph
+        csr = CSRGraph.from_social_graph(dict_graph)
+        rng = random.Random(seed)
+        initiators = rng.sample(sorted(dataset.people), 30)
+    else:
+        csr = generate_scale_dataset(size, seed=seed).graph
+        dict_graph = csr.to_social_graph()
+        # The scale-bench initiator mix: the hub plus mid-degree spread.
+        step = max(1, size // (30 * 7))
+        initiators = [0] + [(i * step * 7 + 13) % size for i in range(1, 30)]
+    return csr, dict_graph, initiators
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--quick", action="store_true", help="single pass, half the initiators (CI smoke)"
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=DEFAULT_MIN_RATIO,
+        metavar="RATIO",
+        help=f"csr_vs_dict floor at >= {RATIO_FLOOR_MIN_SIZE} vertices "
+        f"(default {DEFAULT_MIN_RATIO})",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None, help="write the report to PATH")
+    args = parser.parse_args(argv)
+
+    if not csr_available():
+        print("FAIL: CSR substrate requires numpy", file=sys.stderr)
+        return 2
+    passes = 1 if args.quick else 3
+
+    report = {"seed": args.seed, "quick": args.quick, "radius": RADIUS, "sizes": {}}
+    failures = []
+    for size in SIZES:
+        csr, dict_graph, initiators = _substrate_pair(size, args.seed)
+        if args.quick:
+            initiators = initiators[: max(2, len(initiators) // 2)]
+        print(f"== {size} vertices: radius-{RADIUS} extraction over {len(initiators)} initiators ==")
+        csr_leg = _time_extractions(csr, initiators, passes)
+        dict_leg = _time_extractions(dict_graph, initiators, passes)
+        ratio = round(csr_leg["per_sec"] / dict_leg["per_sec"], 3)
+        report["sizes"][str(size)] = {
+            "csr": csr_leg,
+            "dict": dict_leg,
+            "csr_vs_dict": ratio,
+        }
+        print(
+            f"  csr {csr_leg['per_sec']}/s  dict {dict_leg['per_sec']}/s  "
+            f"csr_vs_dict {ratio}x"
+        )
+        if csr_leg["vertices_reached"] != dict_leg["vertices_reached"]:
+            failures.append(
+                f"substrates disagree on reached vertices at {size} "
+                f"(csr {csr_leg['vertices_reached']} vs dict {dict_leg['vertices_reached']})"
+            )
+        if size >= RATIO_FLOOR_MIN_SIZE and ratio < args.min_ratio:
+            failures.append(
+                f"csr_vs_dict {ratio}x below the {args.min_ratio}x floor at {size} vertices"
+            )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("extraction bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

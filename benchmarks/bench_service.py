@@ -50,9 +50,11 @@ Run directly (it is a script, not a pytest-benchmark module)::
 The script exits non-zero when the p >= 6 aggregate speedup falls below the
 3x acceptance floor, or when the numpy kernel's solve throughput on the
 solver-bound STGQ batch falls below ``NUMPY_KERNEL_FLOOR`` times the
-compiled kernel's (kernel sweep enabled and numpy installed), so CI catches
-kernel regressions loudly.  ``--kernels-json PATH`` writes that kernel
-comparison on its own (the ``BENCH_kernels.json`` artifact).
+compiled kernel's, or when it trails the compiled kernel on the cache-hot
+radius-1 SGQ batch (``RADIUS1_KERNEL_FLOOR``) — kernel sweep enabled and
+numpy installed — so CI catches kernel regressions loudly.
+``--kernels-json PATH`` writes that kernel comparison on its own (the
+``BENCH_kernels.json`` artifact, radius-1 leg nested under ``"radius1"``).
 """
 
 from __future__ import annotations
@@ -85,7 +87,15 @@ from repro.service.net import start_local_workers
 SPEEDUP_FLOOR = 3.0
 #: Acceptance floor for the vectorized kernel: solve throughput on the
 #: solver-bound radius-2 STGQ batch, numpy vs compiled, single thread.
-NUMPY_KERNEL_FLOOR = 1.3
+#: Raised from 1.3 once cascade batching removed the per-node numpy
+#: dispatch overhead from forced chains (measured ~1.47x on 1 CPU).
+NUMPY_KERNEL_FLOOR = 1.35
+#: Floor for the cache-hot radius-1 SGQ batch: small egos used to be the
+#: numpy kernel's worst case (array setup swamped the solve, ~0.65x).
+#: Small-instance routing (``NUMPY_MIN_CANDIDATES``) now sends them down
+#: the bitset expansion, so the structural ratio is parity; the floor sits
+#: a hair under 1.0 purely for timer noise between the interleaved passes.
+RADIUS1_KERNEL_FLOOR = 0.97
 FIG1A = dict(radius=1, acquaintance=2, group_sizes=(3, 4, 5, 6, 7))
 HEAVY = dict(radius=2, acquaintance=2, group_sizes=(5, 6, 7))
 #: Dataset shape shared by the gateway AND any spawned remote workers —
@@ -160,7 +170,51 @@ def kernel_sweep(
     return tails["reference"], tails["compiled"]
 
 
-def kernel_throughput(dataset, stgq_batch, quick: bool) -> Dict[str, object]:
+def _kernel_batch_throughput(dataset, batch, passes: int) -> Dict[str, object]:
+    """Warm-cache, serial-backend throughput of one batch per kernel.
+
+    The kernels' timing passes are *interleaved* (compiled, numpy,
+    compiled, ...) rather than run as two sequential blocks: on a shared
+    1-CPU runner, frequency drift and neighbour load change over the tens
+    of seconds a block takes, and sequential blocks fold that drift
+    straight into the reported ratio.  Alternating passes expose both
+    kernels to the same conditions, so best-of-``passes`` compares like
+    with like.
+    """
+    measured: Dict[str, object] = {"queries": len(batch), "passes": passes}
+    kernels = ["compiled"] + (["numpy"] if numpy_kernel_available() else [])
+    services = {}
+    try:
+        for kernel in kernels:
+            service = QueryService(
+                dataset.graph,
+                dataset.calendars,
+                parameters=SearchParameters(kernel=kernel),
+                backend="serial",
+            )
+            service.__enter__()
+            service.solve_many(batch)  # warm the ego-network cache
+            services[kernel] = service
+        best = {kernel: float("inf") for kernel in kernels}
+        for _ in range(passes):
+            for kernel in kernels:
+                start = time.perf_counter()
+                services[kernel].solve_many(batch)
+                best[kernel] = min(best[kernel], time.perf_counter() - start)
+    finally:
+        for service in services.values():
+            service.__exit__(None, None, None)
+    for kernel in kernels:
+        qps = len(batch) / best[kernel]
+        measured[kernel] = {"wall_s": round(best[kernel], 4), "qps": round(qps, 1)}
+        print(f"{kernel:>9}: {best[kernel]:.3f}s  {qps:.1f} q/s")
+    if "numpy" in kernels:
+        ratio = measured["numpy"]["qps"] / measured["compiled"]["qps"]
+        measured["numpy_vs_compiled"] = round(ratio, 3)
+    return measured
+
+
+def kernel_throughput(dataset, stgq_batch, quick: bool, sgq_batch=None) -> Dict[str, object]:
     """Single-thread solve throughput of the compiled and numpy kernels.
 
     Runs the solver-bound radius-2 STGQ batch through a serial-backend
@@ -168,41 +222,34 @@ def kernel_throughput(dataset, stgq_batch, quick: bool) -> Dict[str, object]:
     passes), i.e. a pure kernel comparison with no executor in the way —
     the measurement behind the ``BENCH_kernels.json`` artifact and the
     numpy-vs-compiled acceptance gate (``NUMPY_KERNEL_FLOOR``).
+
+    When ``sgq_batch`` is given, a second leg times the cache-hot radius-1
+    SGQ batch — the small-ego regime where the numpy kernel historically
+    trailed the compiled one — under its own ``RADIUS1_KERNEL_FLOOR``
+    (nested in the report as ``"radius1"``).
     """
     passes = 3 if quick else 4
-    measured: Dict[str, object] = {
-        "queries": len(stgq_batch),
-        "passes": passes,
-        "numpy_available": numpy_kernel_available(),
-        "floor": NUMPY_KERNEL_FLOOR,
-    }
-    kernels = ["compiled"] + (["numpy"] if numpy_kernel_available() else [])
     print("\n== kernel throughput: solver-bound radius-2 STGQ batch (serial backend) ==")
-    for kernel in kernels:
-        with QueryService(
-            dataset.graph,
-            dataset.calendars,
-            parameters=SearchParameters(kernel=kernel),
-            backend="serial",
-        ) as service:
-            service.solve_many(stgq_batch)  # warm the ego-network cache
-            best = float("inf")
-            for _ in range(passes):
-                start = time.perf_counter()
-                service.solve_many(stgq_batch)
-                best = min(best, time.perf_counter() - start)
-        qps = len(stgq_batch) / best
-        measured[kernel] = {"wall_s": round(best, 4), "qps": round(qps, 1)}
-        print(f"{kernel:>9}: {best:.3f}s  {qps:.1f} q/s")
-    if "numpy" in kernels:
-        ratio = measured["numpy"]["qps"] / measured["compiled"]["qps"]
-        measured["numpy_vs_compiled"] = round(ratio, 3)
+    measured = _kernel_batch_throughput(dataset, stgq_batch, passes)
+    measured["numpy_available"] = numpy_kernel_available()
+    measured["floor"] = NUMPY_KERNEL_FLOOR
+    if "numpy_vs_compiled" in measured:
         print(
-            f"numpy vs compiled: {ratio:.2f}x (floor {NUMPY_KERNEL_FLOOR:.1f}x, "
-            "single-thread)"
+            f"numpy vs compiled: {measured['numpy_vs_compiled']:.2f}x "
+            f"(floor {NUMPY_KERNEL_FLOOR:.2f}x, single-thread)"
         )
     else:
         print("numpy >= 2.0 not installed; kernel gate not applicable")
+    if sgq_batch is not None:
+        print("\n== kernel throughput: cache-hot radius-1 SGQ batch (serial backend) ==")
+        radius1 = _kernel_batch_throughput(dataset, sgq_batch, passes)
+        radius1["floor"] = RADIUS1_KERNEL_FLOOR
+        measured["radius1"] = radius1
+        if "numpy_vs_compiled" in radius1:
+            print(
+                f"numpy vs compiled (radius 1): {radius1['numpy_vs_compiled']:.2f}x "
+                f"(floor {RADIUS1_KERNEL_FLOOR:.2f}x, single-thread)"
+            )
     return measured
 
 
@@ -549,10 +596,11 @@ def main(argv=None) -> int:
         # The kernel-comparison artifact is an acceptance gate: asking for
         # it in a configuration that cannot produce the numpy-vs-compiled
         # ratio must fail loudly, not silently skip the gate.
-        if not args.kernel_sweep or "stgq" not in batches:
+        if not args.kernel_sweep or "stgq" not in batches or "sgq" not in batches:
             print(
                 "FAIL: --kernels-json needs the kernel sweep and the synthetic "
-                "stgq batch (do not combine with --no-kernel-sweep or --replay)",
+                "sgq + stgq batches (do not combine with --no-kernel-sweep or "
+                "--replay)",
                 file=sys.stderr,
             )
             return 1
@@ -566,7 +614,9 @@ def main(argv=None) -> int:
 
     kernels_report = None
     if args.kernel_sweep and "stgq" in batches:
-        kernels_report = kernel_throughput(dataset, batches["stgq"], args.quick)
+        kernels_report = kernel_throughput(
+            dataset, batches["stgq"], args.quick, sgq_batch=batches.get("sgq")
+        )
         report["kernels"] = kernels_report
         if args.kernels_json:
             payload = {
@@ -731,7 +781,16 @@ def main(argv=None) -> int:
         if ratio < NUMPY_KERNEL_FLOOR:
             print(
                 f"FAIL: numpy kernel at {ratio:.2f}x compiled throughput, "
-                f"below the {NUMPY_KERNEL_FLOOR:.1f}x floor",
+                f"below the {NUMPY_KERNEL_FLOOR:.2f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        radius1 = kernels_report.get("radius1", {})
+        if "numpy_vs_compiled" in radius1 and radius1["numpy_vs_compiled"] < RADIUS1_KERNEL_FLOOR:
+            print(
+                f"FAIL: numpy kernel at {radius1['numpy_vs_compiled']:.2f}x compiled "
+                f"throughput on the radius-1 SGQ batch, below the "
+                f"{RADIUS1_KERNEL_FLOOR:.2f}x floor",
                 file=sys.stderr,
             )
             return 1

@@ -10,7 +10,10 @@ it to a ``.stgq`` file, and measures:
    memory-mapped — the deployment shape the substrate exists for — with
    per-worker RSS so the shared-page-cache claim is a number, not prose.
 
-``--json PATH`` writes the report for CI artifacts.  The script exits
+``--json PATH`` writes the report for CI artifacts.  ``--profile PATH``
+re-runs the CSR extraction leg under :mod:`cProfile` and writes the top 30
+cumulative entries to PATH (uploaded as a CI artifact so a regression
+caught by the gate comes with its own flame-sketch).  The script exits
 non-zero when CSR extraction throughput falls below
 ``--min-extractions-per-sec`` (the scale-smoke CI floor) or when the CSR
 substrate fails to answer the batch identically feasible-count-wise to the
@@ -24,7 +27,10 @@ Run::
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import sys
 import tempfile
 import time
@@ -56,6 +62,19 @@ def _time_extractions(graph, initiators, radius=2):
         "per_sec": round(len(initiators) / elapsed, 2) if elapsed else float("inf"),
         "vertices_reached": reached,
     }
+
+
+def _profile_extractions(graph, initiators, path, radius=2, top=30):
+    """cProfile the CSR extraction sweep; write the ``top`` cumulative rows."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for initiator in initiators:
+        extract_feasible_graph(graph, initiator, radius)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    Path(path).write_text(buffer.getvalue(), encoding="utf-8")
 
 
 def _stgq_batch(dataset, initiators, queries_total):
@@ -93,6 +112,12 @@ def main(argv=None) -> int:
         help=f"CSR extraction throughput floor (default {DEFAULT_MIN_EXTRACTIONS_PER_SEC})",
     )
     parser.add_argument("--json", metavar="PATH", default=None, help="write the report to PATH")
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="cProfile the CSR extraction leg, write the top-30 cumulative entries to PATH",
+    )
     args = parser.parse_args(argv)
 
     if not csr_available():
@@ -143,6 +168,9 @@ def main(argv=None) -> int:
             f"  csr extraction:  {report['extraction']['csr']['per_sec']}/s "
             f"over {len(initiators)} initiators"
         )
+        if args.profile:
+            _profile_extractions(substrate.graph, initiators, args.profile)
+            print(f"  wrote csr extraction profile to {args.profile}")
         if not args.skip_dict:
             dict_graph = csr.to_social_graph()
             report["extraction"]["dict"] = _time_extractions(dict_graph, initiators)

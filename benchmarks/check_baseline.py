@@ -35,7 +35,7 @@ from typing import Dict, Iterator, Tuple
 
 #: JSON keys whose numeric values mean "higher is better".  Everything else
 #: (counts, seconds, environment facts) is not gated.
-THROUGHPUT_KEYS = ("qps", "per_sec", "numpy_vs_compiled")
+THROUGHPUT_KEYS = ("qps", "per_sec", "numpy_vs_compiled", "csr_vs_dict")
 
 
 def iter_throughput_leaves(tree: object, prefix: str = "") -> Iterator[Tuple[str, float]]:

@@ -31,7 +31,6 @@ __all__ = [
     "acquaintance_pruning_bitset",
     "availability_pruning_bitset",
     "acquaintance_pruning_packed",
-    "availability_pruning_packed",
 ]
 
 
@@ -208,47 +207,6 @@ def acquaintance_pruning_packed(
     inner = remaining_counts[remaining_indicator]
     upper_bound = int(inner.sum()) - not_chosen * int(inner.min())
     return upper_bound < required
-
-
-def availability_pruning_packed(
-    busy_rows: "np.ndarray",
-    remaining_row: "np.ndarray",
-    remaining_count: int,
-    members_count: int,
-    group_size: int,
-    window: PivotWindow,
-) -> bool:
-    """Packed counterpart of :func:`availability_pruning_bitset` (Lemma 5).
-
-    ``busy_rows[j]`` must be the packed busy mask of slot
-    ``window.window.start + j``; the per-slot unavailable counts for the
-    whole window come out of one matrix ``bitwise_count`` reduction, and
-    only the (at most ``2m - 2``-step) boundary scan stays in Python.
-    """
-    needed = group_size - members_count
-    if needed <= 0:
-        return False
-    if remaining_count < needed:
-        return False
-    threshold = remaining_count - needed + 1
-    counts = np.bitwise_count(busy_rows & remaining_row).sum(axis=1)
-    start = window.window.start
-    pivot = window.pivot
-    m = window.activity_length
-
-    t_minus = start - 1
-    for slot in range(pivot - 1, start - 1, -1):
-        if counts[slot - start] >= threshold:
-            t_minus = slot
-            break
-
-    t_plus = window.window.end + 1
-    for slot in range(pivot + 1, window.window.end + 1):
-        if counts[slot - start] >= threshold:
-            t_plus = slot
-            break
-
-    return t_plus - t_minus <= m
 
 
 def availability_pruning_bitset(

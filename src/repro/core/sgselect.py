@@ -46,7 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..exceptions import InfeasibleQueryError
 from .context import SearchContext, record_into
 from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
-from ..graph.extraction import FeasibleGraph, extract_feasible_graph
+from ..graph.extraction import FeasibleGraph, extract_query_forms
 from ..graph.packed import PackedAdjacency, pack_adjacency
 from ..graph.social_graph import SocialGraph
 from ..types import Vertex
@@ -73,6 +73,23 @@ __all__ = ["SGSelect", "sg_select"]
 
 #: Signature of the incumbent-recording callback shared by both kernels.
 RecordFn = Callable[[Set[Vertex], float], None]
+
+#: Cascade batching: a node whose remaining pool has at most this many
+#: candidates is evaluated with the exact scalar bitset measures instead of
+#: materialising whole-pool arrays.  Forced chains — the deep tails of a
+#: search where pruning leaves a handful of survivors per node — then never
+#: pay per-node numpy dispatch, while wide nodes take the vectorized path
+#: from their first candidate.  Decisions are provably identical in either
+#: lane (same integer measures, same precomputed right-hand sides), so the
+#: search tree and the stats don't depend on the threshold.
+LAZY_MEASURE_THRESHOLD = 4
+
+#: Below this many candidates the numpy kernel routes the whole search to
+#: the compiled bitset expansion: array setup costs more than it saves on
+#: sub-millisecond egos (the cache-hot radius-1 regime), and the two
+#: expansions visit the identical tree with identical stats — pinned by
+#: the kernel-equivalence suite — so routing is invisible in the results.
+NUMPY_MIN_CANDIDATES = 48
 
 
 class SGSelect:
@@ -155,12 +172,13 @@ class SGSelect:
         stats = SearchStats()
 
         if feasible_graph is None:
-            feasible_graph = extract_feasible_graph(self.graph, query.initiator, query.radius)
             # A caller-supplied compilation is only trusted together with the
             # feasible graph it was built from (the packing rides on the
-            # compilation's id layout, so it shares its fate).
-            compiled_graph = None
-            packed_graph = None
+            # compilation's id layout, so it shares its fate).  On a CSR
+            # graph extract_query_forms derives all three forms in one pass.
+            feasible_graph, compiled_graph, packed_graph = extract_query_forms(
+                self.graph, query.initiator, query.radius, self.parameters.kernel
+            )
         result = self._search(
             feasible_graph,
             query,
@@ -233,7 +251,7 @@ class SGSelect:
         if kernel != "reference":
             compiled = compiled_graph or compile_feasible_graph(feasible_graph, candidates)
             strangers = [0] * len(compiled)
-            if kernel == "numpy":
+            if kernel == "numpy" and compiled.candidate_count >= NUMPY_MIN_CANDIDATES:
                 packed = packed_graph or pack_adjacency(compiled)
                 self._expand_numpy(
                     compiled=compiled,
@@ -460,7 +478,12 @@ class SGSelect:
           identical float decisions);
         * high-frequency counters accumulate in locals and are folded into
           ``stats`` when the node finishes — the totals a caller can
-          observe are identical.
+          observe are identical;
+        * **cascade batching** — a node whose remaining pool holds at most
+          ``LAZY_MEASURE_THRESHOLD`` candidates is measured with the exact
+          scalar bitset arithmetic and never materialises an array, so the
+          forced-chain tail of a search (a handful of survivors per node)
+          never pays numpy dispatch at all.
         """
         params = self.parameters
         p = query.group_size
@@ -550,6 +573,43 @@ class SGSelect:
                     candidate = cand_bit.bit_length() - 1
                     considered += 1
 
+                    if unfam is None and remaining_mask.bit_count() <= LAZY_MEASURE_THRESHOLD:
+                        # Cascade-batching scalar lane: a nearly-empty pool
+                        # (the forced-chain tail of the search) is measured
+                        # with the exact bitset arithmetic, so those nodes
+                        # never pay the whole-pool materialisation.  The
+                        # ints are identical to the array path's (the
+                        # adjacency bit in the member terms cancels either
+                        # way), hence identical decisions, tree, counters.
+                        u_val, e_val = candidate_measures_bitset(
+                            adj,
+                            member_ids,
+                            strangers,
+                            members_mask,
+                            remaining_mask & ~cand_bit,
+                            candidate,
+                            k,
+                        )
+                        if e_val < expans_need:
+                            expans_removed += 1
+                        elif u_val > unfam_rhs:
+                            if theta == 0:
+                                unfam_removed += 1
+                            else:
+                                deferred_mask |= cand_bit
+                                continue
+                        else:
+                            selected = candidate
+                            continue
+                        # Removal without arrays: ``member_terms`` is still
+                        # None (it materialises together with ``unfam``), and
+                        # pending bits are harmless while ``base_counts`` is
+                        # None — every materialisation site resets them.
+                        remaining_mask &= ~cand_bit
+                        deferred_mask &= ~cand_bit
+                        pending_mask |= cand_bit
+                        continue
+
                     if unfam is None:
                         cs_arr, unfam_arr = unfamiliarity_measures_packed(
                             packed, member_ids, strangers, members_mask
@@ -627,14 +687,16 @@ class SGSelect:
                         strangers[v] -= 1
 
                 # --- branch 2: exclude ``selected`` and continue ----------
-                # ``member_terms`` is always initialised by now: selecting a
-                # candidate goes through the measure setup in the inner loop.
+                # ``member_terms`` may still be None when ``selected`` came
+                # from the scalar cascade lane; it materialises (reflecting
+                # every pending removal) the first time the array path runs.
                 remaining_mask &= ~sel_bit
                 deferred_mask &= ~sel_bit
                 pending_mask |= sel_bit
-                for j, v in enumerate(member_ids):
-                    member_terms[j] -= sel_adj >> v & 1
-                member_min = min(member_terms)
+                if member_terms is not None:
+                    for j, v in enumerate(member_ids):
+                        member_terms[j] -= sel_adj >> v & 1
+                    member_min = min(member_terms)
         finally:
             stats.candidates_considered += considered
             stats.expansibility_removals += expans_removed

@@ -36,8 +36,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 from ..exceptions import InfeasibleQueryError, ScheduleError
 from .context import SearchContext, record_into
 from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
-from ..graph.extraction import FeasibleGraph, extract_feasible_graph
-from ..graph.packed import PackedAdjacency, busy_slot_masks, pack_adjacency, pack_masks
+from ..graph.extraction import FeasibleGraph, extract_query_forms
+from ..graph.packed import PackedAdjacency, busy_slot_masks, pack_adjacency
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
 from ..temporal.pivot import PivotWindow, pivot_windows
@@ -61,12 +61,12 @@ from .pruning import (
     acquaintance_pruning_packed,
     availability_pruning,
     availability_pruning_bitset,
-    availability_pruning_packed,
     distance_pruning,
     distance_pruning_bitset,
 )
 from .query import STGQuery, SearchParameters
 from .result import STGroupResult, SearchStats
+from .sgselect import LAZY_MEASURE_THRESHOLD, NUMPY_MIN_CANDIDATES
 
 __all__ = ["STGSelect", "stg_select"]
 
@@ -130,16 +130,20 @@ class STGSelect:
             )
 
         if feasible_graph is None:
-            feasible_graph = extract_feasible_graph(self.graph, query.initiator, query.radius)
-            compiled_graph = None
-            packed_graph = None
+            feasible_graph, compiled_graph, packed_graph = extract_query_forms(
+                self.graph, query.initiator, query.radius, self.parameters.kernel
+            )
         kernel = self.parameters.kernel
         use_bitset = kernel != "reference"
         compiled: Optional[CompiledFeasibleGraph] = None
         packed: Optional[PackedAdjacency] = None
+        use_numpy = False
         if use_bitset:
             compiled = compiled_graph or compile_feasible_graph(feasible_graph)
-            if kernel == "numpy":
+            # Small egos route to the bitset expansion even on the numpy
+            # kernel (see NUMPY_MIN_CANDIDATES) — identical tree and stats.
+            use_numpy = kernel == "numpy" and compiled.candidate_count >= NUMPY_MIN_CANDIDATES
+            if use_numpy:
                 packed = packed_graph or pack_adjacency(compiled)
 
         best: Dict[str, object] = {
@@ -171,7 +175,7 @@ class STGSelect:
             if not self._member_feasible(q_schedule, window):
                 continue
             stats.pivots_processed += 1
-            if kernel == "numpy":
+            if use_numpy:
                 assert compiled is not None and packed is not None
                 self._search_pivot_numpy(compiled, packed, query, window, record, best, stats)
             elif use_bitset:
@@ -496,18 +500,18 @@ class STGSelect:
         if feasible_mask.bit_count() < p - 1:
             return
 
-        # Lemma 5's per-slot busy masks, packed into a (window, words)
-        # matrix so one in-search check is a single matrix AND/popcount
-        # reduction over the whole window; ``busy_max`` (the largest
-        # per-slot busy total) gates the check so pools nowhere near the
-        # threshold skip the array work entirely.  Skipped when
-        # availability pruning is ablated so the toggle isolates the
-        # strategy's full cost.
-        busy_rows = None
+        # Lemma 5's per-slot busy masks, kept as plain ints: the in-search
+        # check scans at most ``2m - 2`` slots and usually breaks on the
+        # first, so one AND/popcount per scanned slot beats converting the
+        # remaining pool to a packed row every node; ``busy_max`` (the
+        # largest per-slot busy total) gates the check so pools nowhere
+        # near the threshold skip it entirely.  Skipped when availability
+        # pruning is ablated so the toggle isolates the strategy's cost.
+        busy_masks = None
         busy_max = 0
         if self.parameters.use_availability_pruning:
             masks = busy_slot_masks(schedules, feasible_mask, window)
-            busy_rows = pack_masks(masks, packed.words)
+            busy_masks = dict(zip(window.window, masks))
             busy_max = max((mask.bit_count() for mask in masks), default=0)
 
         strangers = [0] * len(compiled)
@@ -515,7 +519,7 @@ class STGSelect:
             compiled=compiled,
             packed=packed,
             schedules=schedules,
-            busy_rows=busy_rows,
+            busy_masks=busy_masks,
             busy_max=busy_max,
             query=query,
             window=window,
@@ -535,7 +539,7 @@ class STGSelect:
         compiled: CompiledFeasibleGraph,
         packed: PackedAdjacency,
         schedules: List[Optional[Schedule]],
-        busy_rows,
+        busy_masks,
         busy_max: int,
         query: STGQuery,
         window: PivotWindow,
@@ -651,10 +655,9 @@ class STGSelect:
                     params.use_availability_pruning
                     and remaining_count >= needed
                     and busy_max >= remaining_count - needed + 1
-                    and availability_pruning_packed(
-                        busy_rows=busy_rows,
-                        remaining_row=packed.row(remaining_mask),
-                        remaining_count=remaining_count,
+                    and availability_pruning_bitset(
+                        busy_masks=busy_masks,
+                        remaining_mask=remaining_mask,
                         members_count=members_count,
                         group_size=p,
                         window=window,
@@ -687,6 +690,57 @@ class STGSelect:
                     cand_bit = open_mask & -open_mask
                     candidate = cand_bit.bit_length() - 1
                     considered += 1
+
+                    if unfam is None and remaining_mask.bit_count() <= LAZY_MEASURE_THRESHOLD:
+                        # Cascade-batching scalar lane (see
+                        # SGSelect._expand_numpy): exact bitset measures for
+                        # a nearly-empty pool, so the forced-chain tail of
+                        # the search skips the whole-pool materialisation.
+                        # The temporal checks are shared with the array lane
+                        # (``joint_memo`` is keyed by candidate either way).
+                        u_val, e_val = candidate_measures_bitset(
+                            adj,
+                            member_ids,
+                            strangers,
+                            members_mask,
+                            remaining_mask & ~cand_bit,
+                            candidate,
+                            k,
+                        )
+                        if e_val < expans_need:
+                            expans_removed += 1
+                        elif u_val > unfam_rhs:
+                            if theta == 0:
+                                unfam_removed += 1
+                            else:
+                                deferred_mask |= cand_bit
+                                continue
+                        else:
+                            entry = joint_memo.get(candidate)
+                            if entry is None:
+                                cand_shared = schedules[candidate].free_run_around(  # type: ignore[union-attr]
+                                    window.pivot, shared
+                                )
+                                ext = temporal_extensibility(cand_shared, m)
+                                joint_memo[candidate] = (cand_shared, ext)
+                            else:
+                                cand_shared, ext = entry
+                            if ext >= temporal_rhs:
+                                selected = candidate
+                                selected_shared = cand_shared
+                                continue
+                            if ext >= 0:
+                                deferred_mask |= cand_bit
+                                continue
+                            temporal_removed += 1
+                        # Removal without arrays: ``member_terms`` is still
+                        # None (it materialises together with ``unfam``), and
+                        # pending bits are harmless while ``base_counts`` is
+                        # None — every materialisation site resets them.
+                        remaining_mask &= ~cand_bit
+                        deferred_mask &= ~cand_bit
+                        pending_mask |= cand_bit
+                        continue
 
                     if unfam is None:
                         cs_arr, unfam_arr = unfamiliarity_measures_packed(
@@ -762,7 +816,7 @@ class STGSelect:
                     compiled=compiled,
                     packed=packed,
                     schedules=schedules,
-                    busy_rows=busy_rows,
+                    busy_masks=busy_masks,
                     busy_max=busy_max,
                     query=query,
                     window=window,
@@ -787,14 +841,16 @@ class STGSelect:
                         strangers[v] -= 1
 
                 # --- branch 2: exclude ``selected`` and continue ----------
-                # ``member_terms`` is always initialised by now: selecting a
-                # candidate goes through the measure setup in the inner loop.
+                # ``member_terms`` may still be None when ``selected`` came
+                # from the scalar cascade lane; it materialises (reflecting
+                # every pending removal) the first time the array path runs.
                 remaining_mask &= ~sel_bit
                 deferred_mask &= ~sel_bit
                 pending_mask |= sel_bit
-                for j, v in enumerate(member_ids):
-                    member_terms[j] -= sel_adj >> v & 1
-                member_min = min(member_terms)
+                if member_terms is not None:
+                    for j, v in enumerate(member_ids):
+                        member_terms[j] -= sel_adj >> v & 1
+                    member_min = min(member_terms)
         finally:
             stats.candidates_considered += considered
             stats.expansibility_removals += expans_removed

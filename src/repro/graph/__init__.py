@@ -5,7 +5,7 @@ from .compiled import CompiledFeasibleGraph, compile_feasible_graph
 from .csr import CSRGraph, csr_available, inspect_stgq, load_stgq, pack_graph
 from .distance import bounded_distance_table, bounded_distances, bounded_shortest_path, hop_counts
 from .packed import PackedAdjacency, numpy_kernel_available, pack_adjacency
-from .extraction import FeasibleGraph, extract_feasible_graph
+from .extraction import FeasibleGraph, extract_feasible_graph, extract_query_forms
 from .substrate import GraphSubstrate, is_substrate
 from .generators import (
     coauthorship_style_network,
@@ -62,6 +62,7 @@ __all__ = [
     "inspect_stgq",
     "FeasibleGraph",
     "extract_feasible_graph",
+    "extract_query_forms",
     "CompiledFeasibleGraph",
     "compile_feasible_graph",
     "PackedAdjacency",

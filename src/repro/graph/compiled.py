@@ -100,6 +100,32 @@ class CompiledFeasibleGraph:
         )
         self.candidate_mask: int = (1 << n) - 2  # all ids except the source
 
+    @classmethod
+    def from_parts(
+        cls,
+        source: Vertex,
+        vertices: Tuple[Vertex, ...],
+        adj: Tuple[int, ...],
+        dist: Tuple[float, ...],
+    ) -> "CompiledFeasibleGraph":
+        """Assemble a compiled graph from pre-built parts.
+
+        The CSR extraction fast lane (:func:`repro.graph.extraction.
+        extract_query_forms`) derives the id layout and adjacency bitmasks
+        straight from row slices; this constructor just adopts them instead
+        of re-scanning a :class:`FeasibleGraph`.  ``vertices`` must start
+        with ``source`` and follow the access order, ``adj``/``dist`` must
+        be parallel to it — the caller vouches for the invariants.
+        """
+        self = cls.__new__(cls)
+        self.source = source
+        self.vertices = vertices
+        self.index = {v: i for i, v in enumerate(vertices)}
+        self.adj = adj
+        self.dist = dist
+        self.candidate_mask = (1 << len(vertices)) - 2
+        return self
+
     def __len__(self) -> int:
         return len(self.vertices)
 

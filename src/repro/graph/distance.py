@@ -66,6 +66,19 @@ def bounded_distances(
     fast = getattr(graph, "bounded_distances", None)
     if fast is not None:
         return fast(source, max_edges)
+    return _generic_bounded_distances(graph, source, max_edges)
+
+
+def _generic_bounded_distances(
+    graph: GraphSubstrate, source: Vertex, max_edges: int
+) -> Dict[Vertex, float]:
+    """Substrate-agnostic frontier Bellman–Ford over ``graph.adjacency``.
+
+    Kept separate from the public dispatcher so substrate fast paths (the
+    overlay's, notably) can fall back here for the cases they do not
+    vectorize without re-entering :func:`bounded_distances` and recursing
+    into their own ``bounded_distances`` attribute.
+    """
     if source not in graph:
         raise VertexNotFoundError(source)
     if max_edges < 1:
@@ -176,12 +189,25 @@ def hop_counts(graph: GraphSubstrate, source: Vertex, max_edges: Optional[int] =
     ``hop_counts[v] <= s`` must appear in the feasible graph, though its
     adopted distance may come from a different path.  Substrates providing
     their own ``hop_counts`` fast path are dispatched to.
+
+    ``max_edges`` may be ``None`` (unlimited) or a non-negative integer —
+    ``0`` reaches only the source itself; negative values raise
+    ``ValueError`` on every substrate.
     """
     fast = getattr(graph, "hop_counts", None)
     if fast is not None:
         return fast(source, max_edges)
+    return _generic_hop_counts(graph, source, max_edges)
+
+
+def _generic_hop_counts(
+    graph: GraphSubstrate, source: Vertex, max_edges: Optional[int] = None
+) -> Dict[Vertex, int]:
+    """Substrate-agnostic BFS hop counts (overlay fallback, see above)."""
     if source not in graph:
         raise VertexNotFoundError(source)
+    if max_edges is not None and max_edges < 0:
+        raise ValueError(f"max_edges must be >= 0, got {max_edges}")
     hops = {source: 0}
     frontier = [source]
     depth = 0

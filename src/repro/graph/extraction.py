@@ -11,15 +11,21 @@ is discarded before the branch-and-bound search begins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..exceptions import VertexNotFoundError
 from ..types import Vertex
+from .csr import CSRGraph, csr_available
 from .distance import bounded_distances
 from .social_graph import SocialGraph
 from .substrate import GraphSubstrate
 
-__all__ = ["FeasibleGraph", "extract_feasible_graph"]
+try:  # numpy is an optional dependency (the [speed] extra)
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+__all__ = ["FeasibleGraph", "extract_feasible_graph", "extract_query_forms"]
 
 
 @dataclass(frozen=True)
@@ -128,13 +134,131 @@ def extract_feasible_graph(
     bounded Bellman–Ford recurrence from :mod:`repro.graph.distance` rather
     than plain BFS distances.
     """
+    feasible, _, _ = extract_query_forms(graph, source, radius, kernel="reference")
+    return feasible
+
+
+def extract_query_forms(
+    graph: GraphSubstrate, source: Vertex, radius: int, kernel: str = "reference"
+) -> Tuple[FeasibleGraph, Optional[object], Optional[object]]:
+    """Extract every query-time form of the ego network in one pass.
+
+    Returns ``(feasible, compiled, packed)`` — the :class:`FeasibleGraph`
+    always, the :class:`~repro.graph.compiled.CompiledFeasibleGraph` when
+    ``kernel`` is not ``"reference"``, and the
+    :class:`~repro.graph.packed.PackedAdjacency` when ``kernel`` is
+    ``"numpy"`` (``None`` otherwise) — the exact triple a
+    :class:`~repro.service.QueryService` cache entry holds.
+
+    On a CSR substrate the whole pipeline is array-granular: one vectorised
+    bounded-Bellman–Ford (:meth:`CSRGraph._bounded_rows`), then a single
+    gather of the feasible rows' slices feeds the induced adjacency dict,
+    the dense-id bitmasks *and* the packed ``uint64`` matrix — no
+    ``subgraph()`` double-scan, no per-vertex ``neighbors()`` rescans in
+    ``CompiledFeasibleGraph``.  Every other substrate takes the generic
+    path (``bounded_distances`` → ``subgraph`` → compile → pack).  Both
+    lanes produce byte-identical forms; the substrate-equivalence suite
+    pins this.
+    """
     if source not in graph:
         raise VertexNotFoundError(source)
     if radius < 1:
         raise ValueError(f"radius must be >= 1, got {radius}")
+    want_compiled = kernel != "reference"
+    want_packed = kernel == "numpy"
+
+    if csr_available() and isinstance(graph, CSRGraph):
+        return _extract_query_forms_csr(graph, source, radius, want_compiled, want_packed)
 
     dist = bounded_distances(graph, source, radius)
-    feasible = _canonical_order(list(dist))
-    sub = graph.subgraph(feasible)
-    adopted: Dict[Vertex, float] = {v: dist[v] for v in feasible}
-    return FeasibleGraph(graph=sub, source=source, distances=adopted, radius=radius)
+    feasible_vertices = _canonical_order(list(dist))
+    sub = graph.subgraph(feasible_vertices)
+    adopted: Dict[Vertex, float] = {v: dist[v] for v in feasible_vertices}
+    feasible = FeasibleGraph(graph=sub, source=source, distances=adopted, radius=radius)
+    compiled = packed = None
+    if want_compiled:
+        from .compiled import compile_feasible_graph
+
+        compiled = compile_feasible_graph(feasible)
+        if want_packed:
+            from .packed import pack_adjacency
+
+            packed = pack_adjacency(compiled)
+    return feasible, compiled, packed
+
+
+def _extract_query_forms_csr(
+    graph: CSRGraph, source: Vertex, radius: int, want_compiled: bool, want_packed: bool
+) -> Tuple[FeasibleGraph, Optional[object], Optional[object]]:
+    """CSR fast lane: build all forms from one gather of the feasible rows."""
+    src_row = graph._row(source)
+    order, dist_arr = graph._bounded_rows(src_row, radius)
+    # Canonical feasible order is ascending vertex id; labels are sorted, so
+    # ascending row order *is* ascending id order on either id scheme.
+    rows = np.sort(order)
+    labels = graph._labels
+    keys = rows if labels is None else labels[rows]
+    key_list = keys.tolist()
+    adopted: Dict[Vertex, float] = dict(zip(key_list, dist_arr[rows].tolist()))
+
+    # Access order: candidates by ascending adopted distance, ties by
+    # ascending id — a stable argsort over the id-ordered candidate rows,
+    # matching FeasibleGraph.candidates exactly.
+    cand_rows = rows[rows != src_row]
+    perm = np.argsort(dist_arr[cand_rows], kind="stable")
+    universe_rows = np.concatenate((np.asarray([src_row], dtype=rows.dtype), cand_rows[perm]))
+    m = int(universe_rows.size)
+    universe_keys = universe_rows if labels is None else labels[universe_rows]
+    key_of_uid = universe_keys.tolist()
+
+    # One gather of every feasible row's slice feeds the dict adjacency,
+    # the int bitmasks and the packed matrix alike.
+    pos, counts = graph._gather_rows(universe_rows)
+    sub = SocialGraph(vertices=key_list)
+    mat = None
+    adj_ints: Optional[Tuple[int, ...]] = None
+    if want_compiled or want_packed:
+        from .packed import words_for
+
+        words = words_for(m)
+        mat = np.zeros((m, words), dtype=np.uint64)
+    if pos.size:
+        targets = graph._indices[pos].astype(np.int64, copy=False)
+        uid_of_row = np.full(graph._n, -1, dtype=np.int64)
+        uid_of_row[universe_rows] = np.arange(m, dtype=np.int64)
+        tgt_uids = uid_of_row[targets]
+        keep = tgt_uids >= 0
+        src_uids = np.repeat(np.arange(m, dtype=np.int64), counts)[keep]
+        tgt_uids = tgt_uids[keep]
+        src_keys = np.repeat(universe_keys, counts)[keep]
+        tgt_keys = targets[keep] if labels is None else labels[targets[keep]]
+        dists = graph._weights[pos][keep]
+        adjd = sub._adj
+        for u, v, d in zip(src_keys.tolist(), tgt_keys.tolist(), dists.tolist()):
+            adjd[u][v] = d
+        if mat is not None:
+            bits = np.left_shift(np.uint64(1), (tgt_uids & 63).astype(np.uint64))
+            np.bitwise_or.at(mat, (src_uids, tgt_uids >> 6), bits)
+
+    feasible = FeasibleGraph(graph=sub, source=source, distances=adopted, radius=radius)
+    object.__setattr__(feasible, "_candidates_cache", tuple(key_of_uid[1:]))
+    compiled = packed = None
+    if want_compiled:
+        from .compiled import CompiledFeasibleGraph
+
+        raw = np.ascontiguousarray(mat, dtype="<u8").tobytes()
+        stride = mat.shape[1] * 8
+        adj_ints = tuple(
+            int.from_bytes(raw[i * stride : (i + 1) * stride], "little") for i in range(m)
+        )
+        compiled = CompiledFeasibleGraph.from_parts(
+            source,
+            tuple(key_of_uid),
+            adj_ints,
+            tuple(dist_arr[universe_rows].tolist()),
+        )
+        if want_packed:
+            from .packed import PackedAdjacency
+
+            packed = PackedAdjacency.from_rows(mat)
+    return feasible, compiled, packed

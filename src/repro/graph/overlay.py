@@ -26,14 +26,23 @@ reference), so process-pool fan-out stays cheap.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Set
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Set
 
 from ..exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
 from ..types import Vertex, WeightedEdge
+from .csr import CSRGraph, csr_available
+from .distance import _generic_bounded_distances, _generic_hop_counts
 from .social_graph import SocialGraph
 from .substrate import GraphSubstrate
 
+try:  # numpy is an optional dependency (the [speed] extra)
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
 __all__ = ["GraphOverlay"]
+
+INF = float("inf")
 
 
 class GraphOverlay:
@@ -235,6 +244,158 @@ class GraphOverlay:
                 if v in keep_set and not sub.has_edge(u, v):
                     sub.add_edge(u, v, d)
         return sub
+
+    # ------------------------------------------------------------------
+    # substrate fast paths (dispatched to by repro.graph.distance)
+    # ------------------------------------------------------------------
+    def _patch_state(self, base: CSRGraph):
+        """Dense-id view of overlay-over-CSR for the vectorised walks.
+
+        Base rows keep their row ids ``0..n-1``; overlay-only vertices get
+        ``n, n+1, ...`` in ``_extra`` order.  ``dirty_rows`` flags base rows
+        whose merged adjacency differs from the raw row slice — because the
+        diff dicts are kept symmetric, an *unflagged* row's slice is exactly
+        its live adjacency, so whole clean frontiers can ride the base CSR
+        arrays untouched.
+        """
+        n = base.vertex_count
+        extra_labels = list(self._extra)
+        extra_index = {v: n + i for i, v in enumerate(extra_labels)}
+        dirty_rows = np.zeros(n, dtype=bool)
+        for v in set(self._added) | set(self._removed):
+            if v not in extra_index:
+                try:
+                    dirty_rows[base._row(v)] = True
+                except VertexNotFoundError:  # pragma: no cover - defensive
+                    pass
+        return extra_labels, extra_index, dirty_rows
+
+    def _vertex_id(self, base: CSRGraph, extra_index, label) -> int:
+        eid = extra_index.get(label)
+        return eid if eid is not None else base._row(label)
+
+    def _vertex_label(self, base: CSRGraph, extra_labels, vid: int):
+        n = base.vertex_count
+        return base._label(vid) if vid < n else extra_labels[vid - n]
+
+    def bounded_distances(self, source: Vertex, max_edges: int) -> Dict[Vertex, float]:
+        """``s``-edge minimum distances, vectorising the CSR base.
+
+        Same contract as :func:`repro.graph.distance.bounded_distances`.
+        Each round splits the frontier into *clean* base rows (no touched
+        edges — relaxed with one array gather, exactly like
+        :meth:`CSRGraph._bounded_rows`) and *dirty* vertices (edited rows
+        and overlay-only vertices — patched through
+        :meth:`_merged_adjacency`).  Non-CSR bases fall back to the generic
+        frontier walk.
+        """
+        base = self._base
+        if not (csr_available() and isinstance(base, CSRGraph)):
+            return _generic_bounded_distances(self, source, max_edges)
+        if source not in self:
+            raise VertexNotFoundError(source)
+        if max_edges < 1:
+            raise ValueError(f"max_edges must be >= 1, got {max_edges}")
+        if not (self._added or self._removed or self._extra):
+            return base.bounded_distances(source, max_edges)
+        extra_labels, extra_index, dirty_rows = self._patch_state(base)
+        n = base.vertex_count
+        dist = np.full(n + len(extra_labels), INF)
+        src_id = self._vertex_id(base, extra_index, source)
+        dist[src_id] = 0.0
+        order: List[int] = [src_id]
+        frontier: List[int] = [src_id]
+        for _ in range(max_edges):
+            if not frontier:
+                break
+            fr = np.asarray(frontier, dtype=np.int64)
+            is_clean = np.zeros(fr.size, dtype=bool)
+            base_mask = fr < n
+            is_clean[base_mask] = ~dirty_rows[fr[base_mask]]
+            updates: Dict[int, float] = {}
+            clean = fr[is_clean]
+            if clean.size:
+                pos, counts = base._gather_rows(clean)
+                if pos.size:
+                    targets = base._indices[pos].astype(np.int64, copy=False)
+                    cand = np.repeat(dist[clean], counts) + base._weights[pos]
+                    uniq, inv = np.unique(targets, return_inverse=True)
+                    best = np.full(uniq.size, INF)
+                    np.minimum.at(best, inv, cand)
+                    improved = best < dist[uniq]
+                    for tid, nd in zip(uniq[improved].tolist(), best[improved].tolist()):
+                        updates[tid] = nd
+            for uid in fr[~is_clean].tolist():
+                du = float(dist[uid])
+                label = self._vertex_label(base, extra_labels, uid)
+                for v, c in self._merged_adjacency(label).items():
+                    nd = du + c
+                    tid = self._vertex_id(base, extra_index, v)
+                    if nd < dist[tid] and nd < updates.get(tid, INF):
+                        updates[tid] = nd
+            frontier = []
+            for tid, nd in updates.items():
+                if nd < dist[tid]:
+                    if dist[tid] == INF:
+                        order.append(tid)
+                    dist[tid] = nd
+                    frontier.append(tid)
+        return {
+            self._vertex_label(base, extra_labels, vid): float(dist[vid])
+            for vid in order
+        }
+
+    def hop_counts(self, source: Vertex, max_edges: Optional[int] = None) -> Dict[Vertex, int]:
+        """BFS hop counts, vectorising the CSR base (see bounded_distances)."""
+        base = self._base
+        if not (csr_available() and isinstance(base, CSRGraph)):
+            return _generic_hop_counts(self, source, max_edges)
+        if source not in self:
+            raise VertexNotFoundError(source)
+        if max_edges is not None and max_edges < 0:
+            raise ValueError(f"max_edges must be >= 0, got {max_edges}")
+        if not (self._added or self._removed or self._extra):
+            return base.hop_counts(source, max_edges)
+        extra_labels, extra_index, dirty_rows = self._patch_state(base)
+        n = base.vertex_count
+        seen = np.zeros(n + len(extra_labels), dtype=bool)
+        src_id = self._vertex_id(base, extra_index, source)
+        seen[src_id] = True
+        levels: List[List[int]] = [[src_id]]
+        frontier: List[int] = [src_id]
+        depth = 0
+        while frontier and (max_edges is None or depth < max_edges):
+            fr = np.asarray(frontier, dtype=np.int64)
+            is_clean = np.zeros(fr.size, dtype=bool)
+            base_mask = fr < n
+            is_clean[base_mask] = ~dirty_rows[fr[base_mask]]
+            fresh: List[int] = []
+            clean = fr[is_clean]
+            if clean.size:
+                pos, _ = base._gather_rows(clean)
+                if pos.size:
+                    targets = base._indices[pos]
+                    new_rows = np.unique(targets[~seen[targets]])
+                    if new_rows.size:
+                        seen[new_rows] = True
+                        fresh.extend(new_rows.tolist())
+            for uid in fr[~is_clean].tolist():
+                label = self._vertex_label(base, extra_labels, uid)
+                for v in self._merged_adjacency(label):
+                    tid = self._vertex_id(base, extra_index, v)
+                    if not seen[tid]:
+                        seen[tid] = True
+                        fresh.append(tid)
+            if not fresh:
+                break
+            depth += 1
+            levels.append(fresh)
+            frontier = fresh
+        return {
+            self._vertex_label(base, extra_labels, vid): d
+            for d, level in enumerate(levels)
+            for vid in level
+        }
 
     # ------------------------------------------------------------------
     # introspection

@@ -144,6 +144,23 @@ class PackedAdjacency:
             [None] * self.n if self.n <= self.COLUMN_MEMO_MAX_IDS else []
         )
 
+    @classmethod
+    def from_rows(cls, rows: "np.ndarray") -> "PackedAdjacency":
+        """Adopt a pre-packed ``(n, words)`` ``uint64`` matrix.
+
+        Used by the CSR extraction fast lane, which scatters the feasible
+        rows' edges straight into the packed layout; the matrix must use
+        the :func:`mask_to_row` bit order.  The array is frozen in place.
+        """
+        _require_numpy()
+        self = cls.__new__(cls)
+        self.n = int(rows.shape[0])
+        self.words = int(rows.shape[1]) if rows.ndim == 2 else words_for(self.n)
+        rows.setflags(write=False)
+        self.rows = rows
+        self._columns = [None] * self.n if self.n <= self.COLUMN_MEMO_MAX_IDS else []
+        return self
+
     def row(self, mask: int) -> "np.ndarray":
         """Packed row of an arbitrary id bitmask (``VS``, ``VA``, ...)."""
         return mask_to_row(mask, self.words)

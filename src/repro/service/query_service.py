@@ -23,8 +23,8 @@ from ..core.result import GroupResult, STGroupResult
 from ..core.sgselect import SGSelect
 from ..core.stgselect import STGSelect
 from ..exceptions import ProtocolError, QueryError, ReproError, VertexNotFoundError
-from ..graph.compiled import CompiledFeasibleGraph, compile_feasible_graph
-from ..graph.extraction import FeasibleGraph, extract_feasible_graph
+from ..graph.compiled import CompiledFeasibleGraph
+from ..graph.extraction import FeasibleGraph, extract_query_forms
 from ..graph.mutations import (
     Mutation,
     MutationBatch,
@@ -33,7 +33,7 @@ from ..graph.mutations import (
     graph_to_snapshot,
 )
 from ..graph.overlay import GraphOverlay
-from ..graph.packed import PackedAdjacency, pack_adjacency
+from ..graph.packed import PackedAdjacency
 from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
 from ..types import Vertex
@@ -265,11 +265,12 @@ class QueryService:
             # promotes this caller to builder.
         context.record_cache(hit=False)
         try:
-            # Build outside the locks: extraction can be expensive.
-            kernel = self.parameters.kernel
-            feasible = extract_feasible_graph(self.graph, initiator, radius)
-            compiled = compile_feasible_graph(feasible) if kernel != "reference" else None
-            packed = pack_adjacency(compiled) if kernel == "numpy" else None
+            # Build outside the locks: extraction can be expensive.  On a
+            # CSR graph the single call derives feasible + compiled +
+            # packed from one gather of the feasible rows.
+            feasible, compiled, packed = extract_query_forms(
+                self.graph, initiator, radius, self.parameters.kernel
+            )
             with self._cache_lock:
                 if self._cache_generation == generation and not self._stale_since(feasible, epoch):
                     self._cache[key] = (feasible, compiled, packed)

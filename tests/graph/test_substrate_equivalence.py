@@ -14,7 +14,15 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import SearchParameters, SGQuery, SGSelect, STGQuery, STGSelect
-from repro.graph import SocialGraph, bounded_distances, csr_available, extract_feasible_graph
+from repro.graph import (
+    GraphOverlay,
+    SocialGraph,
+    bounded_distances,
+    csr_available,
+    extract_feasible_graph,
+    extract_query_forms,
+    hop_counts,
+)
 from repro.temporal import CalendarStore, Schedule
 
 from ..conftest import make_random_calendars, make_random_graph
@@ -217,3 +225,136 @@ class TestServiceOverSubstrate:
         for rd, rc in zip(dict_results, csr_results):
             assert rc.members == rd.members
             assert rc.total_distance == rd.total_distance
+
+
+def assert_overlay_identical(oc, od, source, radius):
+    """Overlay-over-CSR (vectorised lane) vs overlay-over-dict (generic)."""
+    assert bounded_distances(oc, source, radius) == bounded_distances(od, source, radius)
+    assert hop_counts(oc, source, max_edges=radius) == hop_counts(od, source, max_edges=radius)
+    fc = extract_feasible_graph(oc, source, radius)
+    fd = extract_feasible_graph(od, source, radius)
+    assert fd.distances == fc.distances
+    assert list(fd.distances) == list(fc.distances)
+    assert fd.candidates == fc.candidates
+    for v in fd.graph:
+        assert fd.graph.adjacency(v) == fc.graph.adjacency(v)
+
+
+class TestOverlayOnCSR:
+    """The overlay fast path (vectorised clean rows + scalar dirty patching)
+    must answer exactly like the same edits replayed on the dict substrate."""
+
+    def _pair(self, seed=3, n=14):
+        graph = make_random_graph(seed, n=n, edge_prob=0.35)
+        return GraphOverlay(_csr(graph)), GraphOverlay(graph)
+
+    def test_mutated_base_weights(self):
+        oc, od = self._pair()
+        for overlay in (oc, od):
+            overlay.add_edge(0, 1, 0.125)  # re-weight edges near the source
+            overlay.add_edge(2, 5, 9.5)
+        assert_overlay_identical(oc, od, 0, 2)
+
+    def test_tombstoned_edges_inside_radius(self):
+        oc, od = self._pair(seed=4)
+        base = od.base
+        victims = [(u, v) for u in (0, 1) for v in base.neighbors(u)][:3]
+        for overlay in (oc, od):
+            for u, v in victims:
+                if overlay.has_edge(u, v):
+                    overlay.remove_edge(u, v)
+        assert_overlay_identical(oc, od, 0, 2)
+
+    def test_extra_vertices_reachable(self):
+        oc, od = self._pair(seed=5)
+        for overlay in (oc, od):
+            overlay.add_vertex(100)
+            overlay.add_vertex(101)
+            overlay.add_edge(0, 100, 0.5)
+            overlay.add_edge(100, 101, 0.5)
+        assert_overlay_identical(oc, od, 0, 2)
+        assert_overlay_identical(oc, od, 100, 2)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_mixed_edit_grid(self, seed, radius):
+        import random
+
+        oc, od = self._pair(seed=seed)
+        rng = random.Random(seed * 37 + radius)
+        for _ in range(6):
+            u, v = rng.sample(range(14), 2)
+            if rng.random() < 0.5 and od.has_edge(u, v):
+                for overlay in (oc, od):
+                    overlay.remove_edge(u, v)
+            else:
+                w = rng.choice([0.25, 1.0, 3.5])
+                for overlay in (oc, od):
+                    overlay.add_edge(u, v, w)
+        assert_overlay_identical(oc, od, 0, radius)
+
+
+class TestValidationContract:
+    """max_edges validation is aligned across dict, CSR and overlay:
+    bounded_distances requires >= 1; hop_counts takes None (unlimited) or
+    >= 0 (0 reaches only the source) and rejects negatives everywhere."""
+
+    @pytest.fixture
+    def substrates(self):
+        graph = make_random_graph(0, n=8, edge_prob=0.5)
+        dirty = GraphOverlay(_csr(graph))
+        dirty.add_edge(0, 1, 0.5)
+        return [graph, _csr(graph), GraphOverlay(_csr(graph)), dirty]
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bounded_distances_rejects_nonpositive(self, substrates, bad):
+        for graph in substrates:
+            with pytest.raises(ValueError):
+                bounded_distances(graph, 0, bad)
+
+    def test_hop_counts_rejects_negative(self, substrates):
+        for graph in substrates:
+            with pytest.raises(ValueError):
+                hop_counts(graph, 0, max_edges=-1)
+
+    def test_hop_counts_zero_reaches_only_source(self, substrates):
+        for graph in substrates:
+            assert hop_counts(graph, 0, max_edges=0) == {0: 0}
+
+    def test_hop_counts_none_is_unlimited(self, substrates):
+        graph, csr, clean, dirty = substrates
+        reference = hop_counts(graph, 0)
+        assert hop_counts(csr, 0) == reference
+        assert hop_counts(clean, 0) == reference
+        edited = GraphOverlay(graph)
+        edited.add_edge(0, 1, 0.5)
+        assert hop_counts(dirty, 0) == hop_counts(edited, 0)
+
+
+class TestScaleSpotCheck:
+    """A 10^5-vertex seeded graph: the CSR extraction fast lane must produce
+    byte-identical query forms to the dict generic path — feasible graph,
+    compiled bitmasks and packed matrix alike."""
+
+    def test_100k_extraction_byte_identical(self):
+        from repro.datasets import generate_scale_dataset
+
+        csr = generate_scale_dataset(100_000, seed=7).graph
+        dict_graph = csr.to_social_graph()
+        # 1009's radius-2 ego holds ~6.5k vertices; 31337's is a sparse
+        # fringe of ~80 — one dense and one shallow neighbourhood, while
+        # keeping the compiled-form comparison affordable for tier 1.
+        for initiator in (1009, 31_337):
+            fd, cd, pd = extract_query_forms(dict_graph, initiator, 2, kernel="numpy")
+            fc, cc, pc = extract_query_forms(csr, initiator, 2, kernel="numpy")
+            assert fd.distances == fc.distances
+            assert list(fd.distances) == list(fc.distances)
+            assert fd.candidates == fc.candidates
+            for v in fd.graph:
+                assert fd.graph.adjacency(v) == fc.graph.adjacency(v)
+            assert cc.vertices == cd.vertices
+            assert cc.index == cd.index
+            assert cc.dist == cd.dist
+            assert cc.adj == cd.adj
+            assert cc.candidate_mask == cd.candidate_mask
+            assert pc.rows.tobytes() == pd.rows.tobytes()

@@ -119,14 +119,14 @@ class TestInFlightBuilds:
         service = path_service()
         started = threading.Event()
         release = threading.Event()
-        real_extract = qs_module.extract_feasible_graph
+        real_extract = qs_module.extract_query_forms
 
-        def paused_extract(g, initiator, radius):
+        def paused_extract(g, initiator, radius, kernel):
             started.set()
             assert release.wait(10), "test deadlock: build never released"
-            return real_extract(g, initiator, radius)
+            return real_extract(g, initiator, radius, kernel)
 
-        monkeypatch.setattr(qs_module, "extract_feasible_graph", paused_extract)
+        monkeypatch.setattr(qs_module, "extract_query_forms", paused_extract)
         return service, started, release
 
     def test_mutation_inside_inflight_ego_skips_insert(self, monkeypatch):

@@ -187,14 +187,14 @@ class TestClearCacheInvalidation:
         service = QueryService(graph, calendars, backend="serial")
         started = threading.Event()
         release = threading.Event()
-        real_extract = qs_module.extract_feasible_graph
+        real_extract = qs_module.extract_query_forms
 
-        def paused_extract(g, initiator, radius):
+        def paused_extract(g, initiator, radius, kernel):
             started.set()
             assert release.wait(10), "test deadlock: build never released"
-            return real_extract(g, initiator, radius)
+            return real_extract(g, initiator, radius, kernel)
 
-        monkeypatch.setattr(qs_module, "extract_feasible_graph", paused_extract)
+        monkeypatch.setattr(qs_module, "extract_query_forms", paused_extract)
         query = SGQuery(initiator=0, group_size=3, radius=2, acquaintance=1)
         results = []
         worker = threading.Thread(target=lambda: results.append(service.solve(query)))
@@ -227,14 +227,14 @@ class TestClearCacheInvalidation:
         service = QueryService(graph, backend="serial")
         started = threading.Event()
         release = threading.Event()
-        real_extract = qs_module.extract_feasible_graph
+        real_extract = qs_module.extract_query_forms
 
-        def paused_extract(g, initiator, radius):
+        def paused_extract(g, initiator, radius, kernel):
             started.set()
             assert release.wait(10), "test deadlock: build never released"
-            return real_extract(g, initiator, radius)
+            return real_extract(g, initiator, radius, kernel)
 
-        monkeypatch.setattr(qs_module, "extract_feasible_graph", paused_extract)
+        monkeypatch.setattr(qs_module, "extract_query_forms", paused_extract)
         query = SGQuery(initiator=0, group_size=3, radius=2, acquaintance=1)
         threads = [
             threading.Thread(target=service.solve, args=(query,)) for _ in range(2)
