@@ -1,0 +1,216 @@
+"""Load-aware placement benchmark: CRC32 ShardMap vs trace-built PlacementMap.
+
+This measures the tentpole claim of the placement refactor.  Static CRC32
+routing pins every query from a hot ego to one worker, so a skewed stream
+turns a fleet into a single busy shard with idle neighbours.  The offline
+placement pass (``stgq place``) packs observed per-ego load onto workers
+with LPT greedy scheduling and replicates the hottest egos across several
+workers; the gateway then round-robins each hot ego's queries over its
+replica set.
+
+Setup: a 4-worker ``stgq worker`` fleet over the seeded 194-person dataset,
+replaying the committed skewed trace ``benchmarks/traces/placement_skew.jsonl``
+(96 radius-2 queries, Zipf skew 1.8 over 8 initiators — one dominant hub).
+Regenerate the trace with::
+
+    PYTHONPATH=src python -c "
+    from repro.experiments.workloads import workload, generate_query_workload, save_workload
+    dataset = workload(network_size=194, schedule_days=1, seed=42)
+    save_workload(generate_query_workload(dataset, 96, skew=1.8, n_initiators=8,
+                                          radii=(2,), stg_fraction=0.4, seed=11),
+                  'benchmarks/traces/placement_skew.jsonl')"
+
+Legs (same fleet, fresh gateway per leg, warm-up replay before measuring):
+
+1. ``crc32`` — RemoteBackend with no placement: static ShardMap routing.
+2. ``load_aware`` — RemoteBackend holding ``build_placement(trace)``: the
+   hub fans out over its replica set, the tail is packed by load.
+
+Gates (CI fails the run when violated):
+
+- load-aware routed imbalance must stay under ``--imbalance-ceiling``
+  (default 1.5x, the RouteMetrics skew threshold);
+- CRC32 imbalance must *exceed* the same threshold — otherwise the trace
+  is not skewed and the benchmark is vacuous;
+- load-aware q/s must beat CRC32 q/s (``--floor``, default 1.0x) — only
+  enforced on multi-core machines, where the idle-neighbour argument holds.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_placement.py --quick \
+        --json BENCH_placement.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List
+
+from repro.experiments.workloads import load_workload, workload
+from repro.service import QueryService, RemoteBackend, ShardMap, build_placement
+from repro.service.net import start_local_workers
+
+DATASET_PEOPLE = 194
+DATASET_DAYS = 1
+DATASET_SEED = 42
+DEFAULT_TRACE = pathlib.Path(__file__).parent / "traces" / "placement_skew.jsonl"
+
+
+def run_leg(dataset, connect: str, batch, placement, repeats: int) -> Dict[str, float]:
+    """Replay ``batch`` ``repeats`` times through one fresh gateway.
+
+    One warm-up replay first: worker process pools start and every ego the
+    leg's routing touches lands in the right worker caches, so the measured
+    replays compare routing, not cold-start costs.
+    """
+    backend = RemoteBackend(connect, timeout=300.0, placement=placement)
+    with QueryService(dataset.graph, dataset.calendars, backend=backend) as gateway:
+        errors = sum(
+            1 for r in gateway.solve_many(batch) if getattr(r, "error", None)
+        )
+        start = time.perf_counter()
+        for _ in range(repeats):
+            results = gateway.solve_many(batch)
+            errors += sum(1 for r in results if getattr(r, "error", None))
+        wall = time.perf_counter() - start
+        report = gateway.route_report()
+    total = repeats * len(batch)
+    return {
+        "strategy": report["strategy"],
+        "placement_version": report["version"],
+        "queries": total,
+        "errors": errors,
+        "wall_s": round(wall, 4),
+        "qps": round(total / wall, 2) if wall else 0.0,
+        "routed": report["routed"],
+        "max_imbalance": report["max_imbalance"],
+        "failover_queries": report["failover_queries"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode: fewer replays")
+    parser.add_argument(
+        "--trace", default=str(DEFAULT_TRACE), help="workload trace JSONL to replay"
+    )
+    parser.add_argument("--workers", type=int, default=4, help="fleet size (default 4)")
+    parser.add_argument(
+        "--replicas", type=int, default=2, help="hot-ego replica width (default 2)"
+    )
+    parser.add_argument(
+        "--imbalance-ceiling",
+        type=float,
+        default=1.5,
+        help="max tolerated load-aware routed imbalance (default 1.5x); the "
+        "CRC32 leg must exceed the same value for the trace to count as skewed",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1.0,
+        help="minimum load-aware/CRC32 q/s ratio (default 1.0; 0 disables; "
+        "only enforced on multi-core machines)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write results as JSON to PATH"
+    )
+    args = parser.parse_args(argv)
+
+    batch: List = load_workload(args.trace)
+    dataset = workload(
+        network_size=DATASET_PEOPLE, schedule_days=DATASET_DAYS, seed=DATASET_SEED
+    )
+    placement = build_placement(batch, args.workers, replicas=args.replicas)
+    crc32_imbalance = ShardMap(args.workers).imbalance(batch)
+    load_aware_imbalance = placement.imbalance(batch)
+    repeats = 2 if args.quick else 5
+    print(
+        f"{len(batch)} trace queries over {args.workers} workers: "
+        f"crc32 {crc32_imbalance:.2f}x vs load-aware {load_aware_imbalance:.2f}x "
+        f"({len(placement.replicas)} hot egos replicated {args.replicas}-wide)"
+    )
+
+    report = {
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "trace": str(args.trace),
+        "trace_queries": len(batch),
+        "workers": args.workers,
+        "replicas": args.replicas,
+        "repeats": repeats,
+        "crc32_imbalance": round(crc32_imbalance, 3),
+        "load_aware_imbalance": round(load_aware_imbalance, 3),
+        "replicated_egos": len(placement.replicas),
+        "assigned_egos": len(placement.assignments),
+        "legs": {},
+    }
+    with start_local_workers(
+        args.workers, people=DATASET_PEOPLE, days=DATASET_DAYS, seed=DATASET_SEED
+    ) as cluster:
+        print(f"fleet ready at {cluster.connect_spec()}")
+        for name, leg_placement in (("crc32", None), ("load_aware", placement)):
+            leg = run_leg(dataset, cluster.connect_spec(), batch, leg_placement, repeats)
+            report["legs"][name] = leg
+            print(
+                f"{name}: {leg['queries']} queries in {leg['wall_s']:.2f}s = "
+                f"{leg['qps']:.1f} q/s, routed {leg['routed']} "
+                f"(max imbalance {leg['max_imbalance']:.2f}x, {leg['errors']} errors)"
+            )
+            if leg["errors"]:
+                print(f"FAIL: {leg['errors']} degraded requests", file=sys.stderr)
+                return 1
+
+    ratio = report["legs"]["load_aware"]["qps"] / report["legs"]["crc32"]["qps"]
+    report["ratio_load_aware_vs_crc32"] = round(ratio, 3)
+    print(f"\nload-aware vs crc32 replay throughput: {ratio:.2f}x")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    # Imbalance gates are pure routing math: enforced on any machine.
+    measured = report["legs"]["load_aware"]["max_imbalance"]
+    if measured >= args.imbalance_ceiling:
+        print(
+            f"FAIL: load-aware routed imbalance {measured:.2f}x at or above the "
+            f"{args.imbalance_ceiling:.1f}x ceiling — placement pass regressed?",
+            file=sys.stderr,
+        )
+        return 1
+    if crc32_imbalance < args.imbalance_ceiling:
+        print(
+            f"FAIL: CRC32 imbalance {crc32_imbalance:.2f}x under "
+            f"{args.imbalance_ceiling:.1f}x — the committed trace is not skewed "
+            "enough to exercise the placement pass",
+            file=sys.stderr,
+        )
+        return 1
+
+    cpu_count = os.cpu_count() or 1
+    if args.floor and cpu_count < 2:
+        print(
+            f"single-core machine (cpu_count={cpu_count}): spreading a hot ego "
+            f"over idle workers cannot win here; floor {args.floor:.1f}x "
+            "reported but not enforced"
+        )
+    elif args.floor and ratio < args.floor:
+        print(
+            f"FAIL: load-aware throughput {ratio:.2f}x below the "
+            f"{args.floor:.1f}x floor — is the gateway still routing by CRC32?",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

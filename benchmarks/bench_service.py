@@ -712,6 +712,29 @@ def main(argv=None) -> int:
         if cluster is not None:
             cluster.close()
 
+    if args.replay is not None:
+        # Per-shard routed counts for the replayed trace: how the measured
+        # (or, for thread/serial, an equally wide hypothetical) sharded
+        # deployment splits this exact workload.  Recorded into the replay
+        # summary so a saved trace's JSON artifact answers "which worker
+        # would soak this?" without re-running the benchmark.
+        if args.backend in ("process", "remote"):
+            n_shards = report["backends"][args.backend]["workers"]
+            routed_label = f"{args.backend} backend"
+        else:
+            n_shards = args.workers or 4
+            routed_label = "hypothetical sharded deployment"
+        replay_shards = ShardMap(n_shards)
+        replay_trace = batches["replay"]
+        routed_counts = replay_shards.load_report(replay_trace)
+        report["replay"]["n_shards"] = n_shards
+        report["replay"]["routed"] = routed_counts
+        report["replay"]["imbalance"] = round(replay_shards.imbalance(replay_trace), 3)
+        print(
+            f"\nreplay routing over {n_shards} shards ({routed_label}): "
+            f"{routed_counts} (max/mean {report['replay']['imbalance']:.2f}x)"
+        )
+
     if args.skew is not None:
         # Report balance for the shard layout that was actually measured.
         # Only the sharded backends route by initiator; for thread/serial

@@ -50,6 +50,14 @@ Three sub-commands mirror how the library is typically used:
     the running workers as versioned delta frames, verifying the whole
     fleet ends at the same live version.
 
+``stgq place``
+    Build a load-aware placement map (see ``docs/placement.md``): replay a
+    saved workload trace, pack initiators onto ``--workers N`` workers by
+    observed per-ego load, replicate the hottest egos across ``--replicas``
+    workers and write the result as ``placement.json`` — the file
+    ``serve``/``worker``/``cluster``/``http`` accept via ``--placement``
+    and the ``placement_update`` control frame distributes live.
+
 ``stgq pack``
     Convert a SNAP-style edge list into a packed ``.stgq`` CSR substrate
     file that ``serve``/``worker`` open memory-mapped via ``--graph``.
@@ -144,6 +152,44 @@ def _graceful_shutdown() -> Iterator[None]:
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
+
+
+def _add_placement_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--placement FILE`` / ``--replicas N`` for routing-capable commands."""
+    parser.add_argument(
+        "--placement",
+        default=None,
+        metavar="FILE",
+        help="route by this placement.json map (stgq place output) instead "
+        "of the CRC32 fallback; shard count must match the worker fleet",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=None,
+        help="override the loaded map's hot-ego replica width (requires "
+        "--placement; 1 collapses replication)",
+    )
+
+
+def _resolve_placement(args: argparse.Namespace):
+    """Load ``--placement`` (honouring ``--replicas``) or return ``None``.
+
+    Raises :class:`QueryError` on usage mistakes so callers can render them
+    argparse-style (stderr + exit 2).
+    """
+    from .service import load_placement
+
+    placement_path = getattr(args, "placement", None)
+    replicas = getattr(args, "replicas", None)
+    if placement_path is None:
+        if replicas is not None:
+            raise QueryError("--replicas requires --placement FILE")
+        return None
+    placement = load_placement(placement_path)
+    if replicas is not None:
+        placement = placement.with_replicas(replicas)
+    return placement
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -305,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-request timeout in seconds for --backend remote (default 30)",
     )
+    _add_placement_arguments(serve)
     add_service_arguments(serve)
 
     worker = subparsers.add_parser(
@@ -341,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="executor width of the local backend (default: auto)",
     )
+    _add_placement_arguments(worker)
     add_service_arguments(worker)
 
     cluster = subparsers.add_parser(
@@ -371,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="gateway per-request timeout in seconds (default 30)",
     )
+    _add_placement_arguments(cluster)
     add_dataset_arguments(cluster)
     add_traffic_arguments(cluster)
     add_service_arguments(cluster)
@@ -428,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-request timeout in seconds for --backend remote (default 30)",
     )
+    _add_placement_arguments(http)
     add_service_arguments(http)
     http.add_argument(
         "--max-concurrency",
@@ -568,6 +618,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mutate.add_argument(
         "--cache-size", type=_positive_int, default=128, help="feasible-graph cache entries"
+    )
+
+    place = subparsers.add_parser(
+        "place",
+        help="build a load-aware placement map from a saved workload trace",
+        description=(
+            "Offline placement pass (docs/placement.md): replay a workload "
+            "trace (save_workload JSONL — the format stgq serve --jsonl and "
+            "bench_service.py --replay consume), count queries per initiator, "
+            "pack initiators onto --workers N workers greedily by descending "
+            "load, and replicate any ego whose load alone reaches a worker's "
+            "fair share across --replicas workers. Initiators absent from "
+            "the trace route via a virtual-node consistent-hash ring. Writes "
+            "the versioned map as placement.json (-o) for --placement / the "
+            "placement_update control frame, and prints per-worker load "
+            "shares with the CRC32-fallback comparison."
+        ),
+    )
+    place.add_argument("trace", metavar="TRACE.jsonl", help="workload trace to replay")
+    place.add_argument(
+        "--workers",
+        type=_positive_int,
+        required=True,
+        help="worker fleet size the map routes over (= shard count)",
+    )
+    place.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=2,
+        help="replica width for hot egos (default 2; 1 disables replication)",
+    )
+    place.add_argument(
+        "--vnodes",
+        type=_positive_int,
+        default=None,
+        help="virtual nodes per worker on the fallback ring (default 64)",
+    )
+    place.add_argument(
+        "--ring-seed",
+        type=int,
+        default=0,
+        help="seed for the ring's vnode positions (default 0)",
+    )
+    place.add_argument(
+        "--map-version",
+        type=_positive_int,
+        default=1,
+        help="version stamped into the map (>= 1; workers adopt only "
+        "strictly newer versions) (default 1)",
+    )
+    place.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="placement.json",
+        help="write the map here (omit for a dry run that only prints)",
+    )
+    place.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the map plus the load report as one JSON object",
     )
 
     pack = subparsers.add_parser(
@@ -781,7 +892,9 @@ def _service_session(args: argparse.Namespace, dataset, service: QueryService) -
     return 0
 
 
-def _build_gateway_service(args: argparse.Namespace, dataset, backend) -> QueryService:
+def _build_gateway_service(
+    args: argparse.Namespace, dataset, backend, placement=None
+) -> QueryService:
     return QueryService(
         dataset.graph,
         dataset.calendars,
@@ -789,6 +902,7 @@ def _build_gateway_service(args: argparse.Namespace, dataset, backend) -> QueryS
         cache_size=args.cache_size,
         max_workers=getattr(args, "workers", None),
         backend=backend,
+        placement=placement,
     )
 
 
@@ -798,9 +912,19 @@ def _shutdown_code(exc: SystemExit) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    # Usage mistakes (missing/malformed --connect, bad --timeout, a junk
+    # --placement file) are answered like argparse does (stderr + exit 2),
+    # not a traceback.
+    try:
+        placement = _resolve_placement(args)
+        if placement is not None and args.backend not in ("process", "remote"):
+            raise QueryError(
+                f"--placement applies to --backend process or remote, not {args.backend!r}"
+            )
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.backend == "remote":
-        # Usage mistakes (missing/malformed --connect, bad --timeout) are
-        # answered like argparse does (stderr + exit 2), not a traceback.
         if not args.connect:
             print(
                 "error: --backend remote requires --connect host:port[,host:port...]",
@@ -808,10 +932,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             )
             return 2
         try:
-            backend = RemoteBackend(args.connect, timeout=args.timeout)
+            backend = RemoteBackend(args.connect, timeout=args.timeout, placement=placement)
         except QueryError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        placement = None  # consumed by the backend instance
     else:
         backend = args.backend
     try:
@@ -821,12 +946,26 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 2
     with _graceful_shutdown():
         try:
-            return _service_session(args, dataset, _build_gateway_service(args, dataset, backend))
+            service = _build_gateway_service(args, dataset, backend, placement=placement)
+        except QueryError as exc:  # e.g. placement shard count vs --workers
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            return _service_session(args, dataset, service)
         except SystemExit as exc:
             return _shutdown_code(exc)
 
 
 def _command_worker(args: argparse.Namespace) -> int:
+    try:
+        # The worker stores the map (hello/batch_result advertise its
+        # version; placement_get serves it) — its *local* backend keeps its
+        # own routing, so the stored copy is distribution state, not a
+        # constraint on this worker's executor width.
+        placement = _resolve_placement(args)
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         dataset = _load_service_dataset(args)
     except ReproError as exc:
@@ -842,7 +981,7 @@ def _command_worker(args: argparse.Namespace) -> int:
         backend=args.backend,
     )
     with service:
-        code = run_worker(service, host, port, announce=sys.stdout)
+        code = run_worker(service, host, port, announce=sys.stdout, placement=placement)
         stats = service.stats()
         info = service.cache_info()
         print(
@@ -867,6 +1006,15 @@ def _command_http(args: argparse.Namespace) -> int:
     if args.max_queue < 0:
         print(f"error: --max-queue must be >= 0, got {args.max_queue}", file=sys.stderr)
         return 2
+    try:
+        placement = _resolve_placement(args)
+        if placement is not None and args.backend not in ("process", "remote"):
+            raise QueryError(
+                f"--placement applies to --backend process or remote, not {args.backend!r}"
+            )
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.backend == "remote":
         if not args.connect:
             print(
@@ -875,10 +1023,11 @@ def _command_http(args: argparse.Namespace) -> int:
             )
             return 2
         try:
-            backend = RemoteBackend(args.connect, timeout=args.timeout)
+            backend = RemoteBackend(args.connect, timeout=args.timeout, placement=placement)
         except QueryError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        placement = None  # consumed by the backend instance
     else:
         backend = args.backend
     try:
@@ -908,7 +1057,13 @@ def _command_http(args: argparse.Namespace) -> int:
         admit_timeout=args.admit_timeout,
         drain_timeout=args.drain_timeout,
     )
-    service = _build_gateway_service(args, dataset, backend)
+    try:
+        service = _build_gateway_service(args, dataset, backend, placement=placement)
+    except QueryError as exc:  # e.g. placement shard count vs --workers
+        print(f"error: {exc}", file=sys.stderr)
+        if opened is not None:
+            opened.close()
+        return 2
     try:
         # run_gateway owns the drained SIGTERM/SIGINT shutdown and closes
         # the service (executor pools, worker connections) on the way out.
@@ -939,6 +1094,16 @@ def _command_http(args: argparse.Namespace) -> int:
 
 
 def _command_cluster(args: argparse.Namespace) -> int:
+    try:
+        placement = _resolve_placement(args)
+        if placement is not None and placement.n_shards != args.workers:
+            raise QueryError(
+                f"placement map routes over {placement.n_shards} shards "
+                f"but --workers is {args.workers}"
+            )
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     dataset = generate_real_dataset(
         n_people=args.people, schedule_days=args.days, seed=args.seed
     )
@@ -951,14 +1116,24 @@ def _command_cluster(args: argparse.Namespace) -> int:
             backend=args.worker_backend,
             cache_size=args.cache_size,
             kernel=args.kernel,
+            placement=args.placement,
         )
         try:
             print(
                 f"cluster up: {args.workers} workers at {cluster.connect_spec()}",
                 file=sys.stderr,
             )
+            if placement is not None:
+                print(
+                    f"placement: version {placement.version} "
+                    f"({len(placement.assignments)} assigned, "
+                    f"{len(placement.replicas)} replicated egos)",
+                    file=sys.stderr,
+                )
             try:
-                backend = RemoteBackend(cluster.connect_spec(), timeout=args.timeout)
+                backend = RemoteBackend(
+                    cluster.connect_spec(), timeout=args.timeout, placement=placement
+                )
             except QueryError as exc:  # e.g. --timeout 0: usage error, not a traceback
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
@@ -1019,6 +1194,18 @@ def _print_worker_stats(label: str, reply: dict) -> None:
     hit_rate = f"{hits / lookups:.0%}" if lookups else "n/a"
     print(f"  cache:        {hits} hits / {misses} misses (hit rate {hit_rate}, "
           f"{cache.get('size', 0)}/{cache.get('max_size', 0)} entries)")
+    placement_version = reply.get("placement_version", 0)
+    print(f"  placement:    version {placement_version}"
+          + ("" if placement_version else " (none stored; CRC32 fallback)"))
+    routing = reply.get("routing")
+    if routing:
+        routed = routing.get("routed", [])
+        print(f"  routing:      {routing.get('strategy', '?')} over "
+              f"{routing.get('n_shards', '?')} shards; last imbalance "
+              f"{routing.get('last_imbalance', 0.0):.2f}x (max "
+              f"{routing.get('max_imbalance', 0.0):.2f}x, "
+              f"{routing.get('skewed_batches', 0)}/{routing.get('measured_batches', 0)} "
+              f"skewed batches); routed {routed}")
 
 
 def _command_stats(args: argparse.Namespace) -> int:
@@ -1156,6 +1343,85 @@ def _command_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_place(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .experiments.workloads import load_workload
+    from .service import ShardMap, build_placement, save_placement
+    from .service.sharding import IMBALANCE_WARN_THRESHOLD
+
+    try:
+        queries = load_workload(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    kwargs = {}
+    if args.vnodes is not None:
+        kwargs["vnodes"] = args.vnodes
+    try:
+        placement = build_placement(
+            queries,
+            args.workers,
+            replicas=args.replicas,
+            seed=args.ring_seed,
+            version=args.map_version,
+            **kwargs,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    crc32 = ShardMap(args.workers)
+    routed = placement.load_report(queries)
+    total = sum(routed)
+    report = {
+        "trace": args.trace,
+        "queries": total,
+        "initiators": len({q.initiator for q in queries}),
+        "map": placement.as_wire(),
+        "load_shares": routed,
+        "imbalance": placement.imbalance(queries),
+        "crc32_imbalance": crc32.imbalance(queries),
+        "threshold": IMBALANCE_WARN_THRESHOLD,
+    }
+    if args.output:
+        try:
+            save_placement(placement, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output!r}: {exc}", file=sys.stderr)
+            return 1
+        report["output"] = args.output
+    if args.json:
+        print(json_module.dumps(report, sort_keys=True, default=str))
+        return 0
+    print(
+        f"placement:  version {placement.version} over {placement.n_shards} workers "
+        f"(vnodes {placement.vnodes}, ring seed {placement.seed})"
+    )
+    print(f"trace:      {total} queries over {report['initiators']} initiators ({args.trace})")
+    print(
+        f"hot egos:   {len(placement.replicas)} replicated "
+        f"x{args.replicas}, {len(placement.assignments)} assigned"
+    )
+    print("load shares (trace replay):")
+    peak = max(routed) if routed and max(routed) else 1
+    for shard, count in enumerate(routed):
+        share = count / total if total else 0.0
+        bar = "#" * max(1 if count else 0, round(24 * count / peak))
+        print(f"  worker {shard}:  {count:6d} queries  ({share:6.1%})  {bar}")
+    verdict = "balanced" if report["imbalance"] < IMBALANCE_WARN_THRESHOLD else "SKEWED"
+    print(
+        f"imbalance:  {report['imbalance']:.2f}x load-aware vs "
+        f"{report['crc32_imbalance']:.2f}x crc32 fallback "
+        f"(threshold {IMBALANCE_WARN_THRESHOLD}x) [{verdict}]"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _command_pack(args: argparse.Namespace) -> int:
     from .graph.csr import csr_available, pack_graph
     from .graph.io import read_snap_edge_list
@@ -1242,6 +1508,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_stats(args)
     if args.command == "mutate":
         return _command_mutate(args)
+    if args.command == "place":
+        return _command_place(args)
     if args.command == "pack":
         return _command_pack(args)
     if args.command == "inspect":

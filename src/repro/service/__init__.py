@@ -26,9 +26,10 @@ the solvers into that shape:
 * **Network cluster** — :mod:`repro.service.net` takes the service past one
   box: ``stgq worker`` serves a local ``QueryService`` over a length-framed
   TCP protocol, :class:`~repro.service.net.RemoteBackend` is the drop-in
-  executor backend that shards initiators across those workers (same CRC32
-  routing, per-request failure containment), and ``stgq cluster`` boots a
-  local N-worker cluster plus gateway in one command.  See
+  executor backend that shards initiators across those workers (CRC32
+  fallback or a load-aware :class:`PlacementMap` with hot-ego replication
+  and replica failover — see ``docs/placement.md``), and ``stgq cluster``
+  boots a local N-worker cluster plus gateway in one command.  See
   ``docs/service.md`` for the architecture page and wire-protocol spec.
 * **HTTP gateway tier** — :mod:`repro.service.http` is the product front
   door: stateless HTTP/JSON gateways (``stgq http``) with request
@@ -103,8 +104,9 @@ from .net import (
     run_worker,
     start_local_workers,
 )
+from .placement import PlacementMap, build_placement, load_placement, save_placement
 from .query_service import MUTATION_LOG_CAPACITY, CacheInfo, MutationReport, QueryService
-from .sharding import ShardMap, stable_shard
+from .sharding import RouteMetrics, ShardMap, stable_shard
 
 __all__ = [
     "ALL_BACKEND_NAMES",
@@ -120,20 +122,25 @@ __all__ = [
     "LocalWorkerCluster",
     "MUTATION_LOG_CAPACITY",
     "MutationReport",
+    "PlacementMap",
     "ProcessBackend",
     "QueryService",
     "RemoteBackend",
+    "RouteMetrics",
     "SerialBackend",
     "ServiceStats",
     "ShardMap",
     "ShutdownSignal",
     "ThreadBackend",
     "WorkerServer",
+    "build_placement",
+    "load_placement",
     "make_backend",
     "query_from_request",
     "response_for",
     "run_gateway",
     "run_worker",
+    "save_placement",
     "serve_jsonl",
     "stable_shard",
     "start_local_gateways",

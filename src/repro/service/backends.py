@@ -17,15 +17,18 @@ The service's batch path is a strategy object implementing
     Shard the workload by initiator across persistent single-worker process
     pools (one :class:`~concurrent.futures.ProcessPoolExecutor` per shard).
     Every worker holds its own copy of the social graph plus a private
-    ego-network LRU cache, and a query always routes to the worker owning its
-    initiator (see :mod:`repro.service.sharding`), so caches stay hot without
-    any cross-process invalidation.  This is the backend that scales the
-    GIL-bound kernel across cores on one box.
+    ego-network LRU cache, and a query routes to the worker owning its
+    initiator — by CRC32 :class:`ShardMap` by default, or by a versioned
+    load-aware :class:`~repro.service.placement.PlacementMap` when one is
+    supplied — so caches stay hot without any cross-process invalidation.
+    This is the backend that scales the GIL-bound kernel across cores on
+    one box.
 
 ``remote``
-    The multi-node shape of ``process``: the same :class:`ShardMap` routing,
-    but each shard is a TCP worker (``stgq worker``) behind a persistent
-    framed connection instead of a local pool.  Lives in
+    The multi-node shape of ``process``: the same router duck type
+    (:class:`ShardMap` fallback or a :class:`PlacementMap` with replica
+    fan-out and failover), but each shard is a TCP worker (``stgq worker``)
+    behind a persistent framed connection instead of a local pool.  Lives in
     :mod:`repro.service.net.remote`; needs worker addresses, so build it as
     ``make_backend("remote", connect="host:p1,host:p2")`` or construct a
     :class:`~repro.service.net.RemoteBackend` directly.
@@ -52,6 +55,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tupl
 from ..exceptions import QueryError
 from ..graph.mutations import MutationBatch
 from .context import ExecutionContext
+from .placement import PlacementMap
 from .sharding import ShardMap
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -348,13 +352,22 @@ class ProcessBackend:
     Parameters
     ----------
     workers:
-        Number of shards / worker processes (default: ``os.cpu_count()``).
+        Number of shards / worker processes (default: ``os.cpu_count()``,
+        or the placement map's shard count when one is given).
     mp_context:
         Optional :mod:`multiprocessing` context.  Defaults to ``forkserver``
         where available (pools may be started lazily from an executor thread
         — e.g. the asyncio front-end — and forking a multi-threaded process
         is deadlock-prone and deprecated on Python 3.12+), else the platform
         default (``spawn`` on Windows).
+    placement:
+        Optional :class:`~repro.service.placement.PlacementMap` replacing
+        the CRC32 :class:`ShardMap` fallback.  Its ``n_shards`` must match
+        ``workers``.  Because every pool worker holds the full graph,
+        routing is purely a cache-locality decision: any placement —
+        including replicated hot egos — returns results byte-identical to
+        serial (replicas may each build their own copy of a hot ego, so
+        cache misses can exceed serial by one per extra replica used).
 
     Notes
     -----
@@ -363,14 +376,30 @@ class ProcessBackend:
     worker once, via the pool initializer).  The service-level ``cache_size``
     is split evenly across workers — keys partition by initiator, so the
     total capacity is comparable to the single-cache backends.
+
+    :meth:`update_placement` swaps the router *without* touching worker
+    caches: pool workers are keyed by shard id, so an initiator whose shard
+    did not change between map versions keeps its hot ego network.
     """
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None, mp_context=None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        mp_context=None,
+        placement: Optional[PlacementMap] = None,
+    ) -> None:
+        if placement is not None and workers is not None and placement.n_shards != workers:
+            raise QueryError(
+                f"placement routes over {placement.n_shards} shards "
+                f"but the backend was asked for {workers} workers"
+            )
+        if placement is not None:
+            workers = placement.n_shards
         self.workers = workers or os.cpu_count() or 1
         self._mp_context = mp_context
-        self._shards = ShardMap(self.workers)
+        self._router = placement if placement is not None else ShardMap(self.workers)
         self._pools: Optional[List[ProcessPoolExecutor]] = None
         self._finalizer: Optional[weakref.finalize] = None
         self._bound_service: Optional["QueryService"] = None
@@ -418,7 +447,7 @@ class ProcessBackend:
         context: ExecutionContext,
     ) -> List["Result"]:
         pools = self._ensure_started(service)
-        parts = self._shards.partition(queries)
+        parts = self._router.partition(queries)
         futures = {
             shard: pools[shard].submit(_worker_solve_batch, [query for _, query in entries])
             for shard, entries in parts.items()
@@ -454,6 +483,38 @@ class ProcessBackend:
 
     def cache_entries(self) -> Optional[int]:
         return sum(self._cache_sizes.values())
+
+    @property
+    def placement_version(self) -> int:
+        """Version of the active routing map (0 = CRC32 fallback)."""
+        return self._router.version
+
+    def route_report(self) -> Dict[str, object]:
+        """The active router's rolling metrics (see ``RouteMetrics``)."""
+        return self._router.route_report()
+
+    def update_placement(self, placement: PlacementMap) -> bool:
+        """Adopt ``placement`` for subsequent batches; caches stay hot.
+
+        Returns ``True`` when adopted, ``False`` when the map is not newer
+        than the active one (same idempotence rule as the wire's
+        ``placement_update`` frame).  Worker pools are untouched: every
+        worker already holds the full graph, so a map swap only changes
+        which pool a future batch routes an initiator to — initiators whose
+        shard is unchanged between versions keep their hot cache entries.
+        Batches already partitioned keep their old routing; they remain
+        correct because any worker can answer any initiator.
+        """
+        if placement.n_shards != self.workers:
+            raise QueryError(
+                f"placement routes over {placement.n_shards} shards "
+                f"but this backend runs {self.workers} workers"
+            )
+        with self._lock:
+            if placement.version <= self._router.version:
+                return False
+            self._router = placement
+            return True
 
     def worker_rss(self) -> Dict[int, int]:
         """Resident set size (bytes) per started worker process.
@@ -538,6 +599,7 @@ def make_backend(
     workers: Optional[int] = None,
     connect: Optional[str] = None,
     timeout: Optional[float] = None,
+    placement: Optional[PlacementMap] = None,
 ) -> "ExecutorBackend":
     """Resolve a backend spec (name or ready instance) to an instance.
 
@@ -545,15 +607,23 @@ def make_backend(
     keeps its own configuration.  ``connect`` (worker addresses,
     ``"host:port,host:port"``) and ``timeout`` only apply to
     ``backend="remote"``, whose shard count comes from the address list.
+    ``placement`` (a loaded :class:`~repro.service.placement.PlacementMap`)
+    applies to the sharded backends only — ``serial`` and ``thread`` have
+    no routing to place.
     """
     if not isinstance(backend, str):
         return backend
+    if placement is not None and backend not in ("process", "remote"):
+        raise QueryError(
+            f"backend {backend!r} does not route by initiator; "
+            "a placement map applies to 'process' or 'remote' only"
+        )
     if backend == "serial":
         return SerialBackend()
     if backend == "thread":
         return ThreadBackend(workers)
     if backend == "process":
-        return ProcessBackend(workers)
+        return ProcessBackend(workers, placement=placement)
     if backend == "remote":
         if connect is None:
             raise QueryError(
@@ -566,7 +636,7 @@ def make_backend(
         from .net.remote import RemoteBackend
 
         if timeout is not None:
-            return RemoteBackend(connect, timeout=timeout)
-        return RemoteBackend(connect)
+            return RemoteBackend(connect, timeout=timeout, placement=placement)
+        return RemoteBackend(connect, placement=placement)
     names = ", ".join(ALL_BACKEND_NAMES)
     raise QueryError(f"unknown backend {backend!r}; expected one of {names}")

@@ -254,6 +254,7 @@ def handle_health(app: "Any") -> RouteResponse:
         "status": "ok",
         "backend": service.backend_name,
         "live_version": service.live_version,
+        "placement_version": getattr(service.backend, "placement_version", 0),
         "draining": app.admission.draining,
         "cache": {
             "hits": info.hits,
@@ -291,7 +292,12 @@ def handle_health(app: "Any") -> RouteResponse:
 # GET /stats
 # ----------------------------------------------------------------------
 def handle_stats(app: "Any") -> RouteResponse:
-    """Gateway observability: service counters + admission/rate-limit state."""
+    """Gateway observability: service counters + admission/rate-limit state.
+
+    ``routing`` is the sharded-backend routing report (strategy, placement
+    version, rolling imbalance, cumulative per-worker routed counts — the
+    per-worker load surface) and ``null`` for backends that do not route.
+    """
     service = app.service
     info = service.cache_info()
     return RouteResponse(
@@ -307,6 +313,7 @@ def handle_stats(app: "Any") -> RouteResponse:
             },
             "backend": service.backend_name,
             "live_version": service.live_version,
+            "routing": service.route_report(),
             "admission": app.admission.snapshot(),
             "ratelimit": app.ratelimiter.snapshot(),
             "gateway": app.request_counters(),

@@ -147,13 +147,17 @@ def start_local_workers(
     cache_size: int = 128,
     kernel: str = "compiled",
     startup_timeout: float = 120.0,
+    placement: Optional[str] = None,
 ) -> LocalWorkerCluster:
     """Spawn ``count`` worker subprocesses serving the same seeded dataset.
 
     Each worker binds an ephemeral 127.0.0.1 port (``--listen 127.0.0.1:0``)
     and is pinged before this returns, so the cluster is ready for a
     gateway's :class:`~repro.service.net.RemoteBackend` immediately.  On any
-    startup failure the already-spawned workers are torn down.
+    startup failure the already-spawned workers are torn down.  ``placement``
+    names a ``placement.json`` file every worker pre-loads (``--placement``),
+    so the fleet boots already holding the load-aware map instead of waiting
+    for a ``placement_update`` push.
     """
     if count < 1:
         raise WorkerUnavailableError(f"worker count must be >= 1, got {count}")
@@ -180,6 +184,8 @@ def start_local_workers(
     ]
     if workers is not None:
         command += ["--workers", str(workers)]
+    if placement is not None:
+        command += ["--placement", str(placement)]
     env = _repro_env()
     try:
         for _ in range(count):

@@ -54,8 +54,27 @@ All frames are JSON objects with a ``"type"`` key:
     answer ``error`` with the connection kept open, which the gateway
     surfaces as an incomplete distribution.
 
+``{"type": "placement_update", "id": ..., "map": {...}}``
+    Load-aware routing distribution (see ``docs/placement.md``): one
+    versioned placement map (``PlacementMap.as_wire`` — the exact body of
+    a ``placement.json`` file).  The worker stores the map for gateways to
+    discover and answers ``{"type": "placement_applied", "id": ...,
+    "status": "applied"|"noop", "version": V}`` — ``noop`` when it already
+    holds this or a newer version, the same idempotence rule as ``delta``.
+    The worker's ``hello`` and every ``batch_result`` advertise its stored
+    ``placement_version`` (0 = none), so a gateway routing with an older
+    map notices and fetches the new one without a restart.
+
+``{"type": "placement_get", "id": ...}``
+    Fetch the worker's stored placement map; answered with ``{"type":
+    "placement", "id": ..., "version": V, "map": {...}|null}``.  Both
+    placement frames ride on protocol v1 exactly like the mutation frames:
+    older workers answer ``error`` with the connection kept open.
+
 ``{"type": "stats"}``
-    Snapshot of the worker's service counters and cache info.
+    Snapshot of the worker's service counters and cache info (plus the
+    worker's stored ``placement_version`` and, when its own service routes
+    by shard, a rolling ``routing`` imbalance report).
 
 ``{"type": "batch", "id": ..., "requests": [...]}``
     A batch of query requests (payloads per :mod:`repro.service.codec`).

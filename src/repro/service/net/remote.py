@@ -7,9 +7,18 @@ protocol — a :class:`~repro.service.QueryService` built with
 ``ProcessPoolExecutor``\\ s:
 
 * **Routing** — each query's initiator maps to a worker through the same
-  CRC32 :class:`~repro.service.ShardMap` the process backend uses, so a
-  worker's ego-network cache stays hot for its shard of users and a gateway
-  restart lands every initiator on the same worker again.
+  router duck type the process backend uses: the CRC32
+  :class:`~repro.service.ShardMap` fallback by default, or a versioned
+  :class:`~repro.service.placement.PlacementMap` for load-aware
+  deployments — so a worker's ego-network cache stays hot for its share of
+  users and a gateway restart lands every initiator on the same worker
+  again.  A replicated hot ego fans out round-robin across its replica
+  workers, and when its routed worker is down the sub-batch **fails over**
+  to a surviving replica instead of degrading to errors.  Gateways also
+  *adopt* newer maps mid-flight: every ``batch_result`` advertises the
+  worker's stored placement version, and a gateway seeing a newer one
+  fetches the map with a ``placement_get`` frame — so ``placement_update``
+  pushed at any one point reaches the whole tier without restarts.
 * **Pipelining** — one persistent connection per worker; a batch is split
   into per-shard sub-batches that are dispatched concurrently, so every
   worker solves its slice while the others solve theirs.
@@ -38,6 +47,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 from ...exceptions import ProtocolError, QueryError, WorkerUnavailableError
 from ..codec import ErrorResult, decode_result, request_for
 from ..context import ExecutionContext
+from ..placement import PlacementMap
 from ..sharding import ShardMap
 from .protocol import client_handshake, encode_frame, recv_frame
 
@@ -239,6 +249,12 @@ class RemoteBackend:
     backoff_base / backoff_cap:
         Exponential reconnect backoff: after ``n`` consecutive failures a
         link fails fast for ``min(cap, base * 2**(n-1))`` seconds.
+    placement:
+        Optional :class:`~repro.service.placement.PlacementMap` replacing
+        the CRC32 fallback; its ``n_shards`` must equal the address count.
+        Gateways may also *adopt* a newer map advertised by the workers
+        (see :meth:`update_placement`), so passing one here is the initial
+        state, not a pin.
 
     Notes
     -----
@@ -258,12 +274,21 @@ class RemoteBackend:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         max_batch_timeout: float = 300.0,
+        placement: Optional[PlacementMap] = None,
     ) -> None:
         if timeout <= 0 or connect_timeout <= 0 or max_batch_timeout <= 0:
             raise QueryError("timeouts must be positive")
         self.addresses = parse_addresses(connect)
         self.workers = len(self.addresses)
-        self._shards = ShardMap(self.workers)
+        if placement is not None and placement.n_shards != self.workers:
+            raise QueryError(
+                f"placement routes over {placement.n_shards} shards "
+                f"but {self.workers} worker addresses were given"
+            )
+        self._router = placement if placement is not None else ShardMap(self.workers)
+        self._route_lock = threading.Lock()
+        self._failover_queries = 0
+        self._failover_batches = 0
         self._links = [
             _WorkerLink(
                 address, timeout, connect_timeout, backoff_base, backoff_cap, max_batch_timeout
@@ -284,8 +309,14 @@ class RemoteBackend:
 
     def _request_shard(
         self, shard: int, queries: Sequence["Query"]
-    ) -> Tuple[List["Result"], Dict[str, float], int]:
-        """Round-trip one shard's sub-batch; returns (results, delta, cache)."""
+    ) -> Tuple[List["Result"], Dict[str, float], int, int]:
+        """Round-trip one shard's sub-batch.
+
+        Returns ``(results, delta, cache_size, advertised_placement_version)``
+        — the last is the worker's stored placement-map version riding every
+        ``batch_result``, which is how a gateway discovers a map pushed
+        through some *other* gateway (see :meth:`_maybe_adopt`).
+        """
         link = self._links[shard]
         frame = {
             "type": "batch",
@@ -331,7 +362,10 @@ class RemoteBackend:
             raise WorkerUnavailableError(
                 f"worker {link.label} sent an invalid cache size: {exc}"
             ) from exc
-        return results, delta, cache_size
+        advert = reply.get("placement_version")
+        if not isinstance(advert, int):
+            advert = 0
+        return results, delta, cache_size, advert
 
     def solve_batch(
         self,
@@ -339,7 +373,11 @@ class RemoteBackend:
         queries: Sequence["Query"],
         context: ExecutionContext,
     ) -> List["Result"]:
-        parts = self._shards.partition(queries)
+        # Snapshot the router once: a placement_update landing mid-batch
+        # applies from the *next* batch (any worker answers any initiator,
+        # so the in-flight batch stays correct under the old map).
+        router = self._router
+        parts = router.partition(queries)
         pool = self._ensure_pool()
         futures = {
             shard: pool.submit(self._request_shard, shard, [query for _, query in entries])
@@ -349,7 +387,7 @@ class RemoteBackend:
         # context, so the aggregate view stays all-or-nothing per shard: a
         # sub-batch either lands fully (results + its delta) or degrades
         # fully to error results.
-        outcomes: Dict[int, Tuple[List["Result"], Dict[str, float], int]] = {}
+        outcomes: Dict[int, Tuple[List["Result"], Dict[str, float], int, int]] = {}
         failures: Dict[int, str] = {}
         for shard, future in futures.items():
             try:
@@ -361,14 +399,55 @@ class RemoteBackend:
                 # for one frame): degrade this shard's requests without
                 # having touched — or penalised — the worker connection.
                 failures[shard] = f"sub-batch could not be encoded: {exc}"
+        # Replica failover round: a failed shard's *replicated* initiators
+        # have other workers that can answer them (every worker holds the
+        # full graph), so re-dispatch those entries to a surviving replica
+        # in one retry wave.  Non-replicated entries keep the old contract:
+        # degrade to ErrorResult.  Each retry sub-batch merges its own
+        # worker delta all-or-nothing, so every solved query is counted
+        # exactly once — never by the failed primary.
+        retry_parts: Dict[int, List[Tuple[int, "Query"]]] = {}
+        unrecovered: Dict[int, str] = {}
+        for shard in failures:
+            for index, query in parts[shard]:
+                survivors = [
+                    replica
+                    for replica in router.replicas_of(query.initiator)  # type: ignore[attr-defined]
+                    if replica != shard and replica not in failures
+                ]
+                if survivors:
+                    retry_parts.setdefault(survivors[0], []).append((index, query))
+                else:
+                    unrecovered[index] = failures[shard]
+        retry_outcomes: Dict[int, Tuple[List["Result"], Dict[str, float], int, int]] = {}
+        if retry_parts:
+            retry_futures = {
+                target: pool.submit(
+                    self._request_shard, target, [query for _, query in entries]
+                )
+                for target, entries in retry_parts.items()
+            }
+            for target, future in retry_futures.items():
+                try:
+                    retry_outcomes[target] = future.result()
+                except (WorkerUnavailableError, ProtocolError) as exc:
+                    for index, _ in retry_parts[target]:
+                        unrecovered[index] = f"failover to replica failed: {exc}"
         results: List[Optional["Result"]] = [None] * len(queries)
         cache_updates: Dict[int, int] = {}
-        for shard, entries in parts.items():
-            if shard in failures:
-                for index, _ in entries:
-                    results[index] = ErrorResult(error=failures[shard], solver="remote")
-                continue
-            shard_results, delta, cache_size = outcomes[shard]
+        advertised = 0
+        recovered = 0
+        merge_plan = [
+            (shard, entries, outcomes[shard])
+            for shard, entries in parts.items()
+            if shard not in failures
+        ] + [
+            (target, entries, retry_outcomes[target])
+            for target, entries in retry_parts.items()
+            if target in retry_outcomes
+        ]
+        for shard, entries, outcome in merge_plan:
+            shard_results, delta, cache_size, advert = outcome
             for (index, _), result in zip(entries, shard_results):
                 results[index] = result
                 if not isinstance(result, ErrorResult):
@@ -379,13 +458,64 @@ class RemoteBackend:
                     context.merge_search(result.stats)
             context.merge_delta(delta)
             cache_updates[shard] = cache_size
+            advertised = max(advertised, advert)
+        for target, entries in retry_parts.items():
+            if target in retry_outcomes:
+                recovered += len(entries)
+        for index, message in unrecovered.items():
+            results[index] = ErrorResult(error=message, solver="remote")
         if cache_updates:
             # Replace wholesale (readers iterate their own snapshot, never
             # a resizing dict) and merge under the lock (two concurrent
             # batches must not lose each other's shard entries).
             with self._pool_lock:
                 self._cache_sizes = {**self._cache_sizes, **cache_updates}
+        if recovered:
+            with self._route_lock:
+                self._failover_queries += recovered
+                self._failover_batches += 1
+        if advertised > router.version:
+            self._maybe_adopt(advertised, outcomes, retry_outcomes)
         return results  # type: ignore[return-value]
+
+    def _maybe_adopt(
+        self,
+        advertised: int,
+        outcomes: Dict[int, Tuple[List["Result"], Dict[str, float], int, int]],
+        retry_outcomes: Dict[int, Tuple[List["Result"], Dict[str, float], int, int]],
+    ) -> None:
+        """Fetch and adopt a newer placement map advertised by a worker.
+
+        Best-effort by design: adoption failing (worker died between the
+        batch and the fetch, malformed map, shard-count mismatch) leaves
+        the current router in place and the next batch will try again — a
+        routing refresh must never fail a batch that already solved.
+        """
+        candidates = [
+            shard
+            for source in (outcomes, retry_outcomes)
+            for shard, (_, _, _, advert) in source.items()
+            if advert == advertised
+        ]
+        if not candidates:  # pragma: no cover - advertised came from outcomes
+            return
+        link = self._links[candidates[0]]
+        try:
+            reply = link.request({"type": "placement_get", "id": candidates[0]})
+        except WorkerUnavailableError:
+            return
+        wire = reply.get("map") if reply.get("type") == "placement" else None
+        if not isinstance(wire, dict):
+            return
+        try:
+            placement = PlacementMap.from_wire(wire)
+        except QueryError:
+            return
+        if placement.n_shards != self.workers:
+            return
+        with self._route_lock:
+            if placement.version > self._router.version:
+                self._router = placement
 
     def _clear_one(self, shard: int, extras: Optional[Dict] = None) -> Optional[str]:
         """Clear one worker's cache; return an error description or ``None``."""
@@ -578,6 +708,81 @@ class RemoteBackend:
                 + "; ".join(failures[shard] for shard in sorted(failures))
             )
         return total
+
+    # ------------------------------------------------------------------
+    # placement distribution (docs/placement.md)
+    # ------------------------------------------------------------------
+    def _placement_one(self, shard: int, wire: Dict) -> str:
+        """Push one ``placement_update`` frame; returns the worker's status."""
+        link = self._links[shard]
+        # Like cache invalidation, placement distribution is a correctness
+        # operation: every worker must actually be attempted, backoff or not.
+        link.reset_backoff()
+        reply = link.request({"type": "placement_update", "id": shard, "map": wire})
+        if reply.get("type") != "placement_applied":
+            raise WorkerUnavailableError(
+                f"worker {link.label} answered placement_update with {reply.get('type')!r}"
+            )
+        return str(reply.get("status"))
+
+    def update_placement(self, placement: PlacementMap) -> Dict[int, str]:
+        """Ship ``placement`` to every worker, then adopt it locally.
+
+        All-or-error like :meth:`clear_caches`: every worker is attempted
+        concurrently, and if any could not store the map a
+        :class:`~repro.exceptions.WorkerUnavailableError` naming them is
+        raised — a fleet advertising mixed placement versions would keep
+        re-triggering gateway adoption churn.  Returns the per-shard status
+        (``"applied"`` or ``"noop"`` — the worker already held this or a
+        newer version; same idempotence rule as the ``delta`` frames).
+
+        The local router swaps only if the pushed map is newer than what
+        this gateway holds; batches already in flight finish under the map
+        they were partitioned with (correct on any worker).  Worker caches
+        are never touched — an initiator whose shard did not move keeps its
+        hot ego networks, which is the whole point of versioned maps over
+        re-hashing.
+        """
+        if placement.n_shards != self.workers:
+            raise QueryError(
+                f"placement routes over {placement.n_shards} shards "
+                f"but this backend connects {self.workers} workers"
+            )
+        pool = self._ensure_pool()
+        wire = placement.as_wire()
+        futures = {
+            shard: pool.submit(self._placement_one, shard, wire)
+            for shard in range(self.workers)
+        }
+        statuses: Dict[int, str] = {}
+        failures: Dict[int, str] = {}
+        for shard, future in futures.items():
+            try:
+                statuses[shard] = future.result()
+            except WorkerUnavailableError as exc:
+                failures[shard] = str(exc)
+        if failures:
+            raise WorkerUnavailableError(
+                "placement distribution incomplete: "
+                + "; ".join(failures[shard] for shard in sorted(failures))
+            )
+        with self._route_lock:
+            if placement.version > self._router.version:
+                self._router = placement
+        return statuses
+
+    @property
+    def placement_version(self) -> int:
+        """Version of the active routing map (0 = CRC32 fallback)."""
+        return self._router.version
+
+    def route_report(self) -> Dict[str, object]:
+        """Active router metrics plus this backend's failover counters."""
+        report = self._router.route_report()
+        with self._route_lock:
+            report["failover_queries"] = self._failover_queries
+            report["failover_batches"] = self._failover_batches
+        return report
 
     def worker_stats(self) -> List[Optional[Dict]]:
         """Per-worker ``stats`` control-frame snapshots (``None`` when down)."""

@@ -21,6 +21,16 @@ connection: ``delta`` frames apply versioned mutation batches — idempotent
 via the version handshake in :meth:`QueryService.apply_delta` — and
 ``snapshot`` frames are the catch-up fallback, inline or as a ``.stgq``
 file reference.
+
+Load-aware placement (``docs/placement.md``) rides alongside it with the
+same idempotence pattern: ``placement_update`` frames store a versioned
+:class:`~repro.service.placement.PlacementMap` on the worker (``noop`` when
+it already holds that version or newer), ``placement_get`` hands it back,
+and ``hello`` / every ``batch_result`` advertise the stored version so a
+gateway routing with an older map notices and catches up without a restart.
+The worker itself routes nothing by the stored map — it solves whatever a
+gateway sends it (every worker holds the full graph) — it is a durable,
+versioned distribution point for the fleet's routing decision.
 """
 
 from __future__ import annotations
@@ -30,10 +40,11 @@ import signal
 import sys
 from typing import Any, Dict, List, Optional, Set, TextIO, Tuple
 
-from ...exceptions import ProtocolError, ReproError
+from ...exceptions import ProtocolError, QueryError, ReproError
 from ...graph.mutations import MutationBatch
 from ..codec import encode_result, query_from_request, wants_stats
 from ..context import ExecutionContext
+from ..placement import PlacementMap
 from ..query_service import Query, QueryService
 from .protocol import PROTOCOL_VERSION, read_frame, write_frame
 
@@ -53,10 +64,24 @@ class WorkerServer:
     via :func:`run_worker`.
     """
 
-    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        placement: Optional[PlacementMap] = None,
+    ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        # Stored placement map: the worker is the fleet's durable
+        # distribution point for the routing decision (docs/placement.md).
+        # Kept in wire form so placement_get replies are a straight echo;
+        # the version is what hello/batch_result advertise (0 = none).
+        self._placement_wire: Optional[Dict[str, Any]] = (
+            placement.as_wire() if placement is not None else None
+        )
+        self._placement_version: int = placement.version if placement is not None else 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         # In-flight frame accounting for the SIGTERM drain: a frame counts
@@ -188,6 +213,10 @@ class WorkerServer:
             # mutate``) can see on connect whether this worker needs a
             # catch-up before the fleet serves one consistent version.
             reply["live_version"] = self.service.live_version
+            # Stored placement-map version (0 = none): lets a connecting
+            # gateway see immediately whether a load-aware map is deployed
+            # and whether its own copy is stale.
+            reply["placement_version"] = self._placement_version
             return reply, True
         if ftype == "ping":
             return {"type": "pong", "id": frame.get("id")}, True
@@ -287,6 +316,43 @@ class WorkerServer:
                 "invalidated": dropped,
             }
             return reply, True
+        if ftype == "placement_update":
+            # Load-aware routing distribution (docs/placement.md): store the
+            # versioned map with the same idempotence rule as ``delta`` —
+            # strictly newer versions apply, anything else is a "noop" — so
+            # retries and out-of-order pushes from multiple gateways are
+            # harmless.  Junk maps are rejected in-band with the connection
+            # kept open (PlacementMap.from_wire validates every field).
+            try:
+                placement = PlacementMap.from_wire(frame.get("map"))
+            except (QueryError, ReproError) as exc:
+                reply = {
+                    "type": "error",
+                    "error": f"placement rejected: {exc}",
+                    "id": frame.get("id"),
+                }
+                return reply, True
+            if placement.version > self._placement_version:
+                self._placement_wire = placement.as_wire()
+                self._placement_version = placement.version
+                status = "applied"
+            else:
+                status = "noop"
+            reply = {
+                "type": "placement_applied",
+                "id": frame.get("id"),
+                "status": status,
+                "version": self._placement_version,
+            }
+            return reply, True
+        if ftype == "placement_get":
+            reply = {
+                "type": "placement",
+                "id": frame.get("id"),
+                "version": self._placement_version,
+                "map": self._placement_wire,
+            }
+            return reply, True
         if ftype == "stats":
             info = self.service.cache_info()
             reply = {
@@ -298,7 +364,13 @@ class WorkerServer:
                     "size": info.size,
                     "max_size": info.max_size,
                 },
+                "placement_version": self._placement_version,
             }
+            # When this worker's own service routes by shard (a process
+            # backend), its rolling routing metrics ride along too.
+            routing = self.service.route_report()
+            if routing is not None:
+                reply["routing"] = routing
             return reply, True
         if ftype == "batch":
             return await self._handle_batch(frame), True
@@ -404,6 +476,11 @@ class WorkerServer:
             "results": encoded,
             "stats_delta": delta,
             "cache_size": self.service.cache_info().size,
+            # Every batch reply advertises the stored placement-map version,
+            # so a gateway routing with an older map learns about a newer
+            # deployment mid-stream and fetches it (placement_get) without
+            # anyone restarting.
+            "placement_version": self._placement_version,
         }
         if wants_stats(frame) and solve_error is None:
             # Opt-in observability: the batch's merged kernel statistics,
@@ -419,6 +496,7 @@ def run_worker(
     host: str = "127.0.0.1",
     port: int = 0,
     announce: Optional[TextIO] = None,
+    placement: Optional[PlacementMap] = None,
 ) -> int:
     """Run a worker server until SIGINT/SIGTERM; returns an exit code.
 
@@ -433,7 +511,7 @@ def run_worker(
     """
 
     async def _run() -> None:
-        server = WorkerServer(service, host, port)
+        server = WorkerServer(service, host, port, placement=placement)
         await server.start()
         if announce is not None:
             announce.write(f"{READY_MARKER} {server.host} {server.port}\n")

@@ -38,6 +38,7 @@ from ..graph.social_graph import SocialGraph
 from ..temporal.calendars import CalendarStore
 from ..types import Vertex
 from .backends import ExecutorBackend, ThreadBackend, make_backend
+from .placement import PlacementMap
 from .context import ExecutionContext, ServiceStats
 
 __all__ = [
@@ -135,6 +136,11 @@ class QueryService:
         cache-hot traffic; ``process`` shards initiators across worker
         processes, each holding its own graph copy and cache, and scales the
         GIL-bound compiled kernel across cores.
+    placement:
+        Optional :class:`~repro.service.placement.PlacementMap` routing the
+        ``process`` backend by observed load instead of the CRC32 fallback
+        (see ``docs/placement.md``).  Rejected for backends that do not
+        route by shard.
 
     Notes
     -----
@@ -174,6 +180,7 @@ class QueryService:
         cache_size: int = 128,
         max_workers: Optional[int] = None,
         backend: Union[str, ExecutorBackend] = "thread",
+        placement: Optional["PlacementMap"] = None,
     ) -> None:
         if cache_size < 1:
             raise QueryError(f"cache_size must be >= 1, got {cache_size}")
@@ -201,7 +208,7 @@ class QueryService:
         self._availability_overrides: Dict[Vertex, Tuple[int, ...]] = {}
         self._stats_lock = threading.Lock()
         self._stats = ServiceStats()
-        self._backend = make_backend(backend, max_workers)
+        self._backend = make_backend(backend, max_workers, placement=placement)
         self.max_workers = self._backend.workers
 
     @property
@@ -709,6 +716,22 @@ class QueryService:
         """Copy of the aggregate service counters."""
         with self._stats_lock:
             return ServiceStats(**self._stats.as_dict())  # type: ignore[arg-type]
+
+    def route_report(self) -> Optional[Dict[str, object]]:
+        """Rolling routing report from a sharded backend, ``None`` otherwise.
+
+        Sharded backends (process, remote) route every batch through a
+        :class:`~repro.service.sharding.ShardMap` or
+        :class:`~repro.service.placement.PlacementMap`; this surfaces that
+        router's identity (strategy, version) plus its rolling
+        :class:`~repro.service.sharding.RouteMetrics` — the numbers behind
+        ``stgq stats --json`` and HTTP ``/stats``.  Serial and thread
+        backends do not route, hence ``None``.
+        """
+        reporter = getattr(self._backend, "route_report", None)
+        if reporter is None:
+            return None
+        return reporter()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         info = self.cache_info()

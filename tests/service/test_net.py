@@ -23,7 +23,14 @@ from repro.core import SGQuery, STGQuery
 from repro.core.result import GroupResult, SearchStats, STGroupResult
 from repro.exceptions import ProtocolError, QueryError, WorkerUnavailableError
 from repro.experiments.workloads import workload
-from repro.service import ErrorResult, QueryService, RemoteBackend, make_backend
+from repro.service import (
+    ErrorResult,
+    PlacementMap,
+    QueryService,
+    RemoteBackend,
+    build_placement,
+    make_backend,
+)
 from repro.service.codec import (
     decode_result,
     encode_result,
@@ -43,6 +50,7 @@ from repro.service.sharding import stable_shard
 from repro.temporal.slots import SlotRange
 
 from .test_backends import DETERMINISTIC_COUNTERS, build_batch, run_backend
+from .test_placement import SOLVER_COUNTERS
 
 
 @pytest.fixture(scope="module")
@@ -57,10 +65,10 @@ def dataset():
 class WorkerHarness:
     """A real WorkerServer + QueryService running on a background thread."""
 
-    def __init__(self, dataset, port: int = 0, backend: str = "serial") -> None:
+    def __init__(self, dataset, port: int = 0, backend: str = "serial", placement=None) -> None:
         self.service = QueryService(dataset.graph, dataset.calendars, backend=backend)
         self.loop = asyncio.new_event_loop()
-        self.server = WorkerServer(self.service, "127.0.0.1", port)
+        self.server = WorkerServer(self.service, "127.0.0.1", port, placement=placement)
         self._started = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
@@ -676,3 +684,289 @@ class TestLocalCluster:
         # exits 0 instead of dying on the signal.
         assert cluster.processes == []
         assert [process.returncode for process in worker_processes] == [0]
+
+
+# ----------------------------------------------------------------------
+# placement distribution frames (versioned PlacementMap over the wire)
+# ----------------------------------------------------------------------
+class TestPlacementFrames:
+    def test_update_applied_noop_and_get(self, worker_pair):
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            hello = recv_frame(sock)
+            assert hello["placement_version"] == 0  # fresh worker: CRC32 fallback
+
+            v1 = PlacementMap(2, version=1)
+            send_frame(sock, {"type": "placement_update", "id": 1, "map": v1.as_wire()})
+            reply = recv_frame(sock)
+            assert reply == {
+                "type": "placement_applied", "id": 1, "status": "applied", "version": 1,
+            }
+
+            # Idempotent re-push: same version is a noop, not an error.
+            send_frame(sock, {"type": "placement_update", "id": 2, "map": v1.as_wire()})
+            assert recv_frame(sock)["status"] == "noop"
+
+            v3 = PlacementMap(2, version=3)
+            send_frame(sock, {"type": "placement_update", "id": 3, "map": v3.as_wire()})
+            assert recv_frame(sock) == {
+                "type": "placement_applied", "id": 3, "status": "applied", "version": 3,
+            }
+
+            # Strictly-newer-applies: a stale push cannot roll the map back.
+            send_frame(sock, {"type": "placement_update", "id": 4, "map": v1.as_wire()})
+            reply = recv_frame(sock)
+            assert reply["status"] == "noop"
+            assert reply["version"] == 3
+
+            send_frame(sock, {"type": "placement_get", "id": 5})
+            reply = recv_frame(sock)
+            assert reply["type"] == "placement"
+            assert reply["id"] == 5
+            assert reply["version"] == 3
+            assert PlacementMap.from_wire(reply["map"]).as_wire() == v3.as_wire()
+        finally:
+            sock.close()
+
+    def test_junk_map_rejected_connection_kept(self, worker_pair):
+        sock = _client_socket(worker_pair[0].address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            recv_frame(sock)
+            send_frame(
+                sock, {"type": "placement_update", "id": 1, "map": {"n_shards": "two"}}
+            )
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert "placement rejected" in reply["error"]
+            # The bad push neither stored anything nor dropped the session.
+            send_frame(sock, {"type": "placement_get", "id": 2})
+            reply = recv_frame(sock)
+            assert reply["version"] == 0
+            assert reply["map"] is None
+        finally:
+            sock.close()
+
+    def test_worker_boots_holding_placement(self, dataset):
+        placement = PlacementMap(2, version=7, assignments={dataset.people[0]: 1})
+        harness = WorkerHarness(dataset, placement=placement).start()
+        try:
+            sock = _client_socket(harness.address)
+            try:
+                send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+                assert recv_frame(sock)["placement_version"] == 7
+                send_frame(sock, {"type": "placement_get", "id": 1})
+                reply = recv_frame(sock)
+                assert reply["version"] == 7
+                assert PlacementMap.from_wire(reply["map"]).as_wire() == placement.as_wire()
+            finally:
+                sock.close()
+        finally:
+            harness.stop()
+
+    def test_batch_result_and_stats_advertise_version(self, worker_pair, dataset):
+        sock = _client_socket(worker_pair[1].address)
+        try:
+            send_frame(sock, {"type": "hello", "v": PROTOCOL_VERSION})
+            recv_frame(sock)
+            placement = PlacementMap(2, version=4)
+            send_frame(
+                sock, {"type": "placement_update", "id": 1, "map": placement.as_wire()}
+            )
+            recv_frame(sock)
+            request = request_for(
+                SGQuery(initiator=dataset.people[0], group_size=3, radius=1, acquaintance=1)
+            )
+            send_frame(sock, {"type": "batch", "id": 2, "requests": [request]})
+            reply = recv_frame(sock)
+            assert reply["type"] == "batch_result"
+            assert reply["placement_version"] == 4  # piggybacked adoption signal
+            send_frame(sock, {"type": "stats"})
+            assert recv_frame(sock)["placement_version"] == 4
+        finally:
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# placement push + gateway adoption (versioned map across gateways)
+# ----------------------------------------------------------------------
+class TestPlacementDistribution:
+    def test_update_placement_pushes_fleet_wide_then_noops(self, worker_pair):
+        placement = PlacementMap(2, version=5)
+        backend = RemoteBackend([w.address for w in worker_pair])
+        try:
+            assert backend.placement_version == 0
+            statuses = backend.update_placement(placement)
+            assert statuses == {0: "applied", 1: "applied"}
+            assert backend.placement_version == 5
+            # Re-push is idempotent on every worker (delta-frame semantics).
+            assert backend.update_placement(placement) == {0: "noop", 1: "noop"}
+            assert backend.placement_version == 5
+        finally:
+            backend.close()
+
+    def test_second_gateway_adopts_advertised_map(self, worker_pair, dataset):
+        pusher = RemoteBackend([w.address for w in worker_pair])
+        follower = RemoteBackend([w.address for w in worker_pair])
+        try:
+            pusher.update_placement(PlacementMap(2, version=6))
+            # The follower knows nothing of the push until a batch_result
+            # advertises the newer version; then it fetches and swaps.
+            assert follower.placement_version == 0
+            batch = build_batch(dataset, seed=3, n_queries=4, n_initiators=2, stg_fraction=0.0)
+            with QueryService(
+                dataset.graph, dataset.calendars, backend=follower
+            ) as gateway:
+                results = gateway.solve_many(batch)
+                assert not any(getattr(r, "error", None) for r in results)
+                assert follower.placement_version == 6
+                assert follower.route_report()["strategy"] == "vnode"
+        finally:
+            pusher.close()
+
+    def test_mid_stream_swap_keeps_equivalence(self, dataset):
+        """The acceptance bar: pushing a new map between batches must not
+        change a single byte of results, only where queries execute."""
+        batch = build_batch(dataset, seed=21, n_queries=12, n_initiators=5, stg_fraction=0.3)
+        reference_keys, reference_counters, _ = run_backend(dataset, "serial", batch)
+        workers = [WorkerHarness(dataset).start() for _ in range(2)]
+        try:
+            backend = RemoteBackend([w.address for w in workers], timeout=30.0)
+            with QueryService(
+                dataset.graph, dataset.calendars, backend=backend
+            ) as gateway:
+                first = gateway.solve_many(batch)  # CRC32 routing (version 0)
+                backend.update_placement(
+                    build_placement(batch, 2, replicas=2, version=3)
+                )
+                second = gateway.solve_many(batch)  # load-aware routing
+                for results in (first, second):
+                    keys = [
+                        (r.feasible, r.members, r.total_distance, getattr(r, "period", None))
+                        for r in results
+                    ]
+                    assert keys == reference_keys
+                merged = gateway.stats().as_dict()
+                for name in SOLVER_COUNTERS:
+                    assert merged[name] == 2 * reference_counters[name]
+        finally:
+            for worker in workers:
+                worker.stop()
+
+
+# ----------------------------------------------------------------------
+# hot-ego replication: fan-out + failover (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestReplicaFailover:
+    def test_replicated_hot_ego_survives_worker_death(self, dataset):
+        hot = dataset.people[0]
+        cold = dataset.people[1]
+        placement = PlacementMap(
+            2, version=1, assignments={cold: 0}, replicas={hot: (0, 1)}
+        )
+        workers = [WorkerHarness(dataset).start() for _ in range(2)]
+        backend = RemoteBackend(
+            [w.address for w in workers],
+            timeout=10.0,
+            connect_timeout=2.0,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            placement=placement,
+        )
+        # Distinct hot queries so both replicas genuinely solve work, plus
+        # cold queries pinned (unreplicated) to the shard we will kill.
+        batch = [
+            SGQuery(initiator=hot, group_size=size, radius=1, acquaintance=1)
+            for size in (3, 4, 5, 3, 4, 5)
+        ] + [
+            SGQuery(initiator=cold, group_size=size, radius=1, acquaintance=1)
+            for size in (3, 4)
+        ]
+        with QueryService(dataset.graph, dataset.calendars, backend="serial") as reference:
+            expected = [
+                (r.feasible, r.members, r.total_distance) for r in reference.solve_many(batch)
+            ]
+        try:
+            with QueryService(dataset.graph, dataset.calendars, backend=backend) as gateway:
+                first = gateway.solve_many(batch)
+                assert not any(getattr(r, "error", None) for r in first)
+                assert [
+                    (r.feasible, r.members, r.total_distance) for r in first
+                ] == expected
+                assert gateway.stats().queries == len(batch)
+
+                workers[0].stop()
+                second = gateway.solve_many(batch)
+                # Every replicated hot query failed over to the surviving
+                # replica — byte-identical answers, zero ErrorResults.
+                for result, key in zip(second[:6], expected[:6]):
+                    assert not getattr(result, "error", None)
+                    assert (result.feasible, result.members, result.total_distance) == key
+                # The unreplicated cold ego lived only on the dead shard:
+                # containment still degrades those to per-request errors.
+                for result in second[6:]:
+                    assert isinstance(result, ErrorResult)
+                    assert "worker 127.0.0.1" in result.error
+                # Exactly-once accounting: only the 6 recovered queries were
+                # merged, never a double count from the failed primary wave.
+                assert gateway.stats().queries == len(batch) + 6
+                # Round-robin fan-out put 3 of the 6 hot queries on each
+                # replica, so exactly the dead shard's 3 needed the retry
+                # wave; the other 3 were already on the survivor.
+                report = gateway.route_report()
+                assert report["failover_queries"] == 3
+                assert report["failover_batches"] == 1
+        finally:
+            for worker in workers[1:]:
+                try:
+                    worker.stop()
+                except Exception:
+                    pass
+            backend.close()
+
+
+# ----------------------------------------------------------------------
+# remote placement equivalence (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestRemotePlacementEquivalence:
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        ring_seed=st.integers(min_value=0, max_value=2**10),
+        replicas=st.integers(min_value=1, max_value=2),
+    )
+    def test_any_placement_matches_serial(self, dataset, seed, ring_seed, replicas):
+        batch = build_batch(dataset, seed, n_queries=14, n_initiators=5, stg_fraction=0.3)
+        reference_keys, reference_counters, reference_info = run_backend(
+            dataset, "serial", batch
+        )
+        placement = build_placement(
+            batch, 2, replicas=replicas, seed=ring_seed, version=1
+        )
+        workers = [WorkerHarness(dataset).start() for _ in range(2)]
+        try:
+            backend = RemoteBackend(
+                [w.address for w in workers], timeout=30.0, placement=placement
+            )
+            keys, counters, info = run_backend(dataset, backend, batch)
+        finally:
+            for worker in workers:
+                worker.stop()
+        assert keys == reference_keys, "placement-routed remote results diverged"
+        for name in SOLVER_COUNTERS:
+            assert counters[name] == reference_counters[name]
+        # Cache-accounting contract: one lookup per query is conserved, and
+        # each replicated ego may add at most (width - 1) extra misses.
+        assert (
+            counters["cache_hits"] + counters["cache_misses"]
+            == reference_counters["cache_hits"] + reference_counters["cache_misses"]
+        )
+        slack = sum(len(group) - 1 for group in placement.replicas.values())
+        assert (
+            reference_info.misses <= info.misses <= reference_info.misses + slack
+        )

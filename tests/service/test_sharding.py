@@ -98,7 +98,9 @@ class TestShardMap:
             ShardMap(0)
 
 
-class TestImbalanceWarning:
+class TestRouteMetrics:
+    """The rolling imbalance metric that replaced the fire-once warning."""
+
     @staticmethod
     def _skewed_batch(shard_map, n_queries):
         """Every query routed to one shard: maximal imbalance."""
@@ -110,49 +112,77 @@ class TestImbalanceWarning:
             for _ in range(n_queries)
         ]
 
-    def test_skewed_batch_logs_warning(self, caplog):
+    def test_skewed_batch_counts_into_report(self):
         shard_map = ShardMap(4)
         batch = self._skewed_batch(shard_map, 16)
         assert shard_map.imbalance(batch) > 1.5
-        with caplog.at_level("WARNING", logger="repro.service.sharding"):
-            shard_map.partition(batch)
-        assert any("shard imbalance" in record.message for record in caplog.records)
-        record = next(r for r in caplog.records if "shard imbalance" in r.message)
-        assert "4.00x" in record.getMessage()
+        shard_map.partition(batch)
+        report = shard_map.route_report()
+        assert report["strategy"] == "crc32"
+        assert report["version"] == 0
+        assert report["batches"] == 1
+        assert report["queries"] == 16
+        assert report["measured_batches"] == 1
+        assert report["skewed_batches"] == 1
+        assert report["last_imbalance"] == pytest.approx(4.0)
+        assert report["max_imbalance"] == pytest.approx(4.0)
+        assert report["routed"] == [16, 0, 0, 0]
+        assert report["imbalance_threshold"] == 1.5
 
-    def test_balanced_batch_logs_nothing(self, caplog):
+    def test_balanced_batch_is_measured_not_skewed(self):
         shard_map = ShardMap(2)
         initiators = [v for v in range(100) if shard_map.shard_of(v) == 0][:8]
         initiators += [v for v in range(100) if shard_map.shard_of(v) == 1][:8]
         batch = [
             SGQuery(initiator=v, group_size=3, radius=1, acquaintance=1) for v in initiators
         ]
-        with caplog.at_level("WARNING", logger="repro.service.sharding"):
-            shard_map.partition(batch)
-        assert not caplog.records
+        shard_map.partition(batch)
+        report = shard_map.route_report()
+        assert report["measured_batches"] == 1
+        assert report["skewed_batches"] == 0
+        assert report["last_imbalance"] == pytest.approx(1.0)
+        assert report["routed"] == [8, 8]
 
-    def test_warning_fires_once_per_map(self, caplog):
-        # partition() runs on every routed batch; a persistently skewed
-        # stream must not emit one warning per batch.  Repeats demote to
-        # DEBUG so the signal stays available without flooding the logs.
+    def test_metric_rolls_across_batches(self):
+        # The old design warned once then went silent; the metric keeps
+        # counting so an operator sees a *persistently* skewed stream.
+        shard_map = ShardMap(4)
+        batch = self._skewed_batch(shard_map, 16)
+        for _ in range(3):
+            shard_map.partition(batch)
+        report = shard_map.route_report()
+        assert report["batches"] == 3
+        assert report["skewed_batches"] == 3
+        assert report["max_imbalance"] == pytest.approx(4.0)
+        assert report["routed"] == [48, 0, 0, 0]
+
+    def test_skew_logs_at_debug_only(self, caplog):
+        # Observability lives in route_report(); the log line never exceeds
+        # DEBUG, so a skewed stream cannot flood the logs.
         shard_map = ShardMap(4)
         batch = self._skewed_batch(shard_map, 16)
         with caplog.at_level("DEBUG", logger="repro.service.sharding"):
             for _ in range(3):
                 shard_map.partition(batch)
         imbalance = [r for r in caplog.records if "shard imbalance" in r.message]
-        assert [r.levelname for r in imbalance] == ["WARNING", "DEBUG", "DEBUG"]
-        # A fresh map (new backend) gets its own one-shot warning.
-        caplog.clear()
-        with caplog.at_level("WARNING", logger="repro.service.sharding"):
-            ShardMap(4).partition(batch)
-        assert any(r.levelname == "WARNING" for r in caplog.records)
+        assert [r.levelname for r in imbalance] == ["DEBUG", "DEBUG", "DEBUG"]
 
-    def test_tiny_batches_never_warn(self, caplog):
+    def test_tiny_batches_route_but_are_not_measured(self):
         # A single query on a 4-shard map is trivially "4x imbalanced";
-        # warning on it would make every solve() call noisy.
+        # measuring it would poison max_imbalance on every solve() call.
         shard_map = ShardMap(4)
         batch = self._skewed_batch(shard_map, 7)  # below 2 * n_shards
-        with caplog.at_level("WARNING", logger="repro.service.sharding"):
-            shard_map.partition(batch)
-        assert not caplog.records
+        shard_map.partition(batch)
+        report = shard_map.route_report()
+        assert report["batches"] == 1
+        assert report["queries"] == 7
+        assert report["measured_batches"] == 0
+        assert report["skewed_batches"] == 0
+        assert report["last_imbalance"] == 0.0
+        assert report["routed"] == [7, 0, 0, 0]
+
+    def test_crc32_map_never_replicates(self):
+        shard_map = ShardMap(4)
+        for vertex in list(range(25)) + ["alice", ("compound", 3)]:
+            group = shard_map.replicas_of(vertex)
+            assert group == (shard_map.shard_of(vertex),)

@@ -432,3 +432,98 @@ class TestMutateCommand:
         )
         assert code == 1
         assert "cannot load trace" in capsys.readouterr().err
+
+
+class TestPlaceCommand:
+    @staticmethod
+    def _write_trace(tmp_path, skew=1.8):
+        from repro.experiments.workloads import (
+            generate_query_workload,
+            save_workload,
+            workload,
+        )
+
+        dataset = workload(network_size=60, schedule_days=1, seed=3)
+        queries = generate_query_workload(
+            dataset, 40, skew=skew, n_initiators=6, radii=(1,), seed=5
+        )
+        trace_path = tmp_path / "trace.jsonl"
+        save_workload(queries, trace_path)
+        return trace_path
+
+    def test_place_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["place", "trace.jsonl", "--workers", "4", "--replicas", "3",
+             "--ring-seed", "9", "--map-version", "2", "-o", "placement.json"]
+        )
+        assert args.command == "place"
+        assert args.trace == "trace.jsonl"
+        assert args.workers == 4
+        assert args.replicas == 3
+        assert args.ring_seed == 9
+        assert args.map_version == 2
+        assert args.output == "placement.json"
+
+    def test_place_requires_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place", "trace.jsonl"])
+
+    def test_place_writes_loadable_map(self, tmp_path, capsys):
+        from repro.service import load_placement
+
+        trace_path = self._write_trace(tmp_path)
+        out_path = tmp_path / "placement.json"
+        code = main(
+            ["place", str(trace_path), "--workers", "2", "--map-version", "4",
+             "-o", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "placement:  version 4 over 2 workers" in out
+        assert "load shares (trace replay):" in out
+        assert "crc32 fallback" in out
+        assert f"wrote {out_path}" in out
+        placement = load_placement(out_path)
+        assert placement.version == 4
+        assert placement.n_shards == 2
+
+    def test_place_json_report(self, tmp_path, capsys):
+        import json
+
+        trace_path = self._write_trace(tmp_path)
+        code = main(["place", str(trace_path), "--workers", "2", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["queries"] == 40
+        assert report["map"]["n_shards"] == 2
+        assert len(report["load_shares"]) == 2
+        assert report["imbalance"] <= report["crc32_imbalance"]
+        assert report["threshold"] == 1.5
+
+    def test_place_missing_trace_exits_one(self, tmp_path, capsys):
+        code = main(["place", str(tmp_path / "missing.jsonl"), "--workers", "2"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_placement_needs_routing_backend(self, tmp_path, capsys):
+        trace_path = self._write_trace(tmp_path)
+        out_path = tmp_path / "placement.json"
+        assert main(
+            ["place", str(trace_path), "--workers", "2", "-o", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", "--backend", "serial", "--placement", str(out_path),
+             "--queries", "1", "--people", "40"]
+        )
+        assert code == 2
+        assert "--placement" in capsys.readouterr().err
+
+    def test_replicas_requires_placement(self, capsys):
+        code = main(
+            ["serve", "--backend", "process", "--replicas", "2",
+             "--queries", "1", "--people", "40"]
+        )
+        assert code == 2
+        assert "--replicas requires --placement" in capsys.readouterr().err
